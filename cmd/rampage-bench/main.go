@@ -1,0 +1,156 @@
+// Command rampage-bench regenerates the paper's tables and figures.
+// Each experiment runs the corresponding parameter sweep and prints
+// the rows/series the paper reports.
+//
+// Usage:
+//
+//	rampage-bench -exp table3            # one experiment, scaled default
+//	rampage-bench -exp all -scale quick  # everything, fast
+//	rampage-bench -list                  # what exists
+//
+// Experiments: table1 table2 table3 table4 table5 fig2 fig3 fig4 fig5
+// plus the ablations bigtlb, pipelined, victim and biglone (see
+// DESIGN.md for the per-experiment index).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+	"time"
+
+	"rampage/internal/harness"
+)
+
+func main() {
+	var (
+		exp   = flag.String("exp", "", "experiment id, or 'all'")
+		list  = flag.Bool("list", false, "list available experiments")
+		scale = flag.String("scale", "default", "workload scale: quick, default, full")
+		rates = flag.String("rates", "", "comma-separated issue rates in MHz (default: paper sweep)")
+		sizes = flag.String("sizes", "", "comma-separated block/page sizes in bytes (default: paper sweep)")
+		seed  = flag.Uint64("seed", 42, "deterministic seed")
+		sweep = flag.String("sweep", "", "raw sweep mode: run this system (baseline, 2way, rampage, rampage-cs) over the grid and emit CSV on stdout")
+	)
+	flag.Parse()
+
+	if *list || (*exp == "" && *sweep == "") {
+		fmt.Println("available experiments:")
+		for _, e := range harness.Experiments() {
+			fmt.Printf("  %-10s %s\n", e.ID, e.Title)
+		}
+		if *exp == "" {
+			fmt.Println("\nrun one with: rampage-bench -exp <id>")
+		}
+		return
+	}
+
+	cfg, err := scaleConfig(*scale)
+	if err != nil {
+		fatal(err)
+	}
+	cfg.Seed = *seed
+
+	rateList, err := parseList(*rates)
+	if err != nil {
+		fatal(fmt.Errorf("bad -rates: %w", err))
+	}
+	sizeList, err := parseList(*sizes)
+	if err != nil {
+		fatal(fmt.Errorf("bad -sizes: %w", err))
+	}
+
+	if *sweep != "" {
+		if err := runSweepCSV(cfg, *sweep, rateList, sizeList); err != nil {
+			fatal(err)
+		}
+		return
+	}
+
+	var selected []harness.Experiment
+	if *exp == "all" {
+		selected = harness.Experiments()
+	} else {
+		e, ok := harness.FindExperiment(*exp)
+		if !ok {
+			fatal(fmt.Errorf("unknown experiment %q; use -list", *exp))
+		}
+		selected = []harness.Experiment{e}
+	}
+
+	for _, e := range selected {
+		start := time.Now()
+		fmt.Printf("=== %s: %s ===\n", e.ID, e.Title)
+		out, err := e.Run(cfg, rateList, sizeList)
+		if err != nil {
+			fatal(fmt.Errorf("%s: %w", e.ID, err))
+		}
+		fmt.Println(out)
+		fmt.Printf("(%s in %v)\n\n", e.ID, time.Since(start).Round(time.Millisecond))
+	}
+}
+
+// runSweepCSV runs one system across the grid and writes CSV rows to
+// stdout for external plotting.
+func runSweepCSV(cfg harness.Config, system string, rates, sizes []uint64) error {
+	var kind harness.SystemKind
+	switch system {
+	case "baseline", "baseline-dm", "dm":
+		kind = harness.BaselineDM
+	case "2way", "l2-2way":
+		kind = harness.TwoWayL2
+	case "rampage":
+		kind = harness.RAMpage
+	case "rampage-cs", "cs":
+		kind = harness.RAMpageCS
+	default:
+		return fmt.Errorf("unknown system %q for -sweep", system)
+	}
+	if len(rates) == 0 {
+		rates = harness.IssueRatesMHz
+	}
+	if len(sizes) == 0 {
+		sizes = harness.BlockSizes
+	}
+	switchTrace := kind == harness.TwoWayL2 || kind == harness.RAMpageCS
+	grid, err := harness.Sweep(cfg, kind, rates, sizes, switchTrace)
+	if err != nil {
+		return err
+	}
+	return harness.WriteSweepCSV(os.Stdout, rates, sizes, grid)
+}
+
+func scaleConfig(name string) (harness.Config, error) {
+	switch name {
+	case "quick":
+		return harness.QuickScaled(), nil
+	case "default":
+		return harness.DefaultScaled(), nil
+	case "full":
+		return harness.FullScale(), nil
+	default:
+		return harness.Config{}, fmt.Errorf("unknown scale %q (want quick, default or full)", name)
+	}
+}
+
+func parseList(s string) ([]uint64, error) {
+	if s == "" {
+		return nil, nil
+	}
+	var out []uint64
+	for _, part := range strings.Split(s, ",") {
+		v, err := strconv.ParseUint(strings.TrimSpace(part), 10, 64)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, v)
+	}
+	return out, nil
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "rampage-bench:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,38 @@
+package main
+
+import "testing"
+
+func TestParseList(t *testing.T) {
+	got, err := parseList("200, 4000")
+	if err != nil || len(got) != 2 || got[0] != 200 || got[1] != 4000 {
+		t.Errorf("parseList = %v, %v", got, err)
+	}
+	if got, err := parseList(""); err != nil || got != nil {
+		t.Errorf("empty parseList = %v, %v", got, err)
+	}
+	if _, err := parseList("12,abc"); err == nil {
+		t.Error("bad list accepted")
+	}
+}
+
+func TestScaleConfig(t *testing.T) {
+	for _, name := range []string{"quick", "default", "full"} {
+		cfg, err := scaleConfig(name)
+		if err != nil {
+			t.Errorf("scaleConfig(%q): %v", name, err)
+		}
+		if err := cfg.Validate(); err != nil {
+			t.Errorf("scaleConfig(%q) invalid: %v", name, err)
+		}
+	}
+	if _, err := scaleConfig("bogus"); err == nil {
+		t.Error("bogus scale accepted")
+	}
+}
+
+func TestRunSweepCSVRejectsUnknownSystem(t *testing.T) {
+	cfg, _ := scaleConfig("quick")
+	if err := runSweepCSV(cfg, "bogus", nil, nil); err == nil {
+		t.Error("unknown sweep system accepted")
+	}
+}

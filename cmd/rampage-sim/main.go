@@ -1,0 +1,173 @@
+// Command rampage-sim runs one memory-hierarchy simulation point and
+// prints its full report: elapsed simulated time, per-level time
+// breakdown, and event counts.
+//
+// Usage:
+//
+//	rampage-sim [flags]
+//
+// Examples:
+//
+//	# RAMpage with 1KB SRAM pages at a 1GHz issue rate, scaled workload
+//	rampage-sim -system rampage -mhz 1000 -size 1024
+//
+//	# The paper's baseline at 4GHz with 128B L2 blocks, quick scale
+//	rampage-sim -system baseline -mhz 4000 -size 128 -scale quick
+//
+//	# RAMpage with context switches on misses, full paper scale (slow!)
+//	rampage-sim -system rampage-cs -mhz 4000 -size 4096 -scale full -switchtrace
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"rampage/internal/harness"
+	"rampage/internal/sim"
+	"rampage/internal/trace"
+)
+
+func main() {
+	var (
+		system      = flag.String("system", "rampage", "system to simulate: baseline, 2way, rampage, rampage-cs")
+		mhz         = flag.Uint64("mhz", 1000, "CPU issue rate in MHz (200..4000)")
+		size        = flag.Uint64("size", 1024, "L2 block size / SRAM page size in bytes (128..4096)")
+		scale       = flag.String("scale", "default", "workload scale: quick, default, full")
+		switchTrace = flag.Bool("switchtrace", false, "interleave the ~400-ref context-switch trace at each switch")
+		maxRefs     = flag.Uint64("maxrefs", 0, "stop after this many application references (0 = all)")
+		procs       = flag.Int("procs", 0, "limit to the first N Table 2 programs (0 = all 18)")
+		seed        = flag.Uint64("seed", 42, "deterministic seed")
+		victim      = flag.Int("victim", 0, "attach an N-entry victim cache (conventional systems)")
+		tlbEntries  = flag.Int("tlb", 0, "override TLB entries (0 = paper default 64)")
+		tlbAssoc    = flag.Int("tlbassoc", 0, "TLB associativity with -tlb (0 = fully associative)")
+		pipelined   = flag.Bool("pipelined", false, "pipelined Direct Rambus channel")
+		sdram       = flag.Bool("sdram", false, "use the wide SDRAM device instead of Direct Rambus")
+		threads     = flag.Bool("threads", false, "lightweight thread switches on misses (with -system rampage-cs)")
+		adaptive    = flag.Bool("adaptive", false, "dynamic SRAM page sizing (with -system rampage; -size is the initial page)")
+		prefetch    = flag.Bool("prefetch", false, "sequential next-page prefetch (RAMpage systems)")
+		banked      = flag.Bool("banked", false, "banked open-row RDRAM timing instead of the flat model")
+		channels    = flag.Int("channels", 1, "stripe the DRAM across N Rambus channels")
+		traceFile   = flag.String("tracefile", "", "replay a binary trace file instead of the synthetic workload (no scheduler; not for rampage-cs)")
+	)
+	flag.Parse()
+
+	if *traceFile != "" {
+		if err := replayFile(*traceFile, *system, *mhz, *size, *seed); err != nil {
+			fatal(err)
+		}
+		return
+	}
+
+	cfg, err := scaleConfig(*scale)
+	if err != nil {
+		fatal(err)
+	}
+	cfg.Seed = *seed
+	cfg.MaxRefs = *maxRefs
+	cfg.Processes = *procs
+
+	kind, err := parseSystem(*system)
+	if err != nil {
+		fatal(err)
+	}
+	rep, err := harness.Run(cfg, harness.RunSpec{
+		System:             kind,
+		IssueMHz:           *mhz,
+		SizeBytes:          *size,
+		SwitchTrace:        *switchTrace,
+		VictimEntries:      *victim,
+		TLBEntries:         *tlbEntries,
+		TLBAssoc:           *tlbAssoc,
+		PipelinedDRAM:      *pipelined,
+		SDRAM:              *sdram,
+		LightweightThreads: *threads,
+		AdaptivePages:      *adaptive,
+		PrefetchNext:       *prefetch,
+		BankedDRAM:         *banked,
+		DRAMChannels:       *channels,
+	})
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Print(rep.String())
+}
+
+// replayFile runs a binary trace file through a machine directly (no
+// scheduler, references in file order) and prints the report.
+func replayFile(path, system string, mhz, size, seed uint64) error {
+	kind, err := parseSystem(system)
+	if err != nil {
+		return err
+	}
+	params := sim.DefaultParams(mhz)
+	params.Seed = seed
+	var machine sim.Machine
+	switch kind {
+	case harness.BaselineDM, harness.TwoWayL2:
+		assoc := 1
+		if kind == harness.TwoWayL2 {
+			assoc = 2
+		}
+		machine, err = sim.NewBaseline(sim.BaselineConfig{
+			Params: params, L2Bytes: 512 << 10, L2Block: size, L2Assoc: assoc,
+		})
+	case harness.RAMpage:
+		cfg := harness.DefaultScaled()
+		machine, err = sim.NewRAMpage(sim.RAMpageConfig{
+			Params: params, SRAMBytes: cfg.SRAMBytes(size), PageBytes: size,
+		})
+	default:
+		return fmt.Errorf("-tracefile supports baseline, 2way and rampage (no scheduler for rampage-cs)")
+	}
+	if err != nil {
+		return err
+	}
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	r, err := trace.NewFileReader(f)
+	if err != nil {
+		return err
+	}
+	if err := sim.Replay(machine, r); err != nil {
+		return err
+	}
+	fmt.Print(machine.Report().String())
+	return nil
+}
+
+func scaleConfig(name string) (harness.Config, error) {
+	switch name {
+	case "quick":
+		return harness.QuickScaled(), nil
+	case "default":
+		return harness.DefaultScaled(), nil
+	case "full":
+		return harness.FullScale(), nil
+	default:
+		return harness.Config{}, fmt.Errorf("unknown scale %q (want quick, default or full)", name)
+	}
+}
+
+func parseSystem(name string) (harness.SystemKind, error) {
+	switch name {
+	case "baseline", "baseline-dm", "dm":
+		return harness.BaselineDM, nil
+	case "2way", "l2-2way":
+		return harness.TwoWayL2, nil
+	case "rampage":
+		return harness.RAMpage, nil
+	case "rampage-cs", "cs":
+		return harness.RAMpageCS, nil
+	default:
+		return 0, fmt.Errorf("unknown system %q (want baseline, 2way, rampage or rampage-cs)", name)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "rampage-sim:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,173 @@
+// Command rampage-trace works with the synthetic workload traces that
+// drive the simulator: listing the Table 2 profiles, generating binary
+// trace files, inspecting them, and converting between the binary and
+// text formats.
+//
+// Usage:
+//
+//	rampage-trace -list
+//	rampage-trace -gen compress -refscale 0.001 -o compress.rmpt
+//	rampage-trace -gen all -refscale 0.0001 -interleave -o workload.rmpt
+//	rampage-trace -stat compress.rmpt
+//	rampage-trace -dump compress.rmpt | head
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"rampage/internal/mem"
+	"rampage/internal/synth"
+	"rampage/internal/trace"
+)
+
+func main() {
+	var (
+		list       = flag.Bool("list", false, "list the Table 2 benchmark profiles")
+		gen        = flag.String("gen", "", "generate a trace for this profile name, or 'all'")
+		out        = flag.String("o", "", "output file for -gen (binary format)")
+		refScale   = flag.Float64("refscale", 0.001, "reference-count scale for -gen (1.0 = paper scale)")
+		sizeScale  = flag.Float64("sizescale", 1.0/8, "footprint scale for -gen")
+		seed       = flag.Uint64("seed", 42, "deterministic seed for -gen")
+		interleave = flag.Bool("interleave", false, "with -gen all: interleave streams with the paper's quantum")
+		quantum    = flag.Uint64("quantum", trace.DefaultQuantum, "interleave quantum in references")
+		stat       = flag.String("stat", "", "print statistics for a binary trace file")
+		dump       = flag.String("dump", "", "dump a binary trace file as text")
+	)
+	flag.Parse()
+
+	switch {
+	case *list:
+		listProfiles()
+	case *gen != "":
+		if *out == "" {
+			fatal(fmt.Errorf("-gen requires -o <file>"))
+		}
+		if err := generate(*gen, *out, *refScale, *sizeScale, *seed, *interleave, *quantum); err != nil {
+			fatal(err)
+		}
+	case *stat != "":
+		if err := statFile(*stat); err != nil {
+			fatal(err)
+		}
+	case *dump != "":
+		if err := dumpFile(*dump); err != nil {
+			fatal(err)
+		}
+	default:
+		flag.Usage()
+	}
+}
+
+func listProfiles() {
+	fmt.Printf("%-12s %-36s %10s %10s  %s\n", "program", "description", "ifetch(M)", "total(M)", "regions")
+	for _, p := range synth.Table2() {
+		regions := ""
+		for i, r := range p.Regions {
+			if i > 0 {
+				regions += ","
+			}
+			regions += fmt.Sprintf("%s(%s/%s)", r.Name, mem.FormatSize(r.Size), r.Pattern)
+		}
+		fmt.Printf("%-12s %-36s %10.1f %10.1f  %s\n", p.Name, p.Description, p.IFetchMillions, p.TotalMillions, regions)
+	}
+	fmt.Printf("\ncombined: %.1fM references at full scale (the paper's 1.1 billion)\n", synth.Table2TotalMillions())
+}
+
+func generate(name, out string, refScale, sizeScale float64, seed uint64, interleave bool, quantum uint64) error {
+	var reader trace.Reader
+	if name == "all" {
+		var streams []trace.Reader
+		for _, p := range synth.Table2() {
+			g, err := synth.NewGenerator(p, synth.Options{Seed: seed, RefScale: refScale, SizeScale: sizeScale})
+			if err != nil {
+				return err
+			}
+			streams = append(streams, g)
+		}
+		if interleave {
+			il, err := trace.NewInterleaver(streams, quantum)
+			if err != nil {
+				return err
+			}
+			reader = il
+		} else {
+			reader = trace.NewConcat(streams...)
+		}
+	} else {
+		p, ok := synth.FindProfile(name)
+		if !ok {
+			return fmt.Errorf("unknown profile %q; use -list", name)
+		}
+		g, err := synth.NewGenerator(p, synth.Options{Seed: seed, RefScale: refScale, SizeScale: sizeScale})
+		if err != nil {
+			return err
+		}
+		reader = g
+	}
+
+	f, err := os.Create(out)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	w, err := trace.NewFileWriter(f)
+	if err != nil {
+		return err
+	}
+	n, err := trace.Copy(w, reader)
+	if err != nil {
+		return err
+	}
+	if err := w.Flush(); err != nil {
+		return err
+	}
+	info, err := f.Stat()
+	if err != nil {
+		return err
+	}
+	fmt.Printf("wrote %d references to %s (%s, %.2f bytes/ref)\n",
+		n, out, mem.FormatSize(uint64(info.Size())), float64(info.Size())/float64(n))
+	return nil
+}
+
+func statFile(path string) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	r, err := trace.NewFileReader(f)
+	if err != nil {
+		return err
+	}
+	s, err := trace.Collect(r)
+	if err != nil {
+		return err
+	}
+	fmt.Print(s.String())
+	return nil
+}
+
+func dumpFile(path string) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	r, err := trace.NewFileReader(f)
+	if err != nil {
+		return err
+	}
+	w := trace.NewTextWriter(os.Stdout)
+	if _, err := trace.Copy(w, r); err != nil {
+		return err
+	}
+	return w.Flush()
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "rampage-trace:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,69 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"rampage/internal/trace"
+)
+
+func TestGenerateSingleProfile(t *testing.T) {
+	out := filepath.Join(t.TempDir(), "compress.rmpt")
+	if err := generate("compress", out, 0.0005, 1.0/16, 1, false, trace.DefaultQuantum); err != nil {
+		t.Fatalf("generate: %v", err)
+	}
+	f, err := os.Open(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	r, err := trace.NewFileReader(f)
+	if err != nil {
+		t.Fatalf("generated file unreadable: %v", err)
+	}
+	s, err := trace.Collect(r)
+	if err != nil {
+		t.Fatalf("generated file corrupt: %v", err)
+	}
+	if s.Total == 0 || s.IFetches() == 0 {
+		t.Errorf("degenerate trace: %+v", s.ByKind)
+	}
+}
+
+func TestGenerateInterleavedAll(t *testing.T) {
+	out := filepath.Join(t.TempDir(), "all.rmpt")
+	if err := generate("all", out, 0.00002, 1.0/16, 1, true, 100); err != nil {
+		t.Fatalf("generate all: %v", err)
+	}
+	f, _ := os.Open(out)
+	defer f.Close()
+	r, _ := trace.NewFileReader(f)
+	s, err := trace.Collect(r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// All 18 PIDs must appear in the interleaved trace.
+	if len(s.ByPID) != 18 {
+		t.Errorf("interleaved trace has %d PIDs, want 18", len(s.ByPID))
+	}
+}
+
+func TestGenerateUnknownProfile(t *testing.T) {
+	if err := generate("nonesuch", filepath.Join(t.TempDir(), "x"), 0.001, 1, 1, false, 100); err == nil {
+		t.Error("unknown profile accepted")
+	}
+}
+
+func TestStatAndDump(t *testing.T) {
+	out := filepath.Join(t.TempDir(), "sed.rmpt")
+	if err := generate("sed", out, 0.0005, 1.0/16, 1, false, 100); err != nil {
+		t.Fatal(err)
+	}
+	if err := statFile(out); err != nil {
+		t.Errorf("statFile: %v", err)
+	}
+	if err := statFile(filepath.Join(t.TempDir(), "missing")); err == nil {
+		t.Error("statFile on missing file succeeded")
+	}
+}

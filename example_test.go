@@ -1,0 +1,69 @@
+package rampage_test
+
+import (
+	"fmt"
+
+	"rampage"
+)
+
+// The paper's headline device constant: a 4KB Direct Rambus transfer
+// takes 50ns + 2048 x 1.25ns = 2610ns (§3.5: "about 2,600
+// instructions" at a 1GHz issue rate).
+func ExampleNewDirectRambus() {
+	d := rampage.NewDirectRambus()
+	fmt.Printf("4KB transfer: %d ns\n", d.TransferTime(4096)/1000)
+	// Output:
+	// 4KB transfer: 2610 ns
+}
+
+// Looking up a Table 2 workload profile.
+func ExampleFindProfile() {
+	p, ok := rampage.FindProfile("compress")
+	if !ok {
+		panic("missing")
+	}
+	fmt.Printf("%s: %s (%.1fM refs at full scale)\n", p.Name, p.Description, p.TotalMillions)
+	// Output:
+	// compress: file compression (int92) (10.5M refs at full scale)
+}
+
+// Running one simulation point. Results are deterministic for a given
+// configuration and seed.
+func ExampleRun() {
+	cfg := rampage.QuickScaled()
+	cfg.RefScale = 1.0 / 10000 // ~109k references: fast enough for an example
+	rep, err := rampage.Run(cfg, rampage.RunSpec{
+		System:    rampage.SystemRAMpage,
+		IssueMHz:  1000,
+		SizeBytes: 1024,
+	})
+	if err != nil {
+		panic(err)
+	}
+	again, err := rampage.Run(cfg, rampage.RunSpec{
+		System:    rampage.SystemRAMpage,
+		IssueMHz:  1000,
+		SizeBytes: 1024,
+	})
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println("completed:", rep.BenchRefs > 0)
+	fmt.Println("faulted:", rep.PageFaults > 0)
+	fmt.Println("deterministic:", rep.Cycles == again.Cycles)
+	// Output:
+	// completed: true
+	// faulted: true
+	// deterministic: true
+}
+
+// Reproducing a paper artifact through the experiment registry.
+func ExampleFindExperiment() {
+	exp, ok := rampage.FindExperiment("table1")
+	if !ok {
+		panic("missing")
+	}
+	fmt.Println(exp.Title)
+	// Output:
+	// Table 1: % bandwidth efficiency, Direct Rambus vs disk
+}

@@ -1,0 +1,65 @@
+// Adaptive: the §6.2 future-work idea the paper argues only a
+// software-managed hierarchy can offer — retuning the SRAM page size
+// while the program runs — plus the §3.2 sequential prefetcher.
+//
+// A fixed hardware cache must commit to a line size at design time
+// (the paper's PowerPC 750 example ties line size to cache size). The
+// RAMpage machine below starts at the worst page size for the
+// workload and climbs to a good one on its own, paying for every
+// experiment with a real SRAM flush.
+//
+//	go run ./examples/adaptive
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"rampage"
+)
+
+func main() {
+	cfg := rampage.QuickScaled()
+	const mhz = 4000
+
+	fmt.Println("RAMpage at 4GHz on the Table 2 workload, starting from 128B pages:")
+	fmt.Println()
+
+	fixedWorst, err := rampage.Run(cfg, rampage.RunSpec{
+		System: rampage.SystemRAMpage, IssueMHz: mhz, SizeBytes: 128,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fixedBest, err := rampage.Run(cfg, rampage.RunSpec{
+		System: rampage.SystemRAMpage, IssueMHz: mhz, SizeBytes: 2048,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	adaptive, err := rampage.Run(cfg, rampage.RunSpec{
+		System: rampage.SystemRAMpage, IssueMHz: mhz, SizeBytes: 128,
+		AdaptivePages: true,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("  fixed 128B pages:   %.4fs (the worst fixed choice)\n", fixedWorst.Seconds())
+	fmt.Printf("  fixed 2KB pages:    %.4fs (a good fixed choice)\n", fixedBest.Seconds())
+	fmt.Printf("  adaptive from 128B: %.4fs (%d page-size switches)\n",
+		adaptive.Seconds(), adaptive.Resizes)
+
+	fmt.Println()
+	fmt.Println("And with the sequential next-page prefetcher on top:")
+	prefetch, err := rampage.Run(cfg, rampage.RunSpec{
+		System: rampage.SystemRAMpage, IssueMHz: mhz, SizeBytes: 2048,
+		PrefetchNext: true,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("  2KB pages + prefetch: %.4fs (%d prefetches, %d hits, %d wasted)\n",
+		prefetch.Seconds(), prefetch.Prefetches, prefetch.PrefetchHits, prefetch.PrefetchWasted)
+	fmt.Printf("  speedup over demand paging: %.2fx\n",
+		float64(fixedBest.Cycles)/float64(prefetch.Cycles))
+}

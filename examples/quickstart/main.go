@@ -1,0 +1,51 @@
+// Quickstart: simulate the RAMpage hierarchy and the conventional
+// direct-mapped baseline on the paper's 18-program workload at one
+// point of the design space, and print both reports side by side.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"rampage"
+)
+
+func main() {
+	// QuickScaled keeps the run under a second; DefaultScaled is the
+	// fidelity configuration, FullScale the paper's exact parameters.
+	cfg := rampage.QuickScaled()
+
+	const (
+		issueMHz = 1000 // 1 GHz issue rate
+		size     = 1024 // 1 KB L2 blocks / SRAM pages
+	)
+
+	baseline, err := rampage.Run(cfg, rampage.RunSpec{
+		System:    rampage.SystemBaselineDM,
+		IssueMHz:  issueMHz,
+		SizeBytes: size,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	rp, err := rampage.Run(cfg, rampage.RunSpec{
+		System:    rampage.SystemRAMpage,
+		IssueMHz:  issueMHz,
+		SizeBytes: size,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Println("— conventional direct-mapped L2 —")
+	fmt.Print(baseline.String())
+	fmt.Println("\n— RAMpage SRAM main memory —")
+	fmt.Print(rp.String())
+
+	speedup := float64(baseline.Cycles) / float64(rp.Cycles)
+	fmt.Printf("\nRAMpage is %.2fx the baseline's speed at this point.\n", speedup)
+	fmt.Printf("RAMpage misses to DRAM: %d page faults vs the baseline's %d block misses.\n",
+		rp.PageFaults, baseline.L2Misses)
+}

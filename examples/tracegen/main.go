@@ -1,0 +1,95 @@
+// Tracegen: the trace-generation pipeline as a library. Generates a
+// synthetic benchmark stream, writes it to a binary trace file, reads
+// it back, and verifies the round trip — the workflow behind
+// rampage-trace, shown through the public API.
+//
+//	go run ./examples/tracegen
+package main
+
+import (
+	"fmt"
+	"io"
+	"log"
+	"os"
+	"path/filepath"
+
+	"rampage"
+	"rampage/internal/trace"
+)
+
+func main() {
+	p, ok := rampage.FindProfile("compress")
+	if !ok {
+		log.Fatal("compress profile missing")
+	}
+	fmt.Printf("profile %s: %s (%.1fM ifetches / %.1fM refs at full scale)\n",
+		p.Name, p.Description, p.IFetchMillions, p.TotalMillions)
+
+	gen, err := rampage.NewGenerator(p, rampage.GenOptions{
+		Seed:     1,
+		RefScale: 0.001, // ~10.5k references
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	path := filepath.Join(os.TempDir(), "compress.rmpt")
+	n, err := writeTrace(path, gen)
+	if err != nil {
+		log.Fatal(err)
+	}
+	info, _ := os.Stat(path)
+	fmt.Printf("wrote %d references to %s (%d bytes, %.2f bytes/ref)\n",
+		n, path, info.Size(), float64(info.Size())/float64(n))
+
+	stats, err := readStats(path)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("read back: %s", stats)
+	if stats.Total != n {
+		log.Fatalf("round trip lost references: wrote %d, read %d", n, stats.Total)
+	}
+	fmt.Println("round trip OK")
+	os.Remove(path)
+}
+
+func writeTrace(path string, r rampage.TraceReader) (uint64, error) {
+	f, err := os.Create(path)
+	if err != nil {
+		return 0, err
+	}
+	defer f.Close()
+	w, err := trace.NewFileWriter(f)
+	if err != nil {
+		return 0, err
+	}
+	n, err := trace.Copy(w, r)
+	if err != nil {
+		return 0, err
+	}
+	return n, w.Flush()
+}
+
+func readStats(path string) (*trace.Stats, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	r, err := trace.NewFileReader(f)
+	if err != nil {
+		return nil, err
+	}
+	s := trace.NewStats()
+	for {
+		ref, err := r.Next()
+		if err == io.EOF {
+			return s, nil
+		}
+		if err != nil {
+			return nil, err
+		}
+		s.Observe(ref)
+	}
+}

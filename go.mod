@@ -1,0 +1,3 @@
+module rampage
+
+go 1.22

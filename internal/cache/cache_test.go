@@ -1,0 +1,397 @@
+package cache
+
+import (
+	"testing"
+	"testing/quick"
+
+	"rampage/internal/mem"
+	"rampage/internal/xrand"
+)
+
+func dm16k() *Cache {
+	// The paper's L1 shape: 16KB direct-mapped, 32B blocks.
+	return MustNew(Config{Name: "L1", SizeBytes: 16 << 10, BlockBytes: 32, Assoc: 1})
+}
+
+func TestConfigValidate(t *testing.T) {
+	bad := []Config{
+		{Name: "a", SizeBytes: 16 << 10, BlockBytes: 0, Assoc: 1},
+		{Name: "b", SizeBytes: 16 << 10, BlockBytes: 33, Assoc: 1},
+		{Name: "c", SizeBytes: 0, BlockBytes: 32, Assoc: 1},
+		{Name: "d", SizeBytes: 12 << 10, BlockBytes: 32, Assoc: 1},
+		{Name: "e", SizeBytes: 16 << 10, BlockBytes: 32, Assoc: 0},
+		{Name: "f", SizeBytes: 64, BlockBytes: 32, Assoc: 4}, // ways > blocks
+	}
+	for _, cfg := range bad {
+		if err := cfg.Validate(); err == nil {
+			t.Errorf("config %s validated, want error", cfg.Name)
+		}
+		if _, err := New(cfg); err == nil {
+			t.Errorf("New(%s) succeeded, want error", cfg.Name)
+		}
+	}
+	good := Config{Name: "g", SizeBytes: 4 << 20, BlockBytes: 128, Assoc: 2}
+	if err := good.Validate(); err != nil {
+		t.Errorf("valid config rejected: %v", err)
+	}
+	if got, want := good.Sets(), uint64(16384); got != want {
+		t.Errorf("Sets = %d, want %d", got, want)
+	}
+}
+
+func TestMustNewPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("MustNew with bad config did not panic")
+		}
+	}()
+	MustNew(Config{})
+}
+
+func TestBasicHitMiss(t *testing.T) {
+	c := dm16k()
+	if res := c.Access(0x1000, false); res.Hit {
+		t.Error("cold access hit")
+	}
+	if res := c.Access(0x1000, false); !res.Hit {
+		t.Error("second access missed")
+	}
+	// Same block, different offset.
+	if res := c.Access(0x101F, false); !res.Hit {
+		t.Error("same-block access missed")
+	}
+	// Next block.
+	if res := c.Access(0x1020, false); res.Hit {
+		t.Error("adjacent-block access hit")
+	}
+	s := c.Stats()
+	if s.Hits != 2 || s.Misses != 2 {
+		t.Errorf("stats = %+v, want 2 hits 2 misses", s)
+	}
+}
+
+func TestDirectMappedConflict(t *testing.T) {
+	c := dm16k()
+	a := mem.PAddr(0x0000)
+	b := a + 16<<10 // same index, different tag
+	c.Access(a, false)
+	if res := c.Access(b, false); res.Hit {
+		t.Fatal("conflicting block hit")
+	} else if !res.Evicted || res.EvictedAddr != a {
+		t.Errorf("eviction = %+v, want evicted addr %#x", res, a)
+	}
+	if res := c.Access(a, false); res.Hit {
+		t.Error("evicted block still present")
+	}
+}
+
+func TestTwoWayResolvesConflict(t *testing.T) {
+	c := MustNew(Config{Name: "L2", SizeBytes: 16 << 10, BlockBytes: 32, Assoc: 2, Policy: LRU})
+	a := mem.PAddr(0x0000)
+	b := a + 8<<10 // same set in a 2-way 16KB cache
+	c.Access(a, false)
+	c.Access(b, false)
+	if !c.Access(a, false).Hit || !c.Access(b, false).Hit {
+		t.Error("2-way cache did not hold both conflicting blocks")
+	}
+}
+
+func TestLRUReplacement(t *testing.T) {
+	c := MustNew(Config{Name: "c", SizeBytes: 128, BlockBytes: 32, Assoc: 4, Policy: LRU})
+	// One set of 4 ways. Fill, touch a to make it MRU, then overflow.
+	addrs := []mem.PAddr{0, 128, 256, 384}
+	for _, a := range addrs {
+		c.Access(a, false)
+	}
+	c.Access(0, false) // 0 is now MRU; LRU is 128
+	res := c.Access(512, false)
+	if !res.Evicted || res.EvictedAddr != 128 {
+		t.Errorf("LRU evicted %#x, want 128", res.EvictedAddr)
+	}
+}
+
+func TestRandomReplacementDeterministic(t *testing.T) {
+	mk := func() []mem.PAddr {
+		c := MustNew(Config{Name: "c", SizeBytes: 256, BlockBytes: 32, Assoc: 8, Policy: RandomRepl, Seed: 7})
+		var evicted []mem.PAddr
+		for i := 0; i < 64; i++ {
+			res := c.Access(mem.PAddr(i*256), false)
+			if res.Evicted {
+				evicted = append(evicted, res.EvictedAddr)
+			}
+		}
+		return evicted
+	}
+	a, b := mk(), mk()
+	if len(a) != len(b) {
+		t.Fatalf("eviction counts differ: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("random replacement not reproducible from seed")
+		}
+	}
+	if len(a) < 40 {
+		t.Errorf("only %d evictions out of 64 accesses to a full set", len(a))
+	}
+}
+
+func TestWritebackOnDirtyEviction(t *testing.T) {
+	c := dm16k()
+	a := mem.PAddr(0x40)
+	b := a + 16<<10
+	c.Access(a, true) // dirty
+	res := c.Access(b, false)
+	if !res.EvictedDirty || res.WritebackAddr != a {
+		t.Errorf("dirty eviction = %+v, want writeback of %#x", res, a)
+	}
+	// Clean eviction produces no write-back.
+	res = c.Access(a, false)
+	if res.EvictedDirty {
+		t.Error("clean block evicted dirty")
+	}
+	if c.Stats().Writebacks != 1 {
+		t.Errorf("writebacks = %d, want 1", c.Stats().Writebacks)
+	}
+}
+
+func TestWriteHitDirties(t *testing.T) {
+	c := dm16k()
+	a := mem.PAddr(0x40)
+	c.Access(a, false) // clean fill
+	c.Access(a, true)  // write hit dirties
+	if _, dirty := c.Invalidate(a); !dirty {
+		t.Error("block not dirty after write hit")
+	}
+}
+
+func TestProbeNoSideEffects(t *testing.T) {
+	c := dm16k()
+	if c.Probe(0x40) {
+		t.Error("probe hit in empty cache")
+	}
+	before := c.Stats()
+	c.Probe(0x40)
+	if c.Stats() != before {
+		t.Error("probe changed statistics")
+	}
+	c.Access(0x40, false)
+	if !c.Probe(0x40) {
+		t.Error("probe missed present block")
+	}
+}
+
+func TestInvalidate(t *testing.T) {
+	c := dm16k()
+	c.Access(0x40, true)
+	present, dirty := c.Invalidate(0x40)
+	if !present || !dirty {
+		t.Errorf("Invalidate = (%v, %v), want (true, true)", present, dirty)
+	}
+	if c.Probe(0x40) {
+		t.Error("block present after invalidate")
+	}
+	present, _ = c.Invalidate(0x40)
+	if present {
+		t.Error("double invalidate reported present")
+	}
+}
+
+func TestInvalidateRange(t *testing.T) {
+	c := dm16k()
+	// Fill a 4KB page worth of blocks, some dirty.
+	page := mem.PAddr(0x2000)
+	for i := 0; i < 128; i++ {
+		c.Access(page+mem.PAddr(i*32), i%4 == 0)
+	}
+	var n, dirty int
+	c.InvalidateRange(page, 4096, func(b mem.PAddr, d bool) {
+		n++
+		if d {
+			dirty++
+		}
+		if b < page || b >= page+4096 {
+			t.Errorf("invalidated block %#x outside page", b)
+		}
+	})
+	if n != 128 {
+		t.Errorf("invalidated %d blocks, want 128", n)
+	}
+	if dirty != 32 {
+		t.Errorf("found %d dirty blocks, want 32", dirty)
+	}
+	for i := 0; i < 128; i++ {
+		if c.Probe(page + mem.PAddr(i*32)) {
+			t.Fatalf("block %d survived InvalidateRange", i)
+		}
+	}
+}
+
+func TestFlush(t *testing.T) {
+	c := dm16k()
+	c.Access(0x40, true)
+	c.Access(0x80, false)
+	var dirtyBlocks, cleanBlocks int
+	c.Flush(func(b mem.PAddr, d bool) {
+		if d {
+			dirtyBlocks++
+		} else {
+			cleanBlocks++
+		}
+	})
+	if dirtyBlocks != 1 || cleanBlocks != 1 {
+		t.Errorf("flush found %d dirty, %d clean; want 1, 1", dirtyBlocks, cleanBlocks)
+	}
+	if c.Probe(0x40) || c.Probe(0x80) {
+		t.Error("blocks survived flush")
+	}
+}
+
+func TestEvictedAddressRoundTrip(t *testing.T) {
+	// Property: the evicted address reported on a conflict is the
+	// block-aligned address of the earlier access.
+	f := func(blockSel uint8, tagA, tagB uint16) bool {
+		c := MustNew(Config{Name: "c", SizeBytes: 8 << 10, BlockBytes: 64, Assoc: 1})
+		if tagA == tagB {
+			return true
+		}
+		set := uint64(blockSel) % c.Config().Sets()
+		a := mem.PAddr((uint64(tagA)*c.Config().Sets() + set) * 64)
+		b := mem.PAddr((uint64(tagB)*c.Config().Sets() + set) * 64)
+		c.Access(a, false)
+		res := c.Access(b, false)
+		return res.Evicted && res.EvictedAddr == a
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestAccessThenProbeProperty(t *testing.T) {
+	c := MustNew(Config{Name: "c", SizeBytes: 4 << 10, BlockBytes: 32, Assoc: 2})
+	f := func(addr uint32) bool {
+		a := mem.PAddr(addr)
+		c.Access(a, false)
+		return c.Probe(a)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestFullyAssociative(t *testing.T) {
+	// 64 entries, fully associative: like the paper's TLB shape.
+	c := MustNew(Config{Name: "fa", SizeBytes: 64 * 32, BlockBytes: 32, Assoc: 64, Policy: LRU})
+	if c.Config().Sets() != 1 {
+		t.Fatalf("Sets = %d, want 1", c.Config().Sets())
+	}
+	// Any 64 distinct blocks coexist regardless of address bits.
+	for i := 0; i < 64; i++ {
+		c.Access(mem.PAddr(i)*1<<20, false)
+	}
+	for i := 0; i < 64; i++ {
+		if !c.Probe(mem.PAddr(i) * 1 << 20) {
+			t.Fatalf("block %d evicted from fully-associative cache before capacity", i)
+		}
+	}
+}
+
+func TestMissRate(t *testing.T) {
+	var s Stats
+	if s.MissRate() != 0 {
+		t.Error("empty MissRate != 0")
+	}
+	s = Stats{Hits: 3, Misses: 1}
+	if s.MissRate() != 0.25 {
+		t.Errorf("MissRate = %g, want 0.25", s.MissRate())
+	}
+}
+
+func TestTagBits(t *testing.T) {
+	cfg := Config{Name: "L2", SizeBytes: 4 << 20, BlockBytes: 128, Assoc: 1}
+	// 32-bit address, 15 index bits (32768 sets), 7 offset bits -> 10.
+	if got := cfg.TagBits(); got != 10 {
+		t.Errorf("TagBits = %d, want 10", got)
+	}
+}
+
+func TestPolicyString(t *testing.T) {
+	if LRU.String() != "lru" || RandomRepl.String() != "random" {
+		t.Error("policy names wrong")
+	}
+	if Policy(9).String() != "Policy(9)" {
+		t.Error("unknown policy name wrong")
+	}
+}
+
+func TestVictimCacheCapturesConflicts(t *testing.T) {
+	main := MustNew(Config{Name: "L2", SizeBytes: 1 << 10, BlockBytes: 32, Assoc: 1})
+	vc, err := NewVictim(main, 4)
+	if err != nil {
+		t.Fatalf("NewVictim: %v", err)
+	}
+	a := mem.PAddr(0)
+	b := a + 1<<10 // conflicts with a
+	vc.Access(a, false)
+	vc.Access(b, false) // evicts a into the victim buffer
+	res := vc.Access(a, false)
+	if res.Hit {
+		t.Fatal("main cache hit unexpectedly")
+	}
+	if !res.VictimHit {
+		t.Error("victim buffer did not capture the conflict victim")
+	}
+	if vc.Stats().VictimHits != 1 {
+		t.Errorf("VictimHits = %d, want 1", vc.Stats().VictimHits)
+	}
+}
+
+func TestVictimCachePreservesDirtiness(t *testing.T) {
+	main := MustNew(Config{Name: "L2", SizeBytes: 1 << 10, BlockBytes: 32, Assoc: 1})
+	vc, _ := NewVictim(main, 4)
+	a := mem.PAddr(0)
+	b := a + 1<<10
+	vc.Access(a, true)  // dirty
+	vc.Access(b, false) // a -> victim buffer, still dirty
+	vc.Access(a, false) // recovered from victim buffer by a read
+	// Evict a again; it must still be dirty.
+	res := vc.Access(b, false)
+	if !res.Evicted {
+		t.Fatal("expected eviction")
+	}
+	// a went back to the victim buffer; force it out by filling the
+	// buffer with other conflict victims.
+	var wb int
+	for i := 2; i < 8; i++ {
+		r := vc.Access(mem.PAddr(i)<<10, false)
+		if r.EvictedDirty && r.WritebackAddr == a {
+			wb++
+		}
+	}
+	if wb != 1 {
+		t.Errorf("dirty block written back %d times, want 1", wb)
+	}
+}
+
+func TestVictimCacheRandomizedAgainstPlain(t *testing.T) {
+	// A victim cache must never have more total misses-to-memory than
+	// the same main cache alone.
+	rng := xrand.New(42)
+	plain := MustNew(Config{Name: "p", SizeBytes: 1 << 10, BlockBytes: 32, Assoc: 1})
+	main := MustNew(Config{Name: "m", SizeBytes: 1 << 10, BlockBytes: 32, Assoc: 1})
+	vc, _ := NewVictim(main, 8)
+	var plainMisses, vcMisses uint64
+	for i := 0; i < 20000; i++ {
+		addr := mem.PAddr(rng.Uintn(8 << 10))
+		if !plain.Access(addr, false).Hit {
+			plainMisses++
+		}
+		r := vc.Access(addr, false)
+		if !r.Hit && !r.VictimHit {
+			vcMisses++
+		}
+	}
+	if vcMisses > plainMisses {
+		t.Errorf("victim cache missed more (%d) than plain cache (%d)", vcMisses, plainMisses)
+	}
+}

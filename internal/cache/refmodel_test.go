@@ -1,0 +1,119 @@
+package cache
+
+import (
+	"testing"
+
+	"rampage/internal/mem"
+	"rampage/internal/xrand"
+)
+
+// refCache is an obviously-correct reference model: per set, a slice
+// of (tag, dirty) entries kept in LRU order (front = most recent).
+// The production cache must agree with it decision for decision.
+type refCache struct {
+	sets       [][]refLine
+	assoc      int
+	blockBytes uint64
+	setCount   uint64
+}
+
+type refLine struct {
+	tag   uint64
+	dirty bool
+}
+
+func newRefCache(cfg Config) *refCache {
+	sets := cfg.Sets()
+	return &refCache{
+		sets:       make([][]refLine, sets),
+		assoc:      cfg.Assoc,
+		blockBytes: cfg.BlockBytes,
+		setCount:   sets,
+	}
+}
+
+func (rc *refCache) index(addr mem.PAddr) (uint64, uint64) {
+	block := uint64(addr) / rc.blockBytes
+	return block % rc.setCount, block / rc.setCount
+}
+
+// access mirrors Cache.Access for the LRU policy.
+func (rc *refCache) access(addr mem.PAddr, write bool) (hit, evicted, evictedDirty bool, evictedAddr mem.PAddr) {
+	set, tag := rc.index(addr)
+	lines := rc.sets[set]
+	for i, l := range lines {
+		if l.tag == tag {
+			// Move to front, apply write.
+			l.dirty = l.dirty || write
+			rc.sets[set] = append([]refLine{l}, append(append([]refLine{}, lines[:i]...), lines[i+1:]...)...)
+			return true, false, false, 0
+		}
+	}
+	newLine := refLine{tag: tag, dirty: write}
+	if len(lines) < rc.assoc {
+		rc.sets[set] = append([]refLine{newLine}, lines...)
+		return false, false, false, 0
+	}
+	victim := lines[len(lines)-1]
+	rc.sets[set] = append([]refLine{newLine}, lines[:len(lines)-1]...)
+	evictedAddr = mem.PAddr((victim.tag*rc.setCount + set) * rc.blockBytes)
+	return false, true, victim.dirty, evictedAddr
+}
+
+func (rc *refCache) probe(addr mem.PAddr) bool {
+	set, tag := rc.index(addr)
+	for _, l := range rc.sets[set] {
+		if l.tag == tag {
+			return true
+		}
+	}
+	return false
+}
+
+// TestCacheAgreesWithReferenceModel drives the production cache and
+// the reference model with the same pseudo-random stream and demands
+// bit-for-bit agreement on hits, evictions, write-backs and final
+// contents, across several shapes.
+func TestCacheAgreesWithReferenceModel(t *testing.T) {
+	shapes := []Config{
+		{Name: "dm", SizeBytes: 4 << 10, BlockBytes: 32, Assoc: 1},
+		{Name: "2way", SizeBytes: 8 << 10, BlockBytes: 64, Assoc: 2, Policy: LRU},
+		{Name: "4way", SizeBytes: 16 << 10, BlockBytes: 128, Assoc: 4, Policy: LRU},
+		{Name: "fa", SizeBytes: 2 << 10, BlockBytes: 32, Assoc: 64, Policy: LRU},
+	}
+	for _, cfg := range shapes {
+		t.Run(cfg.Name, func(t *testing.T) {
+			c := MustNew(cfg)
+			ref := newRefCache(cfg)
+			rng := xrand.New(99)
+			// Address space 4x the cache: plenty of conflicts.
+			span := cfg.SizeBytes * 4
+			for i := 0; i < 50000; i++ {
+				addr := mem.PAddr(rng.Uintn(span))
+				write := rng.Chance(0.3)
+				got := c.Access(addr, write)
+				hit, evicted, edirty, eaddr := ref.access(addr, write)
+				if got.Hit != hit {
+					t.Fatalf("op %d addr %#x: hit=%v, ref=%v", i, addr, got.Hit, hit)
+				}
+				if got.Evicted != evicted {
+					t.Fatalf("op %d addr %#x: evicted=%v, ref=%v", i, addr, got.Evicted, evicted)
+				}
+				if evicted {
+					if got.EvictedDirty != edirty {
+						t.Fatalf("op %d: evicted dirty=%v, ref=%v", i, got.EvictedDirty, edirty)
+					}
+					if c.BlockAddr(got.EvictedAddr) != eaddr {
+						t.Fatalf("op %d: evicted addr %#x, ref %#x", i, got.EvictedAddr, eaddr)
+					}
+				}
+			}
+			// Final contents agree.
+			for a := mem.PAddr(0); a < mem.PAddr(span); a += mem.PAddr(cfg.BlockBytes) {
+				if c.Probe(a) != ref.probe(a) {
+					t.Fatalf("final contents diverge at %#x", a)
+				}
+			}
+		})
+	}
+}

@@ -1,0 +1,479 @@
+package core
+
+import (
+	"testing"
+
+	"rampage/internal/mem"
+	"rampage/internal/synth"
+)
+
+// tiny returns a small memory: 64KB SRAM, 4KB pages => 16 frames,
+// a few of which are pinned for the OS.
+func tiny(t *testing.T) *Memory {
+	t.Helper()
+	m, err := New(Config{TotalBytes: 64 << 10, PageBytes: 4096, TLBEntries: 8})
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	return m
+}
+
+func TestConfigValidate(t *testing.T) {
+	bad := []Config{
+		{TotalBytes: 64 << 10, PageBytes: 0, TLBEntries: 8},
+		{TotalBytes: 64 << 10, PageBytes: 3000, TLBEntries: 8},
+		{TotalBytes: 0, PageBytes: 4096, TLBEntries: 8},
+		{TotalBytes: 4096 + 100, PageBytes: 4096, TLBEntries: 8},
+		{TotalBytes: 64 << 10, PageBytes: 4096, TLBEntries: 0},
+	}
+	for i, cfg := range bad {
+		if _, err := New(cfg); err == nil {
+			t.Errorf("bad config %d accepted", i)
+		}
+	}
+}
+
+func TestTagBonus(t *testing.T) {
+	// §4.5: a 4MB cache with 128B lines carries ~128KB of tags.
+	if got := TagBonus(4<<20, 128); got != 128<<10 {
+		t.Errorf("TagBonus(4MB, 128B) = %d, want 128KB", got)
+	}
+	// The bonus scales down with block size.
+	if got := TagBonus(4<<20, 4096); got != 4<<10 {
+		t.Errorf("TagBonus(4MB, 4KB) = %d, want 4KB", got)
+	}
+}
+
+func TestOSReservationTooBig(t *testing.T) {
+	// 8KB SRAM with 128B pages cannot hold the OS region.
+	if _, err := New(Config{TotalBytes: 8 << 10, PageBytes: 128, TLBEntries: 8}); err == nil {
+		t.Error("OS reservation larger than SRAM accepted")
+	}
+}
+
+func TestOSPagesScaleWithPageSize(t *testing.T) {
+	// §4.5: the OS takes few pages at 4KB and many at 128B. Absolute
+	// counts depend on structure sizes; the scaling direction must hold
+	// and the byte footprint must grow as pages shrink (bigger table).
+	big, err := New(Config{TotalBytes: 1 << 20, PageBytes: 4096, TLBEntries: 64})
+	if err != nil {
+		t.Fatalf("New(4KB pages): %v", err)
+	}
+	small, err := New(Config{TotalBytes: 1 << 20, PageBytes: 128, TLBEntries: 64})
+	if err != nil {
+		t.Fatalf("New(128B pages): %v", err)
+	}
+	if small.OSPages() <= big.OSPages() {
+		t.Errorf("OS pages: 128B=%d, 4KB=%d; want more pages at 128B", small.OSPages(), big.OSPages())
+	}
+	if small.OSBytes() <= big.OSBytes() {
+		t.Errorf("OS bytes: 128B=%d, 4KB=%d; want more bytes at 128B (bigger page table)", small.OSBytes(), big.OSBytes())
+	}
+}
+
+func TestFirstTouchFaults(t *testing.T) {
+	m := tiny(t)
+	out, err := m.Translate(1, 0x10000, false)
+	if err != nil {
+		t.Fatalf("Translate: %v", err)
+	}
+	if !out.TLBMiss || out.Fault == nil {
+		t.Fatalf("first touch: TLBMiss=%v Fault=%v, want miss+fault", out.TLBMiss, out.Fault)
+	}
+	if !out.Fault.FirstTouch {
+		t.Error("first touch not flagged")
+	}
+	if out.Fault.VictimValid {
+		t.Error("first touch in empty memory evicted a page")
+	}
+	if len(out.PTProbes) == 0 || len(out.Fault.UpdateAddrs) == 0 {
+		t.Error("fault outcome missing handler addresses")
+	}
+	s := m.Stats()
+	if s.PageFaults != 1 || s.TLBMisses != 1 || s.FirstTouches != 1 {
+		t.Errorf("stats = %+v", s)
+	}
+}
+
+func TestTLBHitAfterFill(t *testing.T) {
+	m := tiny(t)
+	m.Translate(1, 0x10000, false)
+	out, err := m.Translate(1, 0x10008, false)
+	if err != nil {
+		t.Fatalf("Translate: %v", err)
+	}
+	if out.TLBMiss || out.Fault != nil {
+		t.Error("second access to the same page missed")
+	}
+}
+
+func TestTranslationStable(t *testing.T) {
+	m := tiny(t)
+	a, _ := m.Translate(1, 0x10000, false)
+	b, _ := m.Translate(1, 0x10004, false)
+	if b.Addr != a.Addr+4 {
+		t.Errorf("offsets not preserved: %#x then %#x", a.Addr, b.Addr)
+	}
+	// Different processes with the same VA get different frames.
+	c, _ := m.Translate(2, 0x10000, false)
+	if c.Addr>>12 == a.Addr>>12 {
+		t.Error("two processes share an SRAM frame")
+	}
+}
+
+func TestUserAddressesAboveOSRegion(t *testing.T) {
+	m := tiny(t)
+	out, _ := m.Translate(1, 0x10000, false)
+	if uint64(out.Addr) < m.OSPages()*m.PageBytes() {
+		t.Errorf("user page allocated at %#x inside pinned OS region", out.Addr)
+	}
+}
+
+func TestReplacementAfterCapacity(t *testing.T) {
+	m := tiny(t) // 16 frames minus OS pages
+	userFrames := m.Frames() - m.OSPages()
+	// Touch one more page than fits.
+	for i := uint64(0); i <= userFrames; i++ {
+		if _, err := m.Translate(1, mem.VAddr(0x100000+i*4096), false); err != nil {
+			t.Fatalf("Translate %d: %v", i, err)
+		}
+	}
+	s := m.Stats()
+	if s.PageFaults != userFrames+1 {
+		t.Errorf("page faults = %d, want %d", s.PageFaults, userFrames+1)
+	}
+	// The last fault must have replaced something.
+	out, _ := m.Translate(1, 0x100000, false) // first page was the clock victim region
+	_ = out
+	if m.Stats().PageFaults == s.PageFaults {
+		t.Log("first page still resident (clock chose another victim) — acceptable")
+	}
+}
+
+func TestVictimFaultReportsL1Purge(t *testing.T) {
+	m := tiny(t)
+	userFrames := m.Frames() - m.OSPages()
+	var lastFault *Fault
+	for i := uint64(0); i <= userFrames; i++ {
+		out, err := m.Translate(1, mem.VAddr(0x100000+i*4096), false)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if out.Fault != nil && out.Fault.VictimValid {
+			lastFault = out.Fault
+		}
+	}
+	if lastFault == nil {
+		t.Fatal("no replacement fault observed past capacity")
+	}
+	if uint64(lastFault.VictimPageAddr) < m.OSPages()*m.PageBytes() {
+		t.Errorf("victim page %#x inside pinned OS region", lastFault.VictimPageAddr)
+	}
+	if len(lastFault.ScanAddrs) == 0 {
+		t.Error("replacement fault has no clock-scan addresses")
+	}
+	if len(lastFault.UpdateAddrs) < 2 {
+		t.Error("replacement fault should update victim and new entries")
+	}
+}
+
+func TestDirtyVictimWriteback(t *testing.T) {
+	m := tiny(t)
+	userFrames := m.Frames() - m.OSPages()
+	// Dirty every page, then overflow and check that some victim was
+	// written back.
+	for i := uint64(0); i < userFrames; i++ {
+		m.Translate(1, mem.VAddr(0x100000+i*4096), true)
+	}
+	var sawDirtyVictim bool
+	for i := userFrames; i < userFrames+4; i++ {
+		out, _ := m.Translate(1, mem.VAddr(0x100000+i*4096), false)
+		if out.Fault != nil && out.Fault.VictimDirty {
+			sawDirtyVictim = true
+		}
+	}
+	if !sawDirtyVictim {
+		t.Error("no dirty victim written back after dirtying all pages")
+	}
+	if m.Stats().Writebacks == 0 {
+		t.Error("writeback counter is zero")
+	}
+}
+
+func TestMarkDirtyCausesWriteback(t *testing.T) {
+	m := tiny(t)
+	out, _ := m.Translate(1, 0x100000, false) // clean fill
+	m.MarkDirty(out.Addr)                     // L1 write-back lands on the page
+	// Evict everything.
+	userFrames := m.Frames() - m.OSPages()
+	dirtyEvictions := 0
+	for i := uint64(1); i <= userFrames+2; i++ {
+		o, _ := m.Translate(1, mem.VAddr(0x200000+i*4096), false)
+		if o.Fault != nil && o.Fault.VictimDirty {
+			dirtyEvictions++
+		}
+	}
+	if dirtyEvictions == 0 {
+		t.Error("page dirtied via MarkDirty never written back")
+	}
+}
+
+func TestTLBInvalidatedOnReplacement(t *testing.T) {
+	// §2.3: "If a page is replaced from the SRAM main memory, its entry
+	// (if it has one) in the TLB is flushed."
+	m, err := New(Config{TotalBytes: 64 << 10, PageBytes: 4096, TLBEntries: 64})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m.Translate(1, 0x100000, false)
+	userFrames := m.Frames() - m.OSPages()
+	// Fill the rest and overflow until 0x100000's page is replaced.
+	replaced := false
+	for i := uint64(1); i < userFrames*3 && !replaced; i++ {
+		m.Translate(1, mem.VAddr(0x100000+i*4096), false)
+		if !m.Resident(1, 0x100000) {
+			replaced = true
+		}
+	}
+	if !replaced {
+		t.Fatal("page never replaced; test needs more pressure")
+	}
+	// The next access must be a full fault (TLB entry was flushed, so
+	// no stale translation can be returned).
+	out, _ := m.Translate(1, 0x100000, false)
+	if !out.TLBMiss || out.Fault == nil {
+		t.Error("access to replaced page used a stale TLB entry")
+	}
+	if out.Fault.FirstTouch {
+		t.Error("refault flagged as first touch")
+	}
+}
+
+func TestKernelPhys(t *testing.T) {
+	m := tiny(t)
+	pa, err := m.KernelPhys(synth.KernelBase)
+	if err != nil || pa != 0 {
+		t.Errorf("KernelPhys(base) = (%#x, %v), want (0, nil)", pa, err)
+	}
+	pa, err = m.KernelPhys(synth.KernelBase + 100)
+	if err != nil || pa != 100 {
+		t.Errorf("KernelPhys(base+100) = (%#x, %v)", pa, err)
+	}
+	if _, err := m.KernelPhys(synth.KernelBase + mem.VAddr(m.OSPages()*m.PageBytes())); err == nil {
+		t.Error("kernel address beyond OS region accepted")
+	}
+	if _, err := m.KernelPhys(0x1000); err == nil {
+		t.Error("user address accepted by KernelPhys")
+	}
+}
+
+func TestKernelTranslate(t *testing.T) {
+	m := tiny(t)
+	out, err := m.Translate(mem.KernelPID, synth.KernelBase+0x10, false)
+	if err != nil {
+		t.Fatalf("kernel translate: %v", err)
+	}
+	if out.TLBMiss || out.Fault != nil {
+		t.Error("kernel access went through TLB/fault path")
+	}
+	if out.Addr != 0x10 {
+		t.Errorf("kernel addr = %#x, want 0x10", out.Addr)
+	}
+	// Kernel accesses never consume TLB entries.
+	if m.TLBStats().Hits+m.TLBStats().Misses != 0 {
+		t.Error("kernel access touched the TLB")
+	}
+}
+
+func TestOSRegionNeverEvicted(t *testing.T) {
+	m := tiny(t)
+	userFrames := m.Frames() - m.OSPages()
+	for i := uint64(0); i < userFrames*4; i++ {
+		out, err := m.Translate(1, mem.VAddr(0x100000+i*4096), false)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if out.Fault != nil && out.Fault.VictimValid {
+			if uint64(out.Fault.VictimPageAddr)>>12 < m.OSPages() {
+				t.Fatalf("OS frame %d evicted", uint64(out.Fault.VictimPageAddr)>>12)
+			}
+		}
+	}
+	// Kernel region still translates.
+	if _, err := m.Translate(mem.KernelPID, synth.KernelBase, false); err != nil {
+		t.Errorf("kernel translation broken after pressure: %v", err)
+	}
+}
+
+func TestResident(t *testing.T) {
+	m := tiny(t)
+	if m.Resident(1, 0x100000) {
+		t.Error("unmapped page reported resident")
+	}
+	m.Translate(1, 0x100000, false)
+	if !m.Resident(1, 0x100000) {
+		t.Error("mapped page not resident")
+	}
+	if !m.Resident(mem.KernelPID, synth.KernelBase) {
+		t.Error("kernel base not resident")
+	}
+}
+
+func TestUserBytes(t *testing.T) {
+	m := tiny(t)
+	if got := m.UserBytes(); got != (m.Frames()-m.OSPages())*4096 {
+		t.Errorf("UserBytes = %d", got)
+	}
+}
+
+func TestMustNewPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("MustNew with bad config did not panic")
+		}
+	}()
+	MustNew(Config{})
+}
+
+func TestPinPagePreventsReplacement(t *testing.T) {
+	m := tiny(t)
+	out, _ := m.Translate(1, 0x100000, false)
+	page := out.Addr &^ mem.PAddr(m.PageBytes()-1)
+	m.PinPage(page)
+	// Thrash hard; the pinned page must survive.
+	userFrames := m.Frames() - m.OSPages()
+	for i := uint64(1); i < userFrames*4; i++ {
+		if _, err := m.Translate(1, mem.VAddr(0x200000+i*4096), false); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if !m.Resident(1, 0x100000) {
+		t.Error("pinned page was replaced")
+	}
+	m.UnpinPage(page)
+	for i := uint64(1); i < userFrames*4; i++ {
+		m.Translate(1, mem.VAddr(0x400000+i*4096), false)
+	}
+	if m.Resident(1, 0x100000) {
+		t.Error("unpinned page survived heavy thrash (clock never chose it)")
+	}
+}
+
+func TestUnpinPageIgnoresOSRegion(t *testing.T) {
+	m := tiny(t)
+	// Unpinning an OS page must be a no-op: kernel pages stay pinned.
+	m.UnpinPage(0)
+	userFrames := m.Frames() - m.OSPages()
+	for i := uint64(0); i < userFrames*4; i++ {
+		out, err := m.Translate(1, mem.VAddr(0x100000+i*4096), false)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if out.Fault != nil && out.Fault.VictimValid && uint64(out.Fault.VictimPageAddr)>>12 < m.OSPages() {
+			t.Fatal("OS frame evicted after UnpinPage(0)")
+		}
+	}
+}
+
+func TestPrefetchDirect(t *testing.T) {
+	m := tiny(t)
+	// Prefetch an unseen page: no TLB entry, but resident.
+	f, pa, ok, err := m.Prefetch(1, 0x100)
+	if err != nil || !ok {
+		t.Fatalf("Prefetch = (%v, %v)", ok, err)
+	}
+	if f == nil || !f.FirstTouch {
+		t.Error("prefetch of unseen page not flagged as first touch")
+	}
+	if uint64(pa)%m.PageBytes() != 0 {
+		t.Errorf("prefetch address %#x not page aligned", pa)
+	}
+	if m.Stats().Prefetches != 1 {
+		t.Errorf("Prefetches = %d, want 1", m.Stats().Prefetches)
+	}
+	// Prefetching a resident page is a no-op.
+	if _, _, ok, _ := m.Prefetch(1, 0x100); ok {
+		t.Error("prefetch of resident page succeeded")
+	}
+	// Kernel prefetch is a no-op.
+	if _, _, ok, _ := m.Prefetch(mem.KernelPID, 5); ok {
+		t.Error("kernel prefetch succeeded")
+	}
+	// The first demand access reports the prefetch hit, via the PT walk
+	// (no TLB entry was installed).
+	out, err := m.Translate(1, mem.VAddr(0x100*m.PageBytes()+8), false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !out.TLBMiss || out.Fault != nil {
+		t.Error("demand access to prefetched page should TLB-miss but not fault")
+	}
+	if !out.PrefetchHit {
+		t.Error("prefetch hit not reported")
+	}
+	if m.Stats().PrefetchHits != 1 {
+		t.Errorf("PrefetchHits = %d, want 1", m.Stats().PrefetchHits)
+	}
+	// A second access is a plain hit.
+	out, _ = m.Translate(1, mem.VAddr(0x100*m.PageBytes()), false)
+	if out.PrefetchHit {
+		t.Error("prefetch hit reported twice")
+	}
+}
+
+func TestPrefetchWastedDirect(t *testing.T) {
+	m := tiny(t)
+	m.Prefetch(1, 0x200)
+	// Thrash until the prefetched page is evicted unused.
+	userFrames := m.Frames() - m.OSPages()
+	for i := uint64(0); i < userFrames*4; i++ {
+		m.Translate(2, mem.VAddr(0x400000+i*4096), false)
+	}
+	if m.Stats().PrefetchWasted != 1 {
+		t.Errorf("PrefetchWasted = %d, want 1", m.Stats().PrefetchWasted)
+	}
+}
+
+func TestDRAMAddressesStable(t *testing.T) {
+	m := tiny(t)
+	out, _ := m.Translate(1, 0x100000, false)
+	addr1 := out.Fault.PageDRAMAddr
+	// Evict it, re-fault it: the backing DRAM address must be the same.
+	userFrames := m.Frames() - m.OSPages()
+	for i := uint64(1); i < userFrames*3; i++ {
+		m.Translate(1, mem.VAddr(0x200000+i*4096), false)
+	}
+	out, _ = m.Translate(1, 0x100000, false)
+	if out.Fault == nil {
+		t.Skip("page survived the thrash; cannot check refault address")
+	}
+	if out.Fault.PageDRAMAddr != addr1 {
+		t.Errorf("backing address moved: %#x -> %#x", addr1, out.Fault.PageDRAMAddr)
+	}
+	if out.Fault.FirstTouch {
+		t.Error("refault flagged as first touch")
+	}
+}
+
+func TestDirtyUserPagesDirect(t *testing.T) {
+	m := tiny(t)
+	if m.DirtyUserPages() != 0 {
+		t.Error("fresh memory has dirty pages")
+	}
+	m.Translate(1, 0x100000, true)
+	m.Translate(1, 0x200000, false)
+	if got := m.DirtyUserPages(); got != 1 {
+		t.Errorf("DirtyUserPages = %d, want 1", got)
+	}
+}
+
+func TestAccessors(t *testing.T) {
+	m := tiny(t)
+	if m.Config().PageBytes != 4096 {
+		t.Error("Config accessor wrong")
+	}
+	m.Translate(1, 0x100000, false)
+	if m.PTStats().Lookups == 0 {
+		t.Error("PTStats not exposed")
+	}
+}

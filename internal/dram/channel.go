@@ -1,0 +1,116 @@
+package dram
+
+import "rampage/internal/mem"
+
+// Channel adds occupancy to a Device: requests are serialized on the
+// channel, and an optionally pipelined channel overlaps a reference's
+// startup (row/control packets) with the previous reference's data
+// transfer — Direct Rambus's headline feature (§3.3: "it allows
+// multiple independent references to be pipelined, allowing a
+// theoretical 95% of peak bandwidth ... on units as small as 2
+// bytes").
+//
+// The paper's main results use the unpipelined mode; the pipelined
+// mode is the §6.3 future-work ablation. The channel also gives the
+// context-switch-on-miss scheduler the completion times it needs to
+// overlap DRAM transfers with the execution of other processes.
+type Channel struct {
+	dev       Device
+	pipelined bool
+	busyUntil mem.Picos
+	stats     ChannelStats
+}
+
+// ChannelStats counts channel activity.
+type ChannelStats struct {
+	// Requests is the number of transfers issued.
+	Requests uint64
+	// BytesMoved is the total payload.
+	BytesMoved uint64
+	// BusyTime is the total time the channel was occupied.
+	BusyTime mem.Picos
+	// QueueTime is the total time requests waited for the channel.
+	QueueTime mem.Picos
+}
+
+// NewChannel wraps dev. With pipelined set, a request's startup
+// latency may overlap the previous request's data phase.
+func NewChannel(dev Device, pipelined bool) *Channel {
+	return &Channel{dev: dev, pipelined: pipelined}
+}
+
+// Device returns the wrapped device.
+func (c *Channel) Device() Device { return c.dev }
+
+// Stats returns a copy of the counters.
+func (c *Channel) Stats() ChannelStats { return c.stats }
+
+// BusyUntil returns the absolute time at which the channel becomes
+// idle.
+func (c *Channel) BusyUntil() mem.Picos { return c.busyUntil }
+
+// Request issues an n-byte transfer at absolute time now and returns
+// the absolute completion time. Requests are serialized: a request
+// arriving while the channel is busy waits (unpipelined) or overlaps
+// its startup with the in-flight data phase (pipelined).
+func (c *Channel) Request(now mem.Picos, n uint64) mem.Picos {
+	c.stats.Requests++
+	c.stats.BytesMoved += n
+	full := c.dev.TransferTime(n)
+	start := now
+	if c.busyUntil > now {
+		c.stats.QueueTime += c.busyUntil - now
+		start = c.busyUntil
+	}
+	var done mem.Picos
+	if c.pipelined && c.busyUntil > now {
+		// Startup overlaps the in-flight transfer: the data phase
+		// begins as soon as the channel frees, provided the startup
+		// (issued at now) has elapsed by then.
+		startupDone := now + startupTime(c.dev)
+		dataStart := maxPicos(c.busyUntil, startupDone)
+		done = dataStart + (full - startupTime(c.dev))
+	} else {
+		done = start + full
+	}
+	c.stats.BusyTime += done - start
+	c.busyUntil = done
+	return done
+}
+
+// StartupTime extracts the fixed startup latency of a device, used by
+// pipelined overlap computations: a pipelined channel can hide this
+// portion of a transfer behind the previous transfer's data phase.
+func StartupTime(d Device) mem.Picos { return startupTime(d) }
+
+// startupTime extracts the fixed startup latency of a device, used by
+// the pipelined overlap computation.
+func startupTime(d Device) mem.Picos {
+	switch dev := d.(type) {
+	case DirectRambus:
+		return dev.StartLatency
+	case SDRAM:
+		return dev.StartLatency
+	case Disk:
+		return dev.Latency
+	case *RDRAM:
+		return dev.RowMiss
+	case MultiChannel:
+		return startupTime(dev.dev)
+	default:
+		return d.TransferTime(0)
+	}
+}
+
+func maxPicos(a, b mem.Picos) mem.Picos {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// Reset clears the channel's occupancy and statistics.
+func (c *Channel) Reset() {
+	c.busyUntil = 0
+	c.stats = ChannelStats{}
+}

@@ -1,0 +1,152 @@
+// Package dram models the timed devices at the bottom of the simulated
+// hierarchies:
+//
+//   - Direct Rambus as the paper simulates it (§3.3, §4.3): 50 ns
+//     before the first datum, then 2 bytes every 1.25 ns, no pipelining
+//     of independent references — peak 1.6 GB/s;
+//   - a pipelined Direct Rambus channel (the §6.3 future-work variant)
+//     in which a reference's control phase overlaps the previous data
+//     transfer, approaching the documented 95% of peak bandwidth on
+//     small units;
+//   - a wide SDRAM system (the §3.3 comparison: 128-bit bus, 50 ns
+//     initial delay, 10 ns per beat — the "same 1.5 Gbyte/s" design);
+//   - a disk (10 ms latency, 40 MB/s), used only for the Table 1
+//     efficiency comparison.
+//
+// Devices report time; capacity is modeled as infinite ("infinite DRAM
+// ... with no misses to disk", §4.3).
+package dram
+
+import (
+	"fmt"
+
+	"rampage/internal/mem"
+)
+
+// Device is a memory or storage device characterized by the time to
+// transfer n contiguous bytes starting from an idle state.
+type Device interface {
+	// Name labels the device in tables.
+	Name() string
+	// TransferTime returns the total time for one n-byte transfer
+	// including startup latency.
+	TransferTime(n uint64) mem.Picos
+	// PeakBandwidth returns the streaming bandwidth in bytes/second
+	// once startup latency is amortized away.
+	PeakBandwidth() float64
+}
+
+// Efficiency returns the fraction of a device's peak bandwidth
+// actually delivered by an n-byte transfer — the Table 1 metric
+// ("percentage of available bandwidth actually used").
+func Efficiency(d Device, n uint64) float64 {
+	if n == 0 {
+		return 0
+	}
+	ideal := float64(n) / d.PeakBandwidth() // seconds at peak
+	actual := float64(d.TransferTime(n)) / float64(mem.Second)
+	if actual == 0 {
+		return 1
+	}
+	return ideal / actual
+}
+
+// DirectRambus is the paper's DRAM: a 2-byte-wide channel clocked at
+// 1.25 ns per transfer with 50 ns of startup latency per reference.
+type DirectRambus struct {
+	// StartLatency is the time before the first datum (default 50 ns).
+	StartLatency mem.Picos
+	// PerPair is the time per 2-byte beat (default 1.25 ns).
+	PerPair mem.Picos
+}
+
+// NewDirectRambus returns the §4.3 configuration: 50 ns + 1.25 ns per
+// 2 bytes.
+func NewDirectRambus() DirectRambus {
+	return DirectRambus{
+		StartLatency: 50 * mem.Nanosecond,
+		PerPair:      1250 * mem.Picosecond,
+	}
+}
+
+// Name implements Device.
+func (d DirectRambus) Name() string { return "Direct Rambus" }
+
+// TransferTime implements Device: startup plus one beat per 2 bytes.
+func (d DirectRambus) TransferTime(n uint64) mem.Picos {
+	beats := (n + 1) / 2
+	return d.StartLatency + mem.Picos(uint64(d.PerPair)*beats)
+}
+
+// PeakBandwidth implements Device: 2 bytes per beat.
+func (d DirectRambus) PeakBandwidth() float64 {
+	return 2 / (float64(d.PerPair) / float64(mem.Second))
+}
+
+// SDRAM is the §3.3 comparison design: a wide synchronous DRAM bus
+// with an initial delay and a fixed beat time.
+type SDRAM struct {
+	// StartLatency is the initial delay (default 50 ns).
+	StartLatency mem.Picos
+	// BeatTime is the bus cycle (default 10 ns).
+	BeatTime mem.Picos
+	// BusBytes is the bus width in bytes (default 16 = 128 bits).
+	BusBytes uint64
+}
+
+// NewSDRAM returns the §3.3 configuration: 128-bit bus, 50 ns initial
+// delay, 10 ns beats — 1.6 GB/s peak like Direct Rambus.
+func NewSDRAM() SDRAM {
+	return SDRAM{
+		StartLatency: 50 * mem.Nanosecond,
+		BeatTime:     10 * mem.Nanosecond,
+		BusBytes:     16,
+	}
+}
+
+// Name implements Device.
+func (d SDRAM) Name() string { return "SDRAM" }
+
+// TransferTime implements Device.
+func (d SDRAM) TransferTime(n uint64) mem.Picos {
+	beats := (n + d.BusBytes - 1) / d.BusBytes
+	return d.StartLatency + mem.Picos(uint64(d.BeatTime)*beats)
+}
+
+// PeakBandwidth implements Device.
+func (d SDRAM) PeakBandwidth() float64 {
+	return float64(d.BusBytes) / (float64(d.BeatTime) / float64(mem.Second))
+}
+
+// Disk is the Table 1 comparison device: 10 ms latency, 40 MB/s
+// transfer.
+type Disk struct {
+	// Latency is the positioning time (default 10 ms).
+	Latency mem.Picos
+	// BytesPerSecond is the media rate (default 40 MB/s).
+	BytesPerSecond float64
+}
+
+// NewDisk returns the Table 1 disk: 10 ms latency, 40 MB/s.
+func NewDisk() Disk {
+	return Disk{Latency: 10 * mem.Millisecond, BytesPerSecond: 40e6}
+}
+
+// Name implements Device.
+func (d Disk) Name() string { return "Disk" }
+
+// TransferTime implements Device.
+func (d Disk) TransferTime(n uint64) mem.Picos {
+	media := float64(n) / d.BytesPerSecond * float64(mem.Second)
+	return d.Latency + mem.Picos(media)
+}
+
+// PeakBandwidth implements Device.
+func (d Disk) PeakBandwidth() float64 { return d.BytesPerSecond }
+
+// String renders a device summary for reports.
+func Describe(d Device) string {
+	return fmt.Sprintf("%s (peak %.3g MB/s, 4KB transfer %.3g us)",
+		d.Name(), d.PeakBandwidth()/1e6,
+		float64(d.TransferTime(4096))/float64(mem.Microsecond))
+}

@@ -1,0 +1,345 @@
+package dram
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"rampage/internal/mem"
+)
+
+func TestDirectRambusTiming(t *testing.T) {
+	d := NewDirectRambus()
+	cases := []struct {
+		n    uint64
+		want mem.Picos
+	}{
+		{0, 50 * mem.Nanosecond},
+		{2, 50*mem.Nanosecond + 1250},
+		{1, 50*mem.Nanosecond + 1250},         // partial beat rounds up
+		{32, 50*mem.Nanosecond + 16*1250},     // one L1 block: 70 ns
+		{4096, 50*mem.Nanosecond + 2048*1250}, // 2610 ns
+	}
+	for _, tc := range cases {
+		if got := d.TransferTime(tc.n); got != tc.want {
+			t.Errorf("TransferTime(%d) = %d ps, want %d", tc.n, got, tc.want)
+		}
+	}
+}
+
+func TestRambus4KBCostAbout2600Instructions(t *testing.T) {
+	// §3.5: "with a 1GHz issue rate ... a 4Kbyte Direct Rambus transfer
+	// costs about 2,600 instructions".
+	d := NewDirectRambus()
+	clk := mem.MustClock(1000)
+	got := clk.CyclesFrom(d.TransferTime(4096))
+	if got < 2500 || got > 2700 {
+		t.Errorf("4KB Rambus transfer = %d instructions at 1GHz, want ~2600", got)
+	}
+}
+
+func TestDisk4KBCostAbout10MInstructions(t *testing.T) {
+	// §3.5: "a 4Kbyte disk transfer costs about 10-million instructions".
+	d := NewDisk()
+	clk := mem.MustClock(1000)
+	got := clk.CyclesFrom(d.TransferTime(4096))
+	if got < 9_000_000 || got > 11_000_000 {
+		t.Errorf("4KB disk transfer = %d instructions at 1GHz, want ~10M", got)
+	}
+}
+
+func TestPeakBandwidths(t *testing.T) {
+	// Direct Rambus: 2 bytes / 1.25 ns = 1.6 GB/s (§3.3's "1.5Gbyte/s"
+	// rounds the same design).
+	if bw := NewDirectRambus().PeakBandwidth(); math.Abs(bw-1.6e9) > 1e6 {
+		t.Errorf("Rambus peak = %g B/s, want 1.6e9", bw)
+	}
+	// SDRAM: 16 bytes / 10 ns = 1.6 GB/s — same peak as Rambus, as the
+	// paper observes.
+	if bw := NewSDRAM().PeakBandwidth(); math.Abs(bw-1.6e9) > 1e6 {
+		t.Errorf("SDRAM peak = %g B/s, want 1.6e9", bw)
+	}
+	if bw := NewDisk().PeakBandwidth(); bw != 40e6 {
+		t.Errorf("disk peak = %g B/s, want 4e7", bw)
+	}
+}
+
+func TestSDRAMTiming(t *testing.T) {
+	d := NewSDRAM()
+	// One 128-bit beat.
+	if got := d.TransferTime(16); got != 60*mem.Nanosecond {
+		t.Errorf("SDRAM 16B = %d ps, want 60ns", got)
+	}
+	// Partial beat rounds up.
+	if got := d.TransferTime(17); got != 70*mem.Nanosecond {
+		t.Errorf("SDRAM 17B = %d ps, want 70ns", got)
+	}
+}
+
+func TestEfficiencyShape(t *testing.T) {
+	rambus := NewDirectRambus()
+	disk := NewDisk()
+	// Efficiency grows with transfer size on both devices.
+	prevR, prevD := -1.0, -1.0
+	for _, n := range Table1Sizes {
+		r, d := Efficiency(rambus, n), Efficiency(disk, n)
+		if r <= prevR || d <= prevD {
+			t.Fatalf("efficiency not increasing at %d bytes", n)
+		}
+		if r <= d {
+			t.Errorf("at %d bytes Rambus efficiency %.4f <= disk %.6f", n, r, d)
+		}
+		prevR, prevD = r, d
+	}
+	// Spot values: 4KB Rambus ~98%, 4KB disk ~1%.
+	if e := Efficiency(rambus, 4096); e < 0.97 || e > 0.99 {
+		t.Errorf("Rambus 4KB efficiency = %.3f, want ~0.98", e)
+	}
+	if e := Efficiency(disk, 4096); e > 0.02 {
+		t.Errorf("disk 4KB efficiency = %.4f, want ~0.01", e)
+	}
+	if Efficiency(rambus, 0) != 0 {
+		t.Error("zero-byte efficiency != 0")
+	}
+}
+
+func TestEfficiencyBoundedProperty(t *testing.T) {
+	rambus := NewDirectRambus()
+	f := func(n uint16) bool {
+		e := Efficiency(rambus, uint64(n))
+		return e >= 0 && e <= 1
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestChannelSerializes(t *testing.T) {
+	ch := NewChannel(NewDirectRambus(), false)
+	t1 := ch.Request(0, 128)
+	// A second request at time 0 must wait for the first.
+	t2 := ch.Request(0, 128)
+	single := NewDirectRambus().TransferTime(128)
+	if t1 != single {
+		t.Errorf("first completion = %d, want %d", t1, single)
+	}
+	if t2 != 2*single {
+		t.Errorf("second completion = %d, want %d (serialized)", t2, 2*single)
+	}
+	s := ch.Stats()
+	if s.Requests != 2 || s.BytesMoved != 256 {
+		t.Errorf("stats = %+v", s)
+	}
+	if s.QueueTime != single {
+		t.Errorf("QueueTime = %d, want %d", s.QueueTime, single)
+	}
+}
+
+func TestChannelIdleGap(t *testing.T) {
+	ch := NewChannel(NewDirectRambus(), false)
+	done := ch.Request(0, 32)
+	// A request after the channel went idle starts immediately.
+	later := done + 100*mem.Nanosecond
+	t2 := ch.Request(later, 32)
+	if t2 != later+NewDirectRambus().TransferTime(32) {
+		t.Errorf("idle-channel request delayed: %d", t2)
+	}
+}
+
+func TestPipelinedChannelOverlapsStartup(t *testing.T) {
+	d := NewDirectRambus()
+	plain := NewChannel(d, false)
+	pipe := NewChannel(d, true)
+	const n = 128
+	var tPlain, tPipe mem.Picos
+	for i := 0; i < 10; i++ {
+		tPlain = plain.Request(0, n)
+		tPipe = pipe.Request(0, n)
+	}
+	if tPipe >= tPlain {
+		t.Errorf("pipelined back-to-back (%d) not faster than unpipelined (%d)", tPipe, tPlain)
+	}
+	// Steady state: each extra transfer adds only the data phase.
+	dataPhase := d.TransferTime(n) - d.StartLatency
+	extra := tPipe - d.TransferTime(n)
+	if extra != 9*dataPhase {
+		t.Errorf("pipelined marginal cost = %d, want %d", extra/9, dataPhase)
+	}
+}
+
+func TestPipelinedEfficiency95Percent(t *testing.T) {
+	// §3.3: pipelining allows "a theoretical 95% of peak bandwidth ...
+	// on units as small as 2 bytes". Steady-state back-to-back small
+	// transfers must approach peak.
+	rows := Table1()
+	small := rows[0] // 2 bytes
+	if small.RambusPipeEff < 0.90 {
+		t.Errorf("pipelined 2B efficiency = %.3f, want >= 0.90", small.RambusPipeEff)
+	}
+	if small.RambusEff > 0.05 {
+		t.Errorf("unpipelined 2B efficiency = %.3f, want tiny", small.RambusEff)
+	}
+}
+
+func TestChannelReset(t *testing.T) {
+	ch := NewChannel(NewDirectRambus(), false)
+	ch.Request(0, 4096)
+	ch.Reset()
+	if ch.BusyUntil() != 0 || ch.Stats().Requests != 0 {
+		t.Error("Reset did not clear channel state")
+	}
+}
+
+func TestTable1Layout(t *testing.T) {
+	rows := Table1()
+	if len(rows) != len(Table1Sizes) {
+		t.Fatalf("Table1 has %d rows, want %d", len(rows), len(Table1Sizes))
+	}
+	for i, r := range rows {
+		if r.Bytes != Table1Sizes[i] {
+			t.Errorf("row %d bytes = %d, want %d", i, r.Bytes, Table1Sizes[i])
+		}
+	}
+	// The §3.5 cost examples.
+	last := rows[len(rows)-1]
+	if last.Bytes != 4096 {
+		t.Fatal("last row is not 4KB")
+	}
+	if last.RambusCost1GHz < 2500 || last.RambusCost1GHz > 2700 {
+		t.Errorf("4KB Rambus cost = %d, want ~2600", last.RambusCost1GHz)
+	}
+	if last.DiskCost1GHz < 9_000_000 || last.DiskCost1GHz > 11_000_000 {
+		t.Errorf("4KB disk cost = %d, want ~10M", last.DiskCost1GHz)
+	}
+	out := FormatTable1(rows)
+	if out == "" {
+		t.Error("FormatTable1 empty")
+	}
+}
+
+func TestDescribe(t *testing.T) {
+	if s := Describe(NewDirectRambus()); s == "" {
+		t.Error("Describe empty")
+	}
+}
+
+func TestMultiChannel(t *testing.T) {
+	base := NewDirectRambus()
+	if _, err := NewMultiChannel(base, 0); err == nil {
+		t.Error("zero channels accepted")
+	}
+	m2, err := NewMultiChannel(base, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// §3.3: more channels increase bandwidth but not latency.
+	if m2.TransferTime(0) != base.TransferTime(0) {
+		t.Error("striping changed the startup latency")
+	}
+	// A 4KB transfer: 50ns + 2560ns/2 = 1330ns.
+	if got := m2.TransferTime(4096); got != 50*mem.Nanosecond+1280*mem.Nanosecond {
+		t.Errorf("x2 4KB = %d ps, want 1330ns", got)
+	}
+	if m2.PeakBandwidth() != 2*base.PeakBandwidth() {
+		t.Error("peak bandwidth did not double")
+	}
+	if m2.Channels() != 2 || m2.Name() == "" {
+		t.Error("metadata wrong")
+	}
+	// Efficiency of small transfers is WORSE with more channels (the
+	// startup is amortized over less time).
+	if Efficiency(m2, 128) >= Efficiency(base, 128) {
+		t.Error("striping should hurt small-transfer efficiency")
+	}
+}
+
+func TestMultiChannelMonotone(t *testing.T) {
+	base := NewDirectRambus()
+	prev := base.TransferTime(4096)
+	for n := uint64(2); n <= 8; n *= 2 {
+		m, _ := NewMultiChannel(base, n)
+		cur := m.TransferTime(4096)
+		if cur >= prev {
+			t.Fatalf("x%d transfer (%d) not faster than x%d (%d)", n, cur, n/2, prev)
+		}
+		prev = cur
+	}
+}
+
+func TestRDRAMRowBuffer(t *testing.T) {
+	r := NewRDRAM()
+	// Cold access: row miss.
+	t1 := r.TransferTimeAt(0, 128)
+	wantMiss := 50*mem.Nanosecond + 64*1250
+	if t1 != wantMiss {
+		t.Errorf("cold 128B = %d ps, want %d", t1, wantMiss)
+	}
+	// Same row again: row hit, 20ns startup.
+	t2 := r.TransferTimeAt(128, 128)
+	wantHit := 20*mem.Nanosecond + 64*1250
+	if t2 != wantHit {
+		t.Errorf("warm 128B = %d ps, want %d", t2, wantHit)
+	}
+	s := r.Stats()
+	if s.RowMisses != 1 || s.RowHits != 1 {
+		t.Errorf("stats = %+v", s)
+	}
+	if s.HitRate() != 0.5 {
+		t.Errorf("HitRate = %g, want 0.5", s.HitRate())
+	}
+}
+
+func TestRDRAMRowCrossing(t *testing.T) {
+	r := NewRDRAM()
+	// A 4KB transfer spans two 2KB rows: two activations.
+	r.TransferTimeAt(0, 4096)
+	if r.Stats().RowMisses != 2 {
+		t.Errorf("4KB cold transfer activated %d rows, want 2", r.Stats().RowMisses)
+	}
+	// Unaligned: starts mid-row, still walks row boundaries correctly.
+	r2 := NewRDRAM()
+	r2.TransferTimeAt(1024, 2048) // rows 0 and 1
+	if r2.Stats().RowMisses != 2 {
+		t.Errorf("unaligned 2KB transfer activated %d rows, want 2", r2.Stats().RowMisses)
+	}
+}
+
+func TestRDRAMBankConflict(t *testing.T) {
+	r := NewRDRAM()
+	// Rows 0 and 16 map to bank 0: the second access closes row 0.
+	conflictAddr := uint64(16) * r.RowBytes
+	r.TransferTimeAt(0, 64)
+	r.TransferTimeAt(conflictAddr, 64)
+	t3 := r.TransferTimeAt(0, 64) // row 0 was closed: miss again
+	if t3 < 50*mem.Nanosecond {
+		t.Errorf("bank-conflicted access = %d ps, want a row miss", t3)
+	}
+	if r.Stats().RowMisses != 3 {
+		t.Errorf("RowMisses = %d, want 3", r.Stats().RowMisses)
+	}
+}
+
+func TestRDRAMFlatFallbackConservative(t *testing.T) {
+	r := NewRDRAM()
+	flat := r.TransferTime(1024)
+	rambus := NewDirectRambus().TransferTime(1024)
+	if flat != rambus {
+		t.Errorf("RDRAM flat timing %d != paper model %d", flat, rambus)
+	}
+	if r.PeakBandwidth() != NewDirectRambus().PeakBandwidth() {
+		t.Error("peak bandwidth differs from the paper model")
+	}
+	if r.Name() == "" {
+		t.Error("empty name")
+	}
+}
+
+func TestRDRAMStartupTime(t *testing.T) {
+	if StartupTime(NewRDRAM()) != 50*mem.Nanosecond {
+		t.Error("RDRAM startup should be the row-miss latency")
+	}
+	mc, _ := NewMultiChannel(NewDirectRambus(), 2)
+	if StartupTime(mc) != 50*mem.Nanosecond {
+		t.Error("multi-channel startup should be the inner device's")
+	}
+}

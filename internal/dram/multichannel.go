@@ -1,0 +1,49 @@
+package dram
+
+import (
+	"fmt"
+
+	"rampage/internal/mem"
+)
+
+// MultiChannel stripes transfers across n independent Rambus channels
+// (§3.3: "It is also possible to have multiple Rambus channels to
+// increase bandwidth, though latency is not improved"). A transfer's
+// data phase shortens by the channel count; the startup latency does
+// not.
+type MultiChannel struct {
+	dev      Device
+	channels uint64
+}
+
+// NewMultiChannel stripes dev across n channels. n must be positive.
+func NewMultiChannel(dev Device, n uint64) (MultiChannel, error) {
+	if n == 0 {
+		return MultiChannel{}, fmt.Errorf("dram: channel count must be positive")
+	}
+	return MultiChannel{dev: dev, channels: n}, nil
+}
+
+// Name implements Device.
+func (m MultiChannel) Name() string {
+	return fmt.Sprintf("%s x%d", m.dev.Name(), m.channels)
+}
+
+// TransferTime implements Device: the startup is unchanged, the data
+// phase divides by the channel count (each channel moves an equal
+// stripe; the longest stripe bounds completion).
+func (m MultiChannel) TransferTime(n uint64) mem.Picos {
+	startup := startupTime(m.dev)
+	full := m.dev.TransferTime(n)
+	data := full - startup
+	stripe := (uint64(data) + m.channels - 1) / m.channels
+	return startup + mem.Picos(stripe)
+}
+
+// PeakBandwidth implements Device.
+func (m MultiChannel) PeakBandwidth() float64 {
+	return m.dev.PeakBandwidth() * float64(m.channels)
+}
+
+// Channels returns the stripe count.
+func (m MultiChannel) Channels() uint64 { return m.channels }

@@ -1,0 +1,132 @@
+package dram
+
+import (
+	"fmt"
+
+	"rampage/internal/mem"
+)
+
+// Addressed is a device whose timing depends on where the transfer
+// lands, not just its size — the hook for bank/row-buffer models. The
+// simulators use TransferTimeAt when the configured device provides
+// it, falling back to the flat TransferTime otherwise.
+type Addressed interface {
+	Device
+	// TransferTimeAt returns the time for an n-byte transfer starting
+	// at physical address addr. Implementations may keep row-buffer
+	// state; calls must reflect the access in that state.
+	TransferTimeAt(addr, n uint64) mem.Picos
+}
+
+// RDRAM is a banked Rambus DRAM with open-row state — the "more
+// sophisticated Direct Rambus simulation" of §6.3. The flat model
+// charges every reference the full 50 ns startup; a real RDRAM keeps
+// the last row of each bank open in its row buffer, so a reference
+// that hits an open row starts much sooner. Transfers that span rows
+// pay per crossed row.
+//
+// RDRAM is stateful (open-row registers); create one per simulated
+// machine. It is not safe for concurrent use.
+type RDRAM struct {
+	// Banks is the number of independent banks (default 16; Direct
+	// Rambus parts of the era had 16–32).
+	Banks int
+	// RowBytes is the row-buffer size (default 2 KB).
+	RowBytes uint64
+	// RowHit is the startup latency when the row is already open
+	// (default 20 ns); RowMiss when it must be activated (default
+	// 50 ns, the flat model's figure).
+	RowHit  mem.Picos
+	RowMiss mem.Picos
+	// PerPair is the data rate: time per 2-byte beat (default 1.25 ns).
+	PerPair mem.Picos
+
+	openRows []int64 // per bank: open row index, -1 = closed
+	stats    RDRAMStats
+}
+
+// RDRAMStats counts row-buffer behaviour.
+type RDRAMStats struct {
+	RowHits   uint64
+	RowMisses uint64
+}
+
+// NewRDRAM returns the default banked configuration.
+func NewRDRAM() *RDRAM {
+	r := &RDRAM{
+		Banks:    16,
+		RowBytes: 2 << 10,
+		RowHit:   20 * mem.Nanosecond,
+		RowMiss:  50 * mem.Nanosecond,
+		PerPair:  1250 * mem.Picosecond,
+	}
+	r.reset()
+	return r
+}
+
+func (r *RDRAM) reset() {
+	r.openRows = make([]int64, r.Banks)
+	for i := range r.openRows {
+		r.openRows[i] = -1
+	}
+}
+
+// Name implements Device.
+func (r *RDRAM) Name() string {
+	return fmt.Sprintf("RDRAM (%d banks, %s rows)", r.Banks, mem.FormatSize(r.RowBytes))
+}
+
+// TransferTime implements Device with the conservative (row-miss)
+// assumption, matching the paper's flat model.
+func (r *RDRAM) TransferTime(n uint64) mem.Picos {
+	beats := (n + 1) / 2
+	return r.RowMiss + mem.Picos(uint64(r.PerPair)*beats)
+}
+
+// PeakBandwidth implements Device.
+func (r *RDRAM) PeakBandwidth() float64 {
+	return 2 / (float64(r.PerPair) / float64(mem.Second))
+}
+
+// TransferTimeAt implements Addressed: the transfer walks rows,
+// paying the row-hit or row-miss startup per row touched and the beat
+// rate for the data.
+func (r *RDRAM) TransferTimeAt(addr, n uint64) mem.Picos {
+	if r.openRows == nil {
+		r.reset()
+	}
+	var t mem.Picos
+	for n > 0 {
+		row := int64(addr / r.RowBytes)
+		bank := int(uint64(row) % uint64(r.Banks))
+		if r.openRows[bank] == row {
+			t += r.RowHit
+			r.stats.RowHits++
+		} else {
+			t += r.RowMiss
+			r.openRows[bank] = row
+			r.stats.RowMisses++
+		}
+		chunk := r.RowBytes - addr%r.RowBytes
+		if chunk > n {
+			chunk = n
+		}
+		t += mem.Picos(uint64(r.PerPair) * ((chunk + 1) / 2))
+		addr += chunk
+		n -= chunk
+	}
+	return t
+}
+
+// Stats returns the row-buffer counters.
+func (r *RDRAM) Stats() RDRAMStats { return r.stats }
+
+// HitRate returns the fraction of row activations that hit an open
+// row.
+func (s RDRAMStats) HitRate() float64 {
+	t := s.RowHits + s.RowMisses
+	if t == 0 {
+		return 0
+	}
+	return float64(s.RowHits) / float64(t)
+}

@@ -1,0 +1,153 @@
+// Package harness configures and runs the paper's experiments: the
+// elapsed-time sweeps of Tables 3–5 and the breakdown figures 2–5,
+// plus the ablations listed in DESIGN.md. It owns the scaled default
+// configuration (smaller memories and shorter traces with preserved
+// footprint-to-capacity ratios) and the full-scale paper configuration.
+package harness
+
+import (
+	"fmt"
+
+	"rampage/internal/core"
+	"rampage/internal/mem"
+	"rampage/internal/synth"
+	"rampage/internal/trace"
+)
+
+// IssueRatesMHz is the paper's issue-rate sweep (§4.3: 200 MHz–4 GHz).
+var IssueRatesMHz = []uint64{200, 400, 800, 1000, 2000, 4000}
+
+// BlockSizes is the paper's block/page-size sweep (§4.4: 128 B–4 KB).
+var BlockSizes = []uint64{128, 256, 512, 1024, 2048, 4096}
+
+// Config describes one experimental setup: workload scaling plus
+// memory capacities.
+type Config struct {
+	// Seed drives every deterministic choice.
+	Seed uint64
+	// RefScale scales the Table 2 reference counts; SizeScale scales
+	// both workload footprints and is matched by the L2/SRAM capacity
+	// below.
+	RefScale  float64
+	SizeScale float64
+	// L2Bytes is the conventional L2 capacity (4 MB in the paper,
+	// scaled by default). The RAMpage SRAM size is derived from it.
+	L2Bytes uint64
+	// DRAMBytes bounds the "infinite" DRAM (must exceed the scaled
+	// workload footprint).
+	DRAMBytes uint64
+	// Quantum is the scheduler time slice in references (§4.2:
+	// 500,000; scaled by default so the switch *rate* per reference
+	// matches the paper).
+	Quantum uint64
+	// Processes limits the workload to the first N Table 2 programs
+	// (0 = all 18). ProfileName instead selects exactly one program by
+	// name (for per-benchmark studies).
+	Processes   int
+	ProfileName string
+	// MaxRefs caps application references per run (0 = run traces to
+	// completion).
+	MaxRefs uint64
+
+	// profiles, when non-nil, replaces the Table 2 profile set (used by
+	// the phased-workload experiment).
+	profiles []synth.Profile
+}
+
+// FullScale returns the paper's exact configuration: 4 MB L2, 1.1
+// billion references, 500 k-reference quantum. A full sweep at this
+// scale takes hours; use DefaultScaled for interactive work.
+func FullScale() Config {
+	return Config{
+		Seed:      42,
+		RefScale:  1.0,
+		SizeScale: 1.0,
+		L2Bytes:   4 << 20,
+		DRAMBytes: 256 << 20,
+		Quantum:   500_000,
+	}
+}
+
+// DefaultScaled returns the scaled default: memories and footprints at
+// 1/8, traces at 1/48 (~23 M combined references), quantum scaled with
+// the footprint (1/8) so a process still amortizes its working-set
+// reload over the same fraction of its slice as in the paper. Capacity
+// ratios — the quantity the paper's comparisons depend on — are
+// preserved.
+func DefaultScaled() Config {
+	return Config{
+		Seed:      42,
+		RefScale:  1.0 / 48,
+		SizeScale: 1.0 / 8,
+		L2Bytes:   512 << 10,
+		DRAMBytes: 64 << 20,
+		Quantum:   500_000 / 8,
+	}
+}
+
+// QuickScaled returns a much smaller configuration for smoke tests and
+// testing.B benchmarks: ~1.1 M references against 1/16-scale memories.
+func QuickScaled() Config {
+	return Config{
+		Seed:      42,
+		RefScale:  1.0 / 1000,
+		SizeScale: 1.0 / 16,
+		L2Bytes:   256 << 10,
+		DRAMBytes: 32 << 20,
+		Quantum:   500_000 / 16,
+	}
+}
+
+// Validate checks the configuration.
+func (c Config) Validate() error {
+	if c.RefScale <= 0 || c.SizeScale <= 0 {
+		return fmt.Errorf("harness: scales must be positive")
+	}
+	if c.L2Bytes == 0 || !mem.IsPow2(c.L2Bytes) {
+		return fmt.Errorf("harness: L2 size %d is not a power of two", c.L2Bytes)
+	}
+	if c.Quantum == 0 {
+		return fmt.Errorf("harness: zero quantum")
+	}
+	return nil
+}
+
+// SRAMBytes returns the RAMpage SRAM capacity for a given page size:
+// the L2 capacity plus the tag budget the cache would have spent,
+// rounded up to a whole page (§4.5: "128 Kbytes larger ... scaled down
+// for larger page sizes").
+func (c Config) SRAMBytes(pageBytes uint64) uint64 {
+	bonus := mem.AlignUp(core.TagBonus(c.L2Bytes, pageBytes), pageBytes)
+	return c.L2Bytes + bonus
+}
+
+// Readers builds the per-process workload streams: one generator per
+// Table 2 program, deterministic for the configuration's seed.
+func (c Config) Readers() ([]trace.Reader, error) {
+	profiles := c.profiles
+	if profiles == nil {
+		profiles = synth.Table2()
+	}
+	if c.ProfileName != "" {
+		p, ok := synth.FindProfile(c.ProfileName)
+		if !ok {
+			return nil, fmt.Errorf("harness: unknown profile %q", c.ProfileName)
+		}
+		profiles = []synth.Profile{p}
+	} else if c.Processes > 0 && c.Processes < len(profiles) {
+		profiles = profiles[:c.Processes]
+	}
+	readers := make([]trace.Reader, 0, len(profiles))
+	for _, p := range profiles {
+		g, err := synth.NewGenerator(p, synth.Options{
+			Seed:      c.Seed,
+			RefScale:  c.RefScale,
+			SizeScale: c.SizeScale,
+		})
+		if err != nil {
+			return nil, err
+		}
+		readers = append(readers, g)
+	}
+	return readers, nil
+}

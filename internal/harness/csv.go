@@ -1,0 +1,63 @@
+package harness
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+
+	"rampage/internal/stats"
+)
+
+// csvHeader is the column set WriteSweepCSV emits.
+var csvHeader = []string{
+	"system", "issue_mhz", "size_bytes", "seconds", "cycles",
+	"bench_refs", "os_tlb_refs", "os_fault_refs", "os_switch_refs",
+	"tlb_misses", "page_faults", "l1i_misses", "l1d_misses", "l2_misses",
+	"writebacks", "switches", "switches_on_miss", "idle_cycles", "resizes",
+	"frac_l1i", "frac_l1d", "frac_l2", "frac_dram", "overhead_ratio",
+}
+
+// WriteSweepCSV writes one row per (issue rate, size) cell of a sweep
+// grid, suitable for external plotting of any paper figure.
+func WriteSweepCSV(w io.Writer, rates, sizes []uint64, grid [][]*stats.Report) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write(csvHeader); err != nil {
+		return err
+	}
+	for i, mhz := range rates {
+		for j, size := range sizes {
+			r := grid[i][j]
+			row := []string{
+				r.Name,
+				fmt.Sprintf("%d", mhz),
+				fmt.Sprintf("%d", size),
+				fmt.Sprintf("%.9f", r.Seconds()),
+				fmt.Sprintf("%d", r.Cycles),
+				fmt.Sprintf("%d", r.BenchRefs),
+				fmt.Sprintf("%d", r.OSTLBRefs),
+				fmt.Sprintf("%d", r.OSFaultRefs),
+				fmt.Sprintf("%d", r.OSSwitchRefs),
+				fmt.Sprintf("%d", r.TLBMisses),
+				fmt.Sprintf("%d", r.PageFaults),
+				fmt.Sprintf("%d", r.L1IMisses),
+				fmt.Sprintf("%d", r.L1DMisses),
+				fmt.Sprintf("%d", r.L2Misses),
+				fmt.Sprintf("%d", r.Writebacks),
+				fmt.Sprintf("%d", r.Switches),
+				fmt.Sprintf("%d", r.SwitchesOnMiss),
+				fmt.Sprintf("%d", r.IdleCycles),
+				fmt.Sprintf("%d", r.Resizes),
+				fmt.Sprintf("%.6f", r.LevelFraction(stats.L1I)),
+				fmt.Sprintf("%.6f", r.LevelFraction(stats.L1D)),
+				fmt.Sprintf("%.6f", r.LevelFraction(stats.L2)),
+				fmt.Sprintf("%.6f", r.LevelFraction(stats.DRAM)),
+				fmt.Sprintf("%.6f", r.OverheadRatio()),
+			}
+			if err := cw.Write(row); err != nil {
+				return err
+			}
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}

@@ -1,0 +1,431 @@
+package harness
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"rampage/internal/dram"
+	"rampage/internal/mem"
+	"rampage/internal/stats"
+	"rampage/internal/synth"
+)
+
+// Experiment is one reproducible paper artifact: a table, a figure or
+// an ablation. Run returns the formatted result text.
+type Experiment struct {
+	// ID is the registry key ("table3", "fig4", "bigtlb", ...).
+	ID string
+	// Title describes the artifact.
+	Title string
+	// Run executes the experiment under cfg with the given issue-rate
+	// and size sweeps (empty slices select the paper defaults).
+	Run func(cfg Config, rates, sizes []uint64) (string, error)
+}
+
+// Experiments returns the registry, in paper order.
+func Experiments() []Experiment {
+	return append([]Experiment{
+		{"table1", "Table 1: % bandwidth efficiency, Direct Rambus vs disk", runTable1},
+		{"table2", "Table 2: workload inventory (synthetic profiles)", runTable2},
+		{"table3", "Table 3: run times, baseline direct-mapped L2 vs RAMpage", runTable3},
+		{"table4", "Table 4: RAMpage with context switches on misses", runTable4},
+		{"table5", "Table 5: 2-way associative L2 with context switches", runTable5},
+		{"fig2", "Figure 2: fraction of time per level, 200MHz", runFig2},
+		{"fig3", "Figure 3: fraction of time per level, 4GHz", runFig3},
+		{"fig4", "Figure 4: TLB miss + page fault handling overheads", runFig4},
+		{"fig5", "Figure 5: RAMpage-CS vs 2-way L2 relative speed", runFig5},
+		{"bigtlb", "Ablation X1 (§6.3): 1K-entry 2-way TLB", runBigTLB},
+		{"pipelined", "Ablation X2 (§6.3): pipelined Direct Rambus", runPipelined},
+		{"victim", "Ablation X3 (§3.2): victim cache on the baseline", runVictim},
+		{"biglone", "Ablation (§6.3): aggressive 64KB 8-way L1", runBigL1},
+	}, extensionExperiments()...)
+}
+
+// FindExperiment looks up an experiment by ID.
+func FindExperiment(id string) (Experiment, bool) {
+	for _, e := range Experiments() {
+		if e.ID == id {
+			return e, true
+		}
+	}
+	return Experiment{}, false
+}
+
+func defRates(rates []uint64) []uint64 {
+	if len(rates) == 0 {
+		return IssueRatesMHz
+	}
+	return rates
+}
+
+func defSizes(sizes []uint64) []uint64 {
+	if len(sizes) == 0 {
+		return BlockSizes
+	}
+	return sizes
+}
+
+// --- Table 1 ---
+
+func runTable1(Config, []uint64, []uint64) (string, error) {
+	return dram.FormatTable1(dram.Table1()), nil
+}
+
+// --- Table 2 ---
+
+func runTable2(cfg Config, _, _ []uint64) (string, error) {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-12s %-36s %10s %10s\n", "program", "description", "ifetch(M)", "total(M)")
+	profiles := synth.Table2()
+	var sumI, sumT float64
+	for _, p := range profiles {
+		fmt.Fprintf(&b, "%-12s %-36s %10.1f %10.1f\n", p.Name, p.Description, p.IFetchMillions, p.TotalMillions)
+		sumI += p.IFetchMillions
+		sumT += p.TotalMillions
+	}
+	fmt.Fprintf(&b, "%-12s %-36s %10.1f %10.1f\n", "TOTAL", "", sumI, sumT)
+	fmt.Fprintf(&b, "\nconfigured scales: refs x%.5f, sizes x%.4f => ~%.1fM simulated references\n",
+		cfg.RefScale, cfg.SizeScale, sumT*cfg.RefScale)
+	return b.String(), nil
+}
+
+// --- Table 3 ---
+
+func runTable3(cfg Config, rates, sizes []uint64) (string, error) {
+	rates, sizes = defRates(rates), defSizes(sizes)
+	base, err := Sweep(cfg, BaselineDM, rates, sizes, false)
+	if err != nil {
+		return "", err
+	}
+	rp, err := Sweep(cfg, RAMpage, rates, sizes, false)
+	if err != nil {
+		return "", err
+	}
+	var b strings.Builder
+	b.WriteString("Elapsed simulated time (s); per issue rate: baseline direct-mapped L2 on top, RAMpage below.\n")
+	b.WriteString(formatPairedGrid(rates, sizes, base, rp))
+	b.WriteString("\nbest-vs-best:\n")
+	for i, mhz := range rates {
+		bi, bb := Best(base[i])
+		ri, rr := Best(rp[i])
+		gain := float64(bb.Cycles)/float64(rr.Cycles) - 1
+		fmt.Fprintf(&b, "  %7s: baseline %.4fs @%s, rampage %.4fs @%s => rampage %+.1f%%\n",
+			mem.MustClock(mhz), bb.Seconds(), mem.FormatSize(sizes[bi]),
+			rr.Seconds(), mem.FormatSize(sizes[ri]), 100*gain)
+	}
+	return b.String(), nil
+}
+
+// --- Table 4 ---
+
+func runTable4(cfg Config, rates, sizes []uint64) (string, error) {
+	rates, sizes = defRates(rates), defSizes(sizes)
+	cs, err := Sweep(cfg, RAMpageCS, rates, sizes, true)
+	if err != nil {
+		return "", err
+	}
+	plain, err := Sweep(cfg, RAMpage, rates, sizes, false)
+	if err != nil {
+		return "", err
+	}
+	var b strings.Builder
+	b.WriteString("RAMpage with context switches on misses: run times (s) and speedup vs RAMpage without switches.\n")
+	b.WriteString(formatGrid(rates, sizes, cs, func(r *stats.Report) string {
+		return fmt.Sprintf("%.4f", r.Seconds())
+	}))
+	b.WriteString("\nspeedup vs no switch (same page size):\n")
+	b.WriteString(formatGridPair(rates, sizes, cs, plain, func(a, p *stats.Report) string {
+		return fmt.Sprintf("%.3f", float64(p.Cycles)/float64(a.Cycles))
+	}))
+	b.WriteString("\nbest-time speedup per issue rate:\n")
+	for i, mhz := range rates {
+		_, bc := Best(cs[i])
+		_, bp := Best(plain[i])
+		fmt.Fprintf(&b, "  %7s: %.3fx\n", mem.MustClock(mhz), float64(bp.Cycles)/float64(bc.Cycles))
+	}
+	return b.String(), nil
+}
+
+// --- Table 5 ---
+
+func runTable5(cfg Config, rates, sizes []uint64) (string, error) {
+	rates, sizes = defRates(rates), defSizes(sizes)
+	tw, err := Sweep(cfg, TwoWayL2, rates, sizes, true)
+	if err != nil {
+		return "", err
+	}
+	var b strings.Builder
+	b.WriteString("2-way associative L2 (random replacement) with context-switch traces: run times (s).\n")
+	b.WriteString(formatGrid(rates, sizes, tw, func(r *stats.Report) string {
+		return fmt.Sprintf("%.4f", r.Seconds())
+	}))
+	return b.String(), nil
+}
+
+// --- Figures 2 & 3 ---
+
+func runFigLevels(cfg Config, mhz uint64, sizes []uint64) (string, error) {
+	sizes = defSizes(sizes)
+	base, err := Sweep(cfg, BaselineDM, []uint64{mhz}, sizes, false)
+	if err != nil {
+		return "", err
+	}
+	rp, err := Sweep(cfg, RAMpage, []uint64{mhz}, sizes, false)
+	if err != nil {
+		return "", err
+	}
+	var b strings.Builder
+	systems := []struct {
+		name string
+		row  []*stats.Report
+	}{
+		{"direct-mapped L2", base[0]},
+		{"RAMpage", rp[0]},
+	}
+	for _, sys := range systems {
+		name, row := sys.name, sys.row
+		fmt.Fprintf(&b, "%s @%s — fraction of run time per level:\n", name, mem.MustClock(mhz))
+		fmt.Fprintf(&b, "  %-8s", "size")
+		for l := stats.Level(0); l < stats.NumLevels; l++ {
+			fmt.Fprintf(&b, " %8s", l)
+		}
+		fmt.Fprintf(&b, " %8s\n", "CPU")
+		for j, size := range sizes {
+			r := row[j]
+			fmt.Fprintf(&b, "  %-8s", mem.FormatSize(size))
+			var acc float64
+			for l := stats.Level(0); l < stats.NumLevels; l++ {
+				f := r.LevelFraction(l)
+				acc += f
+				fmt.Fprintf(&b, " %7.1f%%", 100*f)
+			}
+			fmt.Fprintf(&b, " %7.1f%%\n", 100*(1-acc))
+		}
+		b.WriteString("\n")
+		b.WriteString(stats.FormatLevelBars(row, 60))
+		b.WriteString("\n")
+	}
+	return b.String(), nil
+}
+
+func runFig2(cfg Config, _, sizes []uint64) (string, error) { return runFigLevels(cfg, 200, sizes) }
+func runFig3(cfg Config, _, sizes []uint64) (string, error) { return runFigLevels(cfg, 4000, sizes) }
+
+// --- Figure 4 ---
+
+func runFig4(cfg Config, _, sizes []uint64) (string, error) {
+	sizes = defSizes(sizes)
+	base, err := Sweep(cfg, BaselineDM, []uint64{1000}, sizes, false)
+	if err != nil {
+		return "", err
+	}
+	rp, err := Sweep(cfg, RAMpage, []uint64{1000}, sizes, false)
+	if err != nil {
+		return "", err
+	}
+	var b strings.Builder
+	b.WriteString("TLB miss + page fault handling overhead (handler refs / benchmark refs):\n")
+	fmt.Fprintf(&b, "%-10s %12s %12s\n", "size", "baseline", "rampage")
+	for j, size := range sizes {
+		fmt.Fprintf(&b, "%-10s %11.1f%% %11.1f%%\n", mem.FormatSize(size),
+			100*base[0][j].OverheadRatio(), 100*rp[0][j].OverheadRatio())
+	}
+	return b.String(), nil
+}
+
+// --- Figure 5 ---
+
+func runFig5(cfg Config, rates, sizes []uint64) (string, error) {
+	rates, sizes = defRates(rates), defSizes(sizes)
+	cs, err := Sweep(cfg, RAMpageCS, rates, sizes, true)
+	if err != nil {
+		return "", err
+	}
+	tw, err := Sweep(cfg, TwoWayL2, rates, sizes, true)
+	if err != nil {
+		return "", err
+	}
+	var b strings.Builder
+	b.WriteString("Relative slowdown vs the best time at each issue rate (0 = best; n means 1.n x slower).\n")
+	b.WriteString("\nRAMpage (context switches on misses):\n")
+	b.WriteString(relativeGrid(rates, sizes, cs, tw, true))
+	b.WriteString("\n2-way associative L2:\n")
+	b.WriteString(relativeGrid(rates, sizes, cs, tw, false))
+	return b.String(), nil
+}
+
+// relativeGrid renders the Figure 5 measure for one of the two systems
+// against the per-rate best across both.
+func relativeGrid(rates, sizes []uint64, cs, tw [][]*stats.Report, pickCS bool) string {
+	var b strings.Builder
+	b.WriteString(header(sizes))
+	for i, mhz := range rates {
+		_, bc := Best(cs[i])
+		_, bt := Best(tw[i])
+		best := bc.Cycles
+		if bt.Cycles < best {
+			best = bt.Cycles
+		}
+		row := cs[i]
+		if !pickCS {
+			row = tw[i]
+		}
+		fmt.Fprintf(&b, "%-8s", mem.MustClock(mhz))
+		for _, r := range row {
+			fmt.Fprintf(&b, " %8.3f", float64(r.Cycles)/float64(best)-1)
+		}
+		b.WriteString("\n")
+	}
+	return b.String()
+}
+
+// --- Ablations ---
+
+func runBigTLB(cfg Config, rates, sizes []uint64) (string, error) {
+	rates, sizes = defRates(rates), defSizes(sizes)
+	mhz := rates[len(rates)-1]
+	var b strings.Builder
+	b.WriteString("RAMpage run time (s) with the paper TLB (64 fully-assoc) vs a 1K-entry 2-way TLB (§6.3):\n")
+	fmt.Fprintf(&b, "%-10s %12s %12s\n", "page", "tlb-64", "tlb-1k")
+	for _, size := range sizes {
+		small, err := Run(cfg, RunSpec{System: RAMpage, IssueMHz: mhz, SizeBytes: size})
+		if err != nil {
+			return "", err
+		}
+		big, err := Run(cfg, RunSpec{System: RAMpage, IssueMHz: mhz, SizeBytes: size, TLBEntries: 1024, TLBAssoc: 2})
+		if err != nil {
+			return "", err
+		}
+		fmt.Fprintf(&b, "%-10s %12.4f %12.4f\n", mem.FormatSize(size), small.Seconds(), big.Seconds())
+	}
+	return b.String(), nil
+}
+
+func runPipelined(cfg Config, rates, sizes []uint64) (string, error) {
+	rates, sizes = defRates(rates), defSizes(sizes)
+	mhz := rates[len(rates)-1]
+	var b strings.Builder
+	b.WriteString("RAMpage-CS run time (s), unpipelined vs pipelined Direct Rambus (§6.3):\n")
+	fmt.Fprintf(&b, "%-10s %12s %12s\n", "page", "unpipelined", "pipelined")
+	for _, size := range sizes {
+		plain, err := Run(cfg, RunSpec{System: RAMpageCS, IssueMHz: mhz, SizeBytes: size, SwitchTrace: true})
+		if err != nil {
+			return "", err
+		}
+		pipe, err := Run(cfg, RunSpec{System: RAMpageCS, IssueMHz: mhz, SizeBytes: size, SwitchTrace: true, PipelinedDRAM: true})
+		if err != nil {
+			return "", err
+		}
+		fmt.Fprintf(&b, "%-10s %12.4f %12.4f\n", mem.FormatSize(size), plain.Seconds(), pipe.Seconds())
+	}
+	return b.String(), nil
+}
+
+func runVictim(cfg Config, rates, sizes []uint64) (string, error) {
+	rates, sizes = defRates(rates), defSizes(sizes)
+	mhz := rates[len(rates)-1]
+	var b strings.Builder
+	b.WriteString("Baseline direct-mapped L2 run time (s), with and without a 16-entry victim cache (§3.2):\n")
+	fmt.Fprintf(&b, "%-10s %12s %12s\n", "block", "plain", "victim")
+	for _, size := range sizes {
+		plain, err := Run(cfg, RunSpec{System: BaselineDM, IssueMHz: mhz, SizeBytes: size})
+		if err != nil {
+			return "", err
+		}
+		vc, err := Run(cfg, RunSpec{System: BaselineDM, IssueMHz: mhz, SizeBytes: size, VictimEntries: 16})
+		if err != nil {
+			return "", err
+		}
+		fmt.Fprintf(&b, "%-10s %12.4f %12.4f\n", mem.FormatSize(size), plain.Seconds(), vc.Seconds())
+	}
+	return b.String(), nil
+}
+
+func runBigL1(cfg Config, rates, sizes []uint64) (string, error) {
+	rates, sizes = defRates(rates), defSizes(sizes)
+	mhz := rates[len(rates)-1]
+	var b strings.Builder
+	b.WriteString("Run time (s) with the aggressive L1 of §6.3 (64KB each, 8-way):\n")
+	fmt.Fprintf(&b, "%-10s %14s %14s\n", "size", "2way-bigL1", "rampage-bigL1")
+	for _, size := range sizes {
+		tw, err := Run(cfg, RunSpec{System: TwoWayL2, IssueMHz: mhz, SizeBytes: size, SwitchTrace: true, L1Bytes: 64 << 10, L1Assoc: 8})
+		if err != nil {
+			return "", err
+		}
+		rp, err := Run(cfg, RunSpec{System: RAMpageCS, IssueMHz: mhz, SizeBytes: size, SwitchTrace: true, L1Bytes: 64 << 10, L1Assoc: 8})
+		if err != nil {
+			return "", err
+		}
+		fmt.Fprintf(&b, "%-10s %14.4f %14.4f\n", mem.FormatSize(size), tw.Seconds(), rp.Seconds())
+	}
+	return b.String(), nil
+}
+
+// --- grid formatting ---
+
+func header(sizes []uint64) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-8s", "issue")
+	for _, s := range sizes {
+		fmt.Fprintf(&b, " %8s", mem.FormatSize(s))
+	}
+	b.WriteString("\n")
+	return b.String()
+}
+
+func formatGrid(rates, sizes []uint64, grid [][]*stats.Report, cell func(*stats.Report) string) string {
+	var b strings.Builder
+	b.WriteString(header(sizes))
+	for i, mhz := range rates {
+		fmt.Fprintf(&b, "%-8s", mem.MustClock(mhz))
+		for _, r := range grid[i] {
+			fmt.Fprintf(&b, " %8s", cell(r))
+		}
+		b.WriteString("\n")
+	}
+	return b.String()
+}
+
+func formatGridPair(rates, sizes []uint64, a, p [][]*stats.Report, cell func(a, p *stats.Report) string) string {
+	var b strings.Builder
+	b.WriteString(header(sizes))
+	for i, mhz := range rates {
+		fmt.Fprintf(&b, "%-8s", mem.MustClock(mhz))
+		for j := range sizes {
+			fmt.Fprintf(&b, " %8s", cell(a[i][j], p[i][j]))
+		}
+		b.WriteString("\n")
+	}
+	return b.String()
+}
+
+// formatPairedGrid renders the paper's Table 3 layout: for each issue
+// rate, the cache-based hierarchy on top and RAMpage below.
+func formatPairedGrid(rates, sizes []uint64, top, bottom [][]*stats.Report) string {
+	var b strings.Builder
+	b.WriteString(header(sizes))
+	for i, mhz := range rates {
+		fmt.Fprintf(&b, "%-8s", mem.MustClock(mhz))
+		for _, r := range top[i] {
+			fmt.Fprintf(&b, " %8.4f", r.Seconds())
+		}
+		b.WriteString("\n")
+		fmt.Fprintf(&b, "%-8s", "")
+		for _, r := range bottom[i] {
+			fmt.Fprintf(&b, " %8.4f", r.Seconds())
+		}
+		b.WriteString("\n")
+	}
+	return b.String()
+}
+
+// SortedExperimentIDs returns the registry keys in order.
+func SortedExperimentIDs() []string {
+	ids := make([]string, 0)
+	for _, e := range Experiments() {
+		ids = append(ids, e.ID)
+	}
+	sort.Strings(ids)
+	return ids
+}

@@ -1,0 +1,151 @@
+package harness
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestRunSDRAMSpec(t *testing.T) {
+	cfg := tinyConfig()
+	rep, err := Run(cfg, RunSpec{System: RAMpage, IssueMHz: 1000, SizeBytes: 1024, SDRAM: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.BenchRefs == 0 {
+		t.Error("SDRAM run executed nothing")
+	}
+	// §3.3: the 2-byte 1.25ns Rambus and the 128-bit 10ns SDRAM have
+	// identical startup latency and peak bandwidth, so for bus-width-
+	// multiple transfers the two hierarchies are cycle-identical —
+	// which is exactly the paper's claim that its Rambus model "has
+	// similar characteristics to an SDRAM implementation".
+	rambus, err := Run(cfg, RunSpec{System: RAMpage, IssueMHz: 1000, SizeBytes: 1024})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Cycles != rambus.Cycles {
+		t.Errorf("SDRAM (%d cycles) and Rambus (%d) diverge on width-multiple transfers",
+			rep.Cycles, rambus.Cycles)
+	}
+}
+
+func TestRunAdaptiveSpec(t *testing.T) {
+	cfg := QuickScaled()
+	cfg.RefScale = 1.0 / 2000
+	rep, err := Run(cfg, RunSpec{System: RAMpage, IssueMHz: 1000, SizeBytes: 128, AdaptivePages: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Name != "rampage-adaptive" {
+		t.Errorf("report name = %q", rep.Name)
+	}
+	if rep.Resizes == 0 {
+		t.Error("adaptive run never resized from 128B under the Table 2 workload")
+	}
+}
+
+func TestRunAdaptiveIncompatibleWithCS(t *testing.T) {
+	cfg := tinyConfig()
+	if _, err := Run(cfg, RunSpec{System: RAMpageCS, IssueMHz: 1000, SizeBytes: 128, AdaptivePages: true}); err == nil {
+		t.Error("adaptive + switch-on-miss accepted")
+	}
+}
+
+func TestRunLightweightThreads(t *testing.T) {
+	cfg := tinyConfig()
+	proc, err := Run(cfg, RunSpec{System: RAMpageCS, IssueMHz: 4000, SizeBytes: 1024, SwitchTrace: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	thr, err := Run(cfg, RunSpec{System: RAMpageCS, IssueMHz: 4000, SizeBytes: 1024, SwitchTrace: true, LightweightThreads: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if proc.SwitchesOnMiss == 0 {
+		t.Skip("no switches on miss at this tiny scale")
+	}
+	if thr.OSSwitchRefs >= proc.OSSwitchRefs {
+		t.Errorf("thread switches executed %d OS refs, process switches %d; want fewer",
+			thr.OSSwitchRefs, proc.OSSwitchRefs)
+	}
+}
+
+func TestProfileNameWorkload(t *testing.T) {
+	cfg := tinyConfig()
+	cfg.ProfileName = "compress"
+	readers, err := cfg.Readers()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(readers) != 1 {
+		t.Fatalf("got %d readers, want 1", len(readers))
+	}
+	cfg.ProfileName = "nonesuch"
+	if _, err := cfg.Readers(); err == nil {
+		t.Error("unknown profile name accepted")
+	}
+}
+
+func TestExtensionExperimentsPresent(t *testing.T) {
+	for _, id := range []string{"sdram", "threads", "adaptive", "perbench"} {
+		if _, ok := FindExperiment(id); !ok {
+			t.Errorf("extension experiment %q missing", id)
+		}
+	}
+}
+
+func TestExtensionExperimentsRunTiny(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs extension sweeps")
+	}
+	cfg := tinyConfig()
+	rates := []uint64{4000}
+	sizes := []uint64{256, 2048}
+	for _, id := range []string{"sdram", "threads", "adaptive"} {
+		e, _ := FindExperiment(id)
+		out, err := e.Run(cfg, rates, sizes)
+		if err != nil {
+			t.Errorf("%s: %v", id, err)
+			continue
+		}
+		if id != "adaptive" && !strings.Contains(out, "256B") {
+			t.Errorf("%s output missing size column:\n%s", id, out)
+		}
+		if id == "adaptive" && !strings.Contains(out, "resizes") {
+			t.Errorf("adaptive output missing resize column:\n%s", out)
+		}
+	}
+	// perbench runs 18 programs x sizes; use one size to keep it quick.
+	e, _ := FindExperiment("perbench")
+	out, err := e.Run(cfg, nil, []uint64{1024})
+	if err != nil {
+		t.Fatalf("perbench: %v", err)
+	}
+	for _, name := range []string{"alvinn", "yacc"} {
+		if !strings.Contains(out, name) {
+			t.Errorf("perbench output missing %q", name)
+		}
+	}
+}
+
+func TestVerdictAllClaimsPass(t *testing.T) {
+	// The repository's self-check: every paper claim must reproduce at
+	// the quick scale. This is the headline regression test.
+	if testing.Short() {
+		t.Skip("full verdict sweep")
+	}
+	e, ok := FindExperiment("verdict")
+	if !ok {
+		t.Fatal("verdict experiment missing")
+	}
+	out, err := e.Run(QuickScaled(), nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(out, "FAIL") {
+		t.Errorf("claims failed:\n%s", out)
+	}
+	if !strings.Contains(out, "12/12 claims reproduced") {
+		t.Errorf("unexpected verdict summary:\n%s", out)
+	}
+}

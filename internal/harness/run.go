@@ -1,0 +1,270 @@
+package harness
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"rampage/internal/cache"
+	"rampage/internal/dram"
+	"rampage/internal/sim"
+	"rampage/internal/stats"
+	"rampage/internal/synth"
+)
+
+// SystemKind selects which machine a run simulates.
+type SystemKind uint8
+
+const (
+	// BaselineDM is the §4.4 baseline: direct-mapped L2.
+	BaselineDM SystemKind = iota
+	// TwoWayL2 is the §4.7 comparison: 2-way associative L2, random
+	// replacement.
+	TwoWayL2
+	// RAMpage is the §4.5 machine without context switches on misses.
+	RAMpage
+	// RAMpageCS is RAMpage with context switches on misses (§4.6).
+	RAMpageCS
+)
+
+// String names the system as the result tables label it.
+func (k SystemKind) String() string {
+	switch k {
+	case BaselineDM:
+		return "baseline-dm"
+	case TwoWayL2:
+		return "l2-2way"
+	case RAMpage:
+		return "rampage"
+	case RAMpageCS:
+		return "rampage-cs"
+	default:
+		return "unknown"
+	}
+}
+
+// RunSpec is one simulation point in a sweep.
+type RunSpec struct {
+	System SystemKind
+	// IssueMHz is the CPU issue rate; SizeBytes the L2 block size or
+	// SRAM page size.
+	IssueMHz  uint64
+	SizeBytes uint64
+	// SwitchTrace interleaves the context-switch code trace (§4.6) —
+	// on for Tables 4–5, off for the Table 3 baseline comparison.
+	SwitchTrace bool
+	// VictimEntries attaches a victim cache to conventional systems
+	// (ablation X3); TLBEntries/TLBAssoc override the TLB (ablation
+	// X1, 0 = paper defaults); PipelinedDRAM enables ablation X2;
+	// L1Bytes/L1Assoc override the L1 (the §6.3 aggressive-L1 probe).
+	VictimEntries int
+	TLBEntries    int
+	TLBAssoc      int
+	PipelinedDRAM bool
+	L1Bytes       uint64
+	L1Assoc       int
+	// SDRAM swaps the Direct Rambus device for the §3.3 wide SDRAM
+	// design (same peak bandwidth, coarser granularity).
+	SDRAM bool
+	// LightweightThreads uses the ~40-reference thread switch on
+	// miss-induced switches (§3.2 multithreading).
+	LightweightThreads bool
+	// AdaptivePages runs the RAMpage machine with the §6.2 dynamic
+	// page-size controller (SizeBytes is then the initial page size;
+	// requires System == RAMpage).
+	AdaptivePages bool
+	// PrefetchNext enables sequential next-page prefetch on the RAMpage
+	// systems (§3.2 extension).
+	PrefetchNext bool
+	// DRAMChannels stripes the DRAM across N Rambus channels (§3.3:
+	// more bandwidth, unchanged latency). 0 or 1 = single channel.
+	DRAMChannels int
+	// BankedDRAM replaces the flat Rambus timing with the banked
+	// open-row RDRAM model (§6.3 "more sophisticated Direct Rambus
+	// simulation").
+	BankedDRAM bool
+}
+
+// Run executes one simulation point under the given configuration and
+// returns its report.
+func Run(cfg Config, spec RunSpec) (*stats.Report, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	params := sim.DefaultParams(spec.IssueMHz)
+	params.Seed = cfg.Seed
+	if spec.TLBEntries > 0 {
+		params.TLBEntries = spec.TLBEntries
+		params.TLBAssoc = spec.TLBAssoc
+	}
+	if spec.PipelinedDRAM {
+		params.PipelinedDRAM = true
+	}
+	if spec.L1Bytes > 0 {
+		params.L1Bytes = spec.L1Bytes
+	}
+	if spec.L1Assoc > 0 {
+		params.L1Assoc = spec.L1Assoc
+	}
+	if spec.SDRAM {
+		params.DRAM = dram.NewSDRAM()
+	}
+	if spec.BankedDRAM {
+		params.DRAM = dram.NewRDRAM()
+	}
+	if spec.DRAMChannels > 1 {
+		mc, err := dram.NewMultiChannel(params.DRAM, uint64(spec.DRAMChannels))
+		if err != nil {
+			return nil, err
+		}
+		params.DRAM = mc
+	}
+
+	readers, err := cfg.Readers()
+	if err != nil {
+		return nil, err
+	}
+
+	var machine sim.Machine
+	switch spec.System {
+	case BaselineDM, TwoWayL2:
+		assoc, policy := 1, cache.LRU
+		if spec.System == TwoWayL2 {
+			assoc, policy = 2, cache.RandomRepl
+		}
+		b, err := sim.NewBaseline(sim.BaselineConfig{
+			Params:        params,
+			L2Bytes:       cfg.L2Bytes,
+			L2Block:       spec.SizeBytes,
+			L2Assoc:       assoc,
+			L2Policy:      policy,
+			DRAMBytes:     cfg.DRAMBytes,
+			VictimEntries: spec.VictimEntries,
+		})
+		if err != nil {
+			return nil, err
+		}
+		machine = b
+	case RAMpage, RAMpageCS:
+		rcfg := sim.RAMpageConfig{
+			Params:       params,
+			SRAMBytes:    cfg.SRAMBytes(spec.SizeBytes),
+			PageBytes:    spec.SizeBytes,
+			SwitchOnMiss: spec.System == RAMpageCS,
+			PrefetchNext: spec.PrefetchNext,
+		}
+		if spec.AdaptivePages {
+			// One epoch should cover a full round-robin rotation so
+			// the controller compares like with like — otherwise each
+			// epoch samples different programs and the cost signal is
+			// noise. Cap the epoch so short runs still adapt.
+			epoch := cfg.Quantum * uint64(len(readers))
+			total := uint64(synth.Table2TotalMillions() * 1e6 * cfg.RefScale)
+			if cfg.MaxRefs > 0 && cfg.MaxRefs < total {
+				total = cfg.MaxRefs
+			}
+			if cap := total / 12; epoch > cap {
+				epoch = cap
+			}
+			if epoch < 20_000 {
+				epoch = 20_000
+			}
+			a, err := sim.NewAdaptiveRAMpage(sim.AdaptiveConfig{
+				RAMpageConfig: rcfg,
+				SRAMBytesFor:  cfg.SRAMBytes,
+				EpochRefs:     epoch,
+			})
+			if err != nil {
+				return nil, err
+			}
+			machine = a
+			break
+		}
+		r, err := sim.NewRAMpage(rcfg)
+		if err != nil {
+			return nil, err
+		}
+		machine = r
+	}
+
+	sched, err := sim.NewScheduler(machine, readers, sim.SchedulerConfig{
+		Quantum:            cfg.Quantum,
+		InsertSwitchTrace:  spec.SwitchTrace,
+		LightweightThreads: spec.LightweightThreads,
+		Seed:               cfg.Seed,
+		MaxRefs:            cfg.MaxRefs,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return sched.Run()
+}
+
+// Sweep runs a grid of points — every issue rate crossed with every
+// size — for one system, returning reports indexed [rate][size]. Cells
+// are independent simulations, so they run in parallel across the
+// available CPUs; results are deterministic regardless of parallelism.
+func Sweep(cfg Config, system SystemKind, rates, sizes []uint64, switchTrace bool) ([][]*stats.Report, error) {
+	out := make([][]*stats.Report, len(rates))
+	for i := range rates {
+		out[i] = make([]*stats.Report, len(sizes))
+	}
+	type cell struct{ i, j int }
+	cells := make(chan cell)
+	var (
+		wg       sync.WaitGroup
+		failed   atomic.Bool
+		errOnce  sync.Once
+		firstErr error
+	)
+	workers := runtime.NumCPU()
+	if n := len(rates) * len(sizes); n < workers {
+		workers = n
+	}
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for c := range cells {
+				if failed.Load() {
+					continue // drain remaining cells after a failure
+				}
+				rep, err := Run(cfg, RunSpec{
+					System:      system,
+					IssueMHz:    rates[c.i],
+					SizeBytes:   sizes[c.j],
+					SwitchTrace: switchTrace,
+				})
+				if err != nil {
+					errOnce.Do(func() { firstErr = err })
+					failed.Store(true)
+					continue
+				}
+				out[c.i][c.j] = rep
+			}
+		}()
+	}
+	for i := range rates {
+		for j := range sizes {
+			cells <- cell{i, j}
+		}
+	}
+	close(cells)
+	wg.Wait()
+	if firstErr != nil {
+		return nil, firstErr
+	}
+	return out, nil
+}
+
+// Best returns the index and report of the fastest configuration in a
+// row of a sweep.
+func Best(row []*stats.Report) (int, *stats.Report) {
+	best := 0
+	for i, r := range row {
+		if r.Cycles < row[best].Cycles {
+			best = i
+		}
+	}
+	return best, row[best]
+}

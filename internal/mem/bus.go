@@ -1,0 +1,51 @@
+package mem
+
+import "fmt"
+
+// Bus models the processor–L2 interconnect of §4.4: a 128-bit (16-byte)
+// wide bus clocked at one third of the CPU issue rate. L2 (or SRAM main
+// memory) accesses are counted in bus cycles and converted to CPU
+// cycles through the divisor, so the whole SRAM side of the hierarchy
+// scales with the CPU clock, exactly as in the paper.
+type Bus struct {
+	widthBytes uint64 // bytes moved per bus cycle
+	divisor    uint64 // CPU cycles per bus cycle
+}
+
+// NewBus constructs a bus. Width must be a power of two; the divisor
+// must be positive.
+func NewBus(widthBytes, divisor uint64) (Bus, error) {
+	if !IsPow2(widthBytes) {
+		return Bus{}, fmt.Errorf("mem: bus width %d is not a power of two", widthBytes)
+	}
+	if divisor == 0 {
+		return Bus{}, fmt.Errorf("mem: bus divisor must be positive")
+	}
+	return Bus{widthBytes: widthBytes, divisor: divisor}, nil
+}
+
+// DefaultBus is the paper's bus: 128 bits wide at one third of the CPU
+// clock.
+func DefaultBus() Bus { return Bus{widthBytes: 16, divisor: 3} }
+
+// WidthBytes returns the number of bytes moved per bus cycle.
+func (b Bus) WidthBytes() uint64 { return b.widthBytes }
+
+// Divisor returns the number of CPU cycles per bus cycle.
+func (b Bus) Divisor() uint64 { return b.divisor }
+
+// CPUCycles converts bus cycles to CPU cycles.
+func (b Bus) CPUCycles(busCycles uint64) Cycles {
+	return Cycles(busCycles * b.divisor)
+}
+
+// TransferBusCycles returns the number of bus cycles needed to move n
+// bytes across the bus (partial beats round up).
+func (b Bus) TransferBusCycles(n uint64) uint64 {
+	return (n + b.widthBytes - 1) / b.widthBytes
+}
+
+// TransferCPUCycles returns the CPU-cycle cost of moving n bytes.
+func (b Bus) TransferCPUCycles(n uint64) Cycles {
+	return b.CPUCycles(b.TransferBusCycles(n))
+}

@@ -1,0 +1,88 @@
+package mem
+
+import "fmt"
+
+// Cycles counts CPU cycles at the simulated issue rate. The paper's
+// "CPU cycle time" really models a superscalar issue rate (§4.3), so a
+// cycle here is one issue slot.
+type Cycles uint64
+
+// Picos is a duration in picoseconds. DRAM timing is specified in
+// absolute time (it does not scale with the CPU clock), so all device
+// latencies are held in picoseconds and converted to cycles through a
+// Clock.
+type Picos uint64
+
+// Common time units.
+const (
+	Picosecond  Picos = 1
+	Nanosecond  Picos = 1000
+	Microsecond Picos = 1000 * 1000
+	Millisecond Picos = 1000 * 1000 * 1000
+	Second      Picos = 1000 * 1000 * 1000 * 1000
+)
+
+// Clock converts between wall-clock time and CPU cycles for one
+// simulated issue rate. The paper sweeps issue rates from 200 MHz to
+// 4 GHz while holding DRAM timing constant, which is how the growing
+// CPU–DRAM gap is modeled: the same 50 ns Rambus latency costs 10
+// cycles at 200 MHz but 200 cycles at 4 GHz.
+type Clock struct {
+	issueMHz  uint64
+	cycleTime Picos // picoseconds per CPU cycle
+}
+
+// NewClock returns a Clock for the given issue rate in MHz. The issue
+// rate must be positive and must divide 1 THz evenly in picoseconds
+// (every rate the paper uses does: 200 MHz → 5000 ps, 4 GHz → 250 ps).
+func NewClock(issueMHz uint64) (Clock, error) {
+	if issueMHz == 0 {
+		return Clock{}, fmt.Errorf("mem: issue rate must be positive")
+	}
+	if uint64(Second)/1_000_000%issueMHz != 0 {
+		return Clock{}, fmt.Errorf("mem: issue rate %d MHz does not yield an integral picosecond cycle time", issueMHz)
+	}
+	return Clock{issueMHz: issueMHz, cycleTime: Picos(uint64(Second) / 1_000_000 / issueMHz)}, nil
+}
+
+// MustClock is NewClock for rates known to be valid at compile time; it
+// panics on error and is intended for tests and table-driven sweeps
+// over the paper's fixed set of issue rates.
+func MustClock(issueMHz uint64) Clock {
+	c, err := NewClock(issueMHz)
+	if err != nil {
+		panic(err)
+	}
+	return c
+}
+
+// IssueMHz returns the issue rate in MHz.
+func (c Clock) IssueMHz() uint64 { return c.issueMHz }
+
+// CycleTime returns the duration of one CPU cycle.
+func (c Clock) CycleTime() Picos { return c.cycleTime }
+
+// CyclesFrom converts a duration to CPU cycles, rounding up: a device
+// that is busy for any fraction of a cycle occupies the whole cycle.
+func (c Clock) CyclesFrom(d Picos) Cycles {
+	return Cycles((uint64(d) + uint64(c.cycleTime) - 1) / uint64(c.cycleTime))
+}
+
+// PicosFrom converts a cycle count back to a duration.
+func (c Clock) PicosFrom(n Cycles) Picos {
+	return Picos(uint64(n) * uint64(c.cycleTime))
+}
+
+// Seconds renders a cycle count as seconds of simulated time at this
+// clock, for the elapsed-time tables (Tables 3–5 report seconds).
+func (c Clock) Seconds(n Cycles) float64 {
+	return float64(uint64(n)) * float64(c.cycleTime) / float64(Second)
+}
+
+// String describes the clock, e.g. "800MHz" or "4GHz".
+func (c Clock) String() string {
+	if c.issueMHz >= 1000 && c.issueMHz%1000 == 0 {
+		return fmt.Sprintf("%dGHz", c.issueMHz/1000)
+	}
+	return fmt.Sprintf("%dMHz", c.issueMHz)
+}

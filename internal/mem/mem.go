@@ -1,0 +1,134 @@
+// Package mem provides the shared vocabulary of the RAMpage simulator:
+// address types, memory reference records, power-of-two arithmetic and
+// size formatting. Every other package in the simulator builds on these
+// definitions, so they are deliberately small and allocation-free.
+//
+// Two distinct address types are used so that the compiler catches the
+// classic simulator bug of mixing virtual and physical addresses:
+//
+//   - VAddr — a virtual address as issued by a traced program.
+//   - PAddr — a physical address in whichever physical space a level of
+//     the hierarchy uses (the L2 cache and the RAMpage SRAM main memory
+//     each define their own physical space; the DRAM paging device
+//     defines a third).
+package mem
+
+import "fmt"
+
+// VAddr is a virtual address issued by a simulated program. Virtual
+// addresses are per-process; the same VAddr in two processes names
+// unrelated data.
+type VAddr uint64
+
+// PAddr is a physical address within one physical address space of the
+// simulated machine. Which space (L2, SRAM main memory, or DRAM) is
+// determined by context; the type exists to keep virtual and physical
+// arithmetic from being mixed accidentally.
+type PAddr uint64
+
+// PID identifies a simulated process (one interleaved trace stream).
+type PID uint16
+
+// KernelPID is the process ID reserved for operating-system activity:
+// TLB-miss handlers, page-fault handlers and context-switch code. OS
+// references are tagged with this PID so statistics can separate
+// application work from memory-management overhead (Figure 4 of the
+// paper measures exactly this ratio).
+const KernelPID PID = 0xFFFF
+
+// RefKind classifies a memory reference.
+type RefKind uint8
+
+const (
+	// IFetch is an instruction fetch. Instruction fetches are the only
+	// references that cost time when they hit in L1 (one cycle); the
+	// paper models data hits and TLB hits as fully pipelined.
+	IFetch RefKind = iota
+	// Load is a data read.
+	Load
+	// Store is a data write. Stores are write-allocated and absorbed by
+	// a perfect write buffer on hit (zero effective hit time).
+	Store
+)
+
+// String returns a short human-readable name for the reference kind.
+func (k RefKind) String() string {
+	switch k {
+	case IFetch:
+		return "ifetch"
+	case Load:
+		return "load"
+	case Store:
+		return "store"
+	default:
+		return fmt.Sprintf("RefKind(%d)", uint8(k))
+	}
+}
+
+// IsData reports whether the reference goes to the data side of the
+// split L1 cache.
+func (k RefKind) IsData() bool { return k != IFetch }
+
+// Ref is one memory reference from a trace: a process, a kind and a
+// virtual address. Ref is the unit of work for the whole simulator —
+// trace generators produce them and hierarchy simulators consume them.
+type Ref struct {
+	PID  PID
+	Kind RefKind
+	Addr VAddr
+}
+
+// String formats the reference for debugging and trace dumps.
+func (r Ref) String() string {
+	return fmt.Sprintf("p%d %s 0x%x", r.PID, r.Kind, uint64(r.Addr))
+}
+
+// IsPow2 reports whether v is a power of two. Zero is not a power of
+// two.
+func IsPow2(v uint64) bool { return v != 0 && v&(v-1) == 0 }
+
+// Log2 returns floor(log2(v)). Log2(0) is 0 by convention; callers that
+// need exactness should check IsPow2 first.
+func Log2(v uint64) uint {
+	var n uint
+	for v > 1 {
+		v >>= 1
+		n++
+	}
+	return n
+}
+
+// AlignDown rounds addr down to a multiple of align, which must be a
+// power of two.
+func AlignDown(addr, align uint64) uint64 { return addr &^ (align - 1) }
+
+// AlignUp rounds addr up to a multiple of align, which must be a power
+// of two.
+func AlignUp(addr, align uint64) uint64 { return (addr + align - 1) &^ (align - 1) }
+
+// FormatSize renders a byte count with a binary-unit suffix, e.g.
+// "4KB", "4.125MB", "512B". It is used in table headers and reports.
+func FormatSize(bytes uint64) string {
+	const (
+		kb = 1 << 10
+		mb = 1 << 20
+		gb = 1 << 30
+	)
+	switch {
+	case bytes >= gb:
+		return trimUnit(float64(bytes)/gb, "GB")
+	case bytes >= mb:
+		return trimUnit(float64(bytes)/mb, "MB")
+	case bytes >= kb:
+		return trimUnit(float64(bytes)/kb, "KB")
+	default:
+		return fmt.Sprintf("%dB", bytes)
+	}
+}
+
+func trimUnit(v float64, unit string) string {
+	if v == float64(uint64(v)) {
+		return fmt.Sprintf("%d%s", uint64(v), unit)
+	}
+	return fmt.Sprintf("%.3g%s", v, unit)
+}

@@ -1,0 +1,334 @@
+// Package pagetable implements the inverted page table of §2.2 — a
+// table indexed on the physical instead of the virtual address, chosen
+// because the SRAM main memory is small, the table size is fixed (so
+// the whole table can be pinned in SRAM), and with the table pinned a
+// TLB miss need never reference DRAM. The same organization serves the
+// DRAM paging device ("same organization as RAMpage main memory, for
+// simplicity", §4.3).
+//
+// The structure is the classic hash-anchor-table design: a hash of
+// (process, virtual page number) selects a bucket whose chain links
+// frame entries. Lookups report the table addresses they probe so the
+// TLB-miss handler trace (package synth) can replay the walk through
+// the simulated caches — the probe cost is the paper's "inverted page
+// table is slower on lookup than a forward page table".
+//
+// Replacement uses the standard clock algorithm of §4.5: "a clock hand
+// advances through the page table, marking each page that has
+// previously been marked as 'in use' as 'unused', until an 'unused'
+// page is found."
+package pagetable
+
+import (
+	"fmt"
+
+	"rampage/internal/mem"
+	"rampage/internal/xrand"
+)
+
+// EntryBytes is the size of one inverted-page-table entry. With
+// 32768 frames (a 4 MB SRAM at 128 B pages) the table is 512 KB, which
+// together with the hash anchor table reproduces the §4.5 operating-
+// system footprint scaling (5336 × 128 B pages at the small end).
+const EntryBytes = 16
+
+// HATEntryBytes is the size of one hash-anchor-table slot.
+const HATEntryBytes = 4
+
+// Config describes an inverted page table.
+type Config struct {
+	// Frames is the number of physical page frames mapped.
+	Frames uint64
+	// PageBytes is the page size (power of two).
+	PageBytes uint64
+	// TableBase is the virtual address at which the table lives, used
+	// to synthesize handler data references. The hash anchor table
+	// starts at TableBase; frame entries follow it.
+	TableBase uint64
+	// Scramble shuffles the initial free list so frames are handed out
+	// in pseudo-random order, modeling the page placement of a long-
+	// running operating system. Random placement is what produces
+	// conflict misses in a physically-indexed direct-mapped cache (the
+	// [KH92b]/[BLRC94] problem the paper cites); without it a
+	// sequential first-touch allocation gives the baseline an
+	// unrealistically conflict-free layout. ScrambleSeed makes the
+	// shuffle deterministic.
+	Scramble     bool
+	ScrambleSeed uint64
+}
+
+// Validate checks the configuration.
+func (c Config) Validate() error {
+	if c.Frames == 0 {
+		return fmt.Errorf("pagetable: zero frames")
+	}
+	if c.PageBytes == 0 || !mem.IsPow2(c.PageBytes) {
+		return fmt.Errorf("pagetable: page size %d is not a power of two", c.PageBytes)
+	}
+	return nil
+}
+
+// Stats counts page-table events.
+type Stats struct {
+	Lookups    uint64
+	Hits       uint64
+	Probes     uint64 // total chain entries examined (collisions show up here)
+	ClockScans uint64 // total entries examined by the clock hand
+	Maps       uint64
+	Unmaps     uint64
+}
+
+// entry is one frame's mapping.
+type entry struct {
+	valid  bool
+	pid    mem.PID
+	vpn    uint64
+	used   bool // clock reference bit
+	dirty  bool
+	pinned bool
+	next   int32 // next frame in hash chain, -1 = end
+}
+
+// Inverted is the inverted page table. It is not safe for concurrent
+// use.
+type Inverted struct {
+	cfg      Config
+	entries  []entry
+	hat      []int32 // bucket -> first frame, -1 = empty
+	hatMask  uint64
+	freeHead int32
+	freeNext []int32 // free-list links
+	hand     uint64  // clock hand
+	stats    Stats
+}
+
+// New builds an inverted page table with all frames free.
+func New(cfg Config) (*Inverted, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	// Size the hash anchor table to at least the frame count, rounded
+	// to a power of two, to keep chains short.
+	hatSize := uint64(1)
+	for hatSize < cfg.Frames {
+		hatSize <<= 1
+	}
+	pt := &Inverted{
+		cfg:      cfg,
+		entries:  make([]entry, cfg.Frames),
+		hat:      make([]int32, hatSize),
+		hatMask:  hatSize - 1,
+		freeNext: make([]int32, cfg.Frames),
+	}
+	for i := range pt.hat {
+		pt.hat[i] = -1
+	}
+	order := make([]int32, cfg.Frames)
+	for i := range order {
+		order[i] = int32(i)
+	}
+	if cfg.Scramble {
+		// Fisher–Yates, deterministic from the seed. The lowest frames
+		// are kept in place so callers can still reserve a contiguous
+		// kernel region before user allocation begins; only the tail
+		// beyond the first 1/32 of frames is shuffled.
+		rng := xrand.New(cfg.ScrambleSeed ^ 0x5C4A3B1E)
+		fixed := int(cfg.Frames / 32)
+		for i := len(order) - 1; i > fixed; i-- {
+			j := fixed + 1 + rng.Intn(i-fixed)
+			order[i], order[j] = order[j], order[i]
+		}
+	}
+	pt.freeHead = order[0]
+	for i := 0; i < len(order)-1; i++ {
+		pt.freeNext[order[i]] = order[i+1]
+	}
+	pt.freeNext[order[len(order)-1]] = -1
+	return pt, nil
+}
+
+// MustNew is New but panics on error.
+func MustNew(cfg Config) *Inverted {
+	pt, err := New(cfg)
+	if err != nil {
+		panic(err)
+	}
+	return pt
+}
+
+// Config returns the table's configuration.
+func (pt *Inverted) Config() Config { return pt.cfg }
+
+// Stats returns a copy of the counters.
+func (pt *Inverted) Stats() Stats { return pt.stats }
+
+// TableBytes returns the memory footprint of the table structures
+// (hash anchor table plus frame entries) — the part of the §4.5
+// operating-system reservation that scales with page size.
+func (pt *Inverted) TableBytes() uint64 {
+	return uint64(len(pt.hat))*HATEntryBytes + pt.cfg.Frames*EntryBytes
+}
+
+// hash maps (pid, vpn) to a bucket.
+func (pt *Inverted) hash(pid mem.PID, vpn uint64) uint64 {
+	return xrand.Mix(uint64(pid)<<48^vpn) & pt.hatMask
+}
+
+// HATAddr returns the virtual address of a bucket slot.
+func (pt *Inverted) HATAddr(bucket uint64) uint64 {
+	return pt.cfg.TableBase + bucket*HATEntryBytes
+}
+
+// EntryAddr returns the virtual address of a frame's table entry.
+func (pt *Inverted) EntryAddr(frame uint64) uint64 {
+	return pt.cfg.TableBase + uint64(len(pt.hat))*HATEntryBytes + frame*EntryBytes
+}
+
+// Lookup finds the frame mapping (pid, vpn). probeAddrs lists the
+// table addresses the walk touched — the hash-anchor slot and each
+// chain entry examined — for replay as handler data references. The
+// walk marks the found frame's use bit (a reference has occurred).
+func (pt *Inverted) Lookup(pid mem.PID, vpn uint64) (frame uint64, probeAddrs []uint64, ok bool) {
+	return pt.lookup(pid, vpn, nil)
+}
+
+// LookupAppend is Lookup with a caller-provided probe buffer to avoid
+// per-miss allocation on the simulator's hot path.
+func (pt *Inverted) LookupAppend(pid mem.PID, vpn uint64, probes []uint64) (uint64, []uint64, bool) {
+	return pt.lookup(pid, vpn, probes)
+}
+
+func (pt *Inverted) lookup(pid mem.PID, vpn uint64, probes []uint64) (uint64, []uint64, bool) {
+	pt.stats.Lookups++
+	bucket := pt.hash(pid, vpn)
+	probes = append(probes, pt.HATAddr(bucket))
+	for idx := pt.hat[bucket]; idx >= 0; idx = pt.entries[idx].next {
+		pt.stats.Probes++
+		probes = append(probes, pt.EntryAddr(uint64(idx)))
+		e := &pt.entries[idx]
+		if e.valid && e.pid == pid && e.vpn == vpn {
+			pt.stats.Hits++
+			e.used = true
+			return uint64(idx), probes, true
+		}
+	}
+	return 0, probes, false
+}
+
+// AllocFree pops a free frame, or reports none.
+func (pt *Inverted) AllocFree() (uint64, bool) {
+	if pt.freeHead < 0 {
+		return 0, false
+	}
+	f := uint64(pt.freeHead)
+	pt.freeHead = pt.freeNext[f]
+	return f, true
+}
+
+// FreeFrames returns the number of unallocated frames.
+func (pt *Inverted) FreeFrames() uint64 {
+	var n uint64
+	for i := pt.freeHead; i >= 0; i = pt.freeNext[i] {
+		n++
+	}
+	return n
+}
+
+// Map installs (pid, vpn) -> frame. The frame must be unmapped (fresh
+// from AllocFree or Unmap).
+func (pt *Inverted) Map(pid mem.PID, vpn, frame uint64) error {
+	if frame >= pt.cfg.Frames {
+		return fmt.Errorf("pagetable: frame %d out of range", frame)
+	}
+	e := &pt.entries[frame]
+	if e.valid {
+		return fmt.Errorf("pagetable: frame %d already maps (pid %d, vpn %#x)", frame, e.pid, e.vpn)
+	}
+	bucket := pt.hash(pid, vpn)
+	*e = entry{valid: true, pid: pid, vpn: vpn, used: true, next: pt.hat[bucket]}
+	pt.hat[bucket] = int32(frame)
+	pt.stats.Maps++
+	return nil
+}
+
+// Unmap removes frame's mapping and returns it. The frame is NOT
+// returned to the free list — the caller immediately remaps it (page
+// replacement) or calls Release.
+func (pt *Inverted) Unmap(frame uint64) (pid mem.PID, vpn uint64, dirty bool, err error) {
+	if frame >= pt.cfg.Frames || !pt.entries[frame].valid {
+		return 0, 0, false, fmt.Errorf("pagetable: frame %d not mapped", frame)
+	}
+	e := pt.entries[frame]
+	bucket := pt.hash(e.pid, e.vpn)
+	// Unlink from the chain.
+	if pt.hat[bucket] == int32(frame) {
+		pt.hat[bucket] = e.next
+	} else {
+		for idx := pt.hat[bucket]; idx >= 0; idx = pt.entries[idx].next {
+			if pt.entries[idx].next == int32(frame) {
+				pt.entries[idx].next = e.next
+				break
+			}
+		}
+	}
+	pt.entries[frame] = entry{}
+	pt.stats.Unmaps++
+	return e.pid, e.vpn, e.dirty, nil
+}
+
+// Release returns an unmapped frame to the free list.
+func (pt *Inverted) Release(frame uint64) {
+	pt.freeNext[frame] = pt.freeHead
+	pt.freeHead = int32(frame)
+}
+
+// Touch sets the frame's clock reference bit.
+func (pt *Inverted) Touch(frame uint64) { pt.entries[frame].used = true }
+
+// SetDirty marks the frame's page dirty (it must be written back on
+// replacement).
+func (pt *Inverted) SetDirty(frame uint64) { pt.entries[frame].dirty = true }
+
+// Pin excludes the frame from clock replacement — the §4.5/§2.3
+// mechanism that keeps the page table, handler code and context-switch
+// structures resident in SRAM. It is also used transiently to protect
+// a frame whose page transfer is still in flight (switch-on-miss).
+func (pt *Inverted) Pin(frame uint64) { pt.entries[frame].pinned = true }
+
+// Unpin makes the frame replaceable again (the transfer that pinned it
+// has completed).
+func (pt *Inverted) Unpin(frame uint64) { pt.entries[frame].pinned = false }
+
+// FrameInfo reports a frame's mapping and state.
+func (pt *Inverted) FrameInfo(frame uint64) (pid mem.PID, vpn uint64, valid, dirty, pinned bool) {
+	e := pt.entries[frame]
+	return e.pid, e.vpn, e.valid, e.dirty, e.pinned
+}
+
+// ClockSelect runs the clock hand to choose a victim frame: it clears
+// use bits on referenced pages and stops at the first unreferenced,
+// unpinned, valid frame. scanAddrs lists the entry addresses the hand
+// examined (each is a read-modify-write in the fault handler trace).
+// ok is false when every frame is pinned or recently used twice around
+// (pathological; callers treat it as "no victim").
+func (pt *Inverted) ClockSelect(scanAddrs []uint64) (victim uint64, _ []uint64, ok bool) {
+	n := pt.cfg.Frames
+	// Two full sweeps suffice: the first clears use bits, the second
+	// must find a clear one unless everything is pinned or invalid.
+	for i := uint64(0); i < 2*n; i++ {
+		f := pt.hand
+		pt.hand = (pt.hand + 1) % n
+		e := &pt.entries[f]
+		pt.stats.ClockScans++
+		scanAddrs = append(scanAddrs, pt.EntryAddr(f))
+		if !e.valid || e.pinned {
+			continue
+		}
+		if e.used {
+			e.used = false
+			continue
+		}
+		return f, scanAddrs, true
+	}
+	return 0, scanAddrs, false
+}

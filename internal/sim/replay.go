@@ -1,0 +1,33 @@
+package sim
+
+import (
+	"errors"
+	"fmt"
+	"io"
+
+	"rampage/internal/trace"
+)
+
+// Replay drives a machine directly from a pre-interleaved reference
+// stream (for example a trace file written by rampage-trace), with no
+// scheduler: references execute in stream order, kernel-tagged
+// references included. Blocking machines (RAMpage with switch-on-miss)
+// are rejected — without a scheduler there is nothing to switch to.
+func Replay(m Machine, r trace.Reader) error {
+	for {
+		ref, err := r.Next()
+		if errors.Is(err, io.EOF) {
+			return nil
+		}
+		if err != nil {
+			return err
+		}
+		block, err := m.Exec(ref)
+		if err != nil {
+			return err
+		}
+		if block != 0 {
+			return fmt.Errorf("sim: Replay cannot drive a switch-on-miss machine (reference blocked)")
+		}
+	}
+}

@@ -1,0 +1,318 @@
+package sim
+
+import (
+	"errors"
+	"fmt"
+	"io"
+
+	"rampage/internal/mem"
+	"rampage/internal/stats"
+	"rampage/internal/synth"
+	"rampage/internal/trace"
+)
+
+// procState is a simulated process's scheduling state.
+type procState uint8
+
+const (
+	procReady procState = iota
+	procRunning
+	procBlocked
+	procDone
+)
+
+// proc is one simulated process: a reference stream with scheduling
+// state.
+type proc struct {
+	pid       mem.PID
+	r         trace.Reader
+	state     procState
+	readyAt   mem.Cycles // when blocked: page-arrival time
+	pending   mem.Ref    // the faulting reference to retry after unblock
+	hasPend   bool
+	sliceLeft uint64 // references remaining in the current time slice
+}
+
+// SchedulerConfig configures the multiprogramming driver.
+type SchedulerConfig struct {
+	// Quantum is the time slice in references (§4.2: 500,000).
+	Quantum uint64
+	// InsertSwitchTrace interleaves the ~400-reference context-switch
+	// code at every switch (§4.6). Table 3 runs omit it; Tables 4–5
+	// include it.
+	InsertSwitchTrace bool
+	// LightweightThreads replaces the switch code on *miss-induced*
+	// switches with a ~40-reference thread switch — the §3.2/§6.3
+	// multithreading extension. Quantum-boundary switches still pay
+	// the full process-switch cost.
+	LightweightThreads bool
+	// Seed drives the context-switch trace generator.
+	Seed uint64
+	// MaxRefs, when non-zero, stops the run after that many
+	// application references (for smoke tests and quick sweeps).
+	MaxRefs uint64
+}
+
+// Scheduler drives a Machine with a multiprogrammed workload.
+//
+// Time-slice scheduling is round-robin with a fixed reference quantum
+// (§4.2). Context switches on misses (§4.6) treat the *miss* as the
+// scheduling unit, like a software non-blocking cache: when a page
+// fault blocks the running process, another ready process fills the
+// gap, and as soon as the page arrives the faulting process preempts
+// the fill-in and resumes the remainder of its time slice. Without
+// prompt resumption a fault would rotate all working sets through the
+// SRAM and amplify faults instead of hiding latency; with it, at most
+// a couple of working sets are active between slice boundaries, and
+// the trade the paper measures emerges naturally — a switch pair
+// (~2×400 references) is only worth taking when the page transfer
+// outlasts it, which is why switches on misses pay off as the
+// CPU–DRAM gap grows.
+type Scheduler struct {
+	m      Machine
+	cfg    SchedulerConfig
+	procs  []*proc
+	queue  []int      // FIFO of ready process indices
+	wakeAt mem.Cycles // earliest blocked readyAt (0 = none)
+	kernel *synth.Kernel
+	buf    []mem.Ref
+}
+
+// NewScheduler builds a scheduler over one reader per process; the
+// reader for process i is tagged PID i.
+func NewScheduler(m Machine, readers []trace.Reader, cfg SchedulerConfig) (*Scheduler, error) {
+	if len(readers) == 0 {
+		return nil, fmt.Errorf("sim: scheduler needs at least one process")
+	}
+	if cfg.Quantum == 0 {
+		cfg.Quantum = trace.DefaultQuantum
+	}
+	procs := make([]*proc, len(readers))
+	queue := make([]int, len(readers))
+	for i, r := range readers {
+		procs[i] = &proc{pid: mem.PID(i), r: trace.NewRetag(r, mem.PID(i)), sliceLeft: cfg.Quantum}
+		queue[i] = i
+	}
+	return &Scheduler{
+		m:      m,
+		cfg:    cfg,
+		procs:  procs,
+		queue:  queue,
+		kernel: synth.NewKernel(cfg.Seed + 9),
+	}, nil
+}
+
+// Run executes the workload to completion and returns the machine's
+// report.
+func (s *Scheduler) Run() (*stats.Report, error) {
+	rep := s.m.Report()
+	cur, ok := s.dispatch()
+	if !ok {
+		return rep, nil
+	}
+	var executed uint64
+	for {
+		if s.cfg.MaxRefs > 0 && executed >= s.cfg.MaxRefs {
+			return rep, nil
+		}
+		// Resume-on-arrival: a blocked process whose page has landed
+		// preempts the current (fill-in) process immediately.
+		if s.wakeAt != 0 && s.m.Now() >= s.wakeAt {
+			if woken := s.earliestArrived(); woken >= 0 && woken != cur {
+				s.procs[cur].state = procReady
+				s.queue = append([]int{cur}, s.queue...) // fill-in keeps priority
+				if err := s.switchTrace(rep, cur, woken, true); err != nil {
+					return rep, err
+				}
+				s.procs[woken].state = procRunning
+				cur = woken
+			}
+			s.recomputeWake()
+		}
+		p := s.procs[cur]
+		// Fetch the next reference (a pending fault retry first).
+		var ref mem.Ref
+		if p.hasPend {
+			ref = p.pending
+			p.hasPend = false
+		} else {
+			r, err := p.r.Next()
+			if errors.Is(err, io.EOF) {
+				p.state = procDone
+				next, ok := s.dispatch()
+				if !ok {
+					return rep, nil // all done
+				}
+				if err := s.switchTrace(rep, cur, next, false); err != nil {
+					return rep, err
+				}
+				cur = next
+				continue
+			}
+			if err != nil {
+				return rep, err
+			}
+			ref = r
+		}
+		blockUntil, err := s.m.Exec(ref)
+		if err != nil {
+			return rep, err
+		}
+		if blockUntil != 0 {
+			if s.wakeAt != 0 {
+				// Another page is already in flight: a second switch
+				// would drag a third working set into the SRAM and
+				// amplify faults instead of hiding latency. Stall this
+				// (fill-in) process until its own page arrives; the
+				// loop-top preemption hands control back to the
+				// original faulter the moment its page lands.
+				s.m.AdvanceTo(blockUntil)
+				p.pending = ref
+				p.hasPend = true
+				continue
+			}
+			// Page fault with switch-on-miss: block this process and
+			// run something else while the page is in flight (§4.6).
+			p.state = procBlocked
+			p.readyAt = blockUntil
+			p.pending = ref
+			p.hasPend = true
+			rep.SwitchesOnMiss++
+			if s.wakeAt == 0 || blockUntil < s.wakeAt {
+				s.wakeAt = blockUntil
+			}
+			next, ok := s.dispatch()
+			if !ok {
+				return rep, fmt.Errorf("sim: no runnable process while pages in flight")
+			}
+			if err := s.switchTrace(rep, cur, next, true); err != nil {
+				return rep, err
+			}
+			cur = next
+			continue
+		}
+		executed++
+		p.sliceLeft--
+		if p.sliceLeft == 0 {
+			p.sliceLeft = s.cfg.Quantum
+			s.admitUnblocked()
+			if len(s.queue) > 0 {
+				// Round-robin: the running process goes to the back.
+				p.state = procReady
+				s.queue = append(s.queue, cur)
+				next, _ := s.dispatch()
+				if next != cur {
+					rep.Switches++
+					if err := s.switchTrace(rep, cur, next, false); err != nil {
+						return rep, err
+					}
+				}
+				cur = next
+			}
+		}
+	}
+}
+
+// dispatch pops the next runnable process off the FIFO queue, first
+// admitting any blocked processes whose pages have arrived and idling
+// the machine forward when nothing is ready but transfers are in
+// flight. ok is false when every process is done.
+func (s *Scheduler) dispatch() (int, bool) {
+	s.admitUnblocked()
+	for len(s.queue) == 0 {
+		if !s.waitForBlocked() {
+			return -1, false
+		}
+		s.admitUnblocked()
+	}
+	next := s.queue[0]
+	s.queue = s.queue[1:]
+	s.procs[next].state = procRunning
+	return next, true
+}
+
+// earliestArrived returns the blocked process with the earliest
+// readyAt that has already arrived, or -1.
+func (s *Scheduler) earliestArrived() int {
+	now := s.m.Now()
+	best := -1
+	for i, p := range s.procs {
+		if p.state == procBlocked && p.readyAt <= now {
+			if best < 0 || p.readyAt < s.procs[best].readyAt {
+				best = i
+			}
+		}
+	}
+	return best
+}
+
+// recomputeWake refreshes the earliest blocked arrival time.
+func (s *Scheduler) recomputeWake() {
+	s.wakeAt = 0
+	for _, p := range s.procs {
+		if p.state == procBlocked && (s.wakeAt == 0 || p.readyAt < s.wakeAt) {
+			s.wakeAt = p.readyAt
+		}
+	}
+}
+
+// admitUnblocked moves blocked processes whose pages have arrived onto
+// the ready queue, in arrival order.
+func (s *Scheduler) admitUnblocked() {
+	now := s.m.Now()
+	for {
+		best := -1
+		for i, p := range s.procs {
+			if p.state == procBlocked && p.readyAt <= now {
+				if best < 0 || p.readyAt < s.procs[best].readyAt {
+					best = i
+				}
+			}
+		}
+		if best < 0 {
+			s.recomputeWake()
+			return
+		}
+		s.procs[best].state = procReady
+		s.queue = append(s.queue, best)
+	}
+}
+
+// waitForBlocked advances time to the earliest blocked process's
+// page arrival. It reports false when no process is blocked (the
+// workload is complete).
+func (s *Scheduler) waitForBlocked() bool {
+	var earliest mem.Cycles
+	found := false
+	for _, p := range s.procs {
+		if p.state == procBlocked && (!found || p.readyAt < earliest) {
+			earliest = p.readyAt
+			found = true
+		}
+	}
+	if !found {
+		return false
+	}
+	s.m.AdvanceTo(earliest)
+	return true
+}
+
+// switchTrace interleaves the context-switch code trace when
+// configured. Miss-induced switches use the lightweight thread-switch
+// trace when LightweightThreads is set.
+func (s *Scheduler) switchTrace(rep *stats.Report, from, to int, onMiss bool) error {
+	if to == from {
+		return nil
+	}
+	if s.cfg.InsertSwitchTrace {
+		if onMiss && s.cfg.LightweightThreads {
+			s.buf = s.kernel.AppendThreadSwitch(s.buf[:0], s.procs[from].pid, s.procs[to].pid)
+		} else {
+			s.buf = s.kernel.AppendContextSwitch(s.buf[:0], s.procs[from].pid, s.procs[to].pid)
+		}
+		if err := s.m.ExecTrace(s.buf, ClassSwitch); err != nil {
+			return fmt.Errorf("sim: context-switch trace failed: %w", err)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,133 @@
+// Package stats accumulates the measurements the paper reports:
+// elapsed simulated time (Tables 3–5), the fraction of run time spent
+// in each level of the hierarchy (Figures 2–3), and the memory-
+// management software overhead ratio (Figure 4).
+package stats
+
+import (
+	"fmt"
+	"strings"
+
+	"rampage/internal/mem"
+)
+
+// Level identifies a level of the simulated hierarchy for time
+// attribution, following the paper's Figure 2 breakdown.
+type Level uint8
+
+const (
+	// L1I is instruction-fetch time: L1 instruction hits plus the L1i
+	// share of inclusion maintenance.
+	L1I Level = iota
+	// L1D is the L1 data cache's share of inclusion maintenance (data
+	// hits are fully pipelined and cost nothing, §4.3).
+	L1D
+	// L2 is time spent accessing the second SRAM level — the L2 cache
+	// or the RAMpage SRAM main memory: miss penalties and write-backs.
+	L2
+	// DRAM is time stalled on the Rambus channel (block and page
+	// transfers, and idle waits for in-flight pages).
+	DRAM
+	// NumLevels is the number of attribution levels.
+	NumLevels
+)
+
+// String names the level as the paper's figures do.
+func (l Level) String() string {
+	switch l {
+	case L1I:
+		return "L1i"
+	case L1D:
+		return "L1d"
+	case L2:
+		return "L2/SRAM"
+	case DRAM:
+		return "DRAM"
+	default:
+		return fmt.Sprintf("Level(%d)", uint8(l))
+	}
+}
+
+// Report is the complete measurement record of one simulation run.
+type Report struct {
+	// Name labels the configuration ("baseline", "rampage", ...).
+	Name string
+	// Clock is the issue rate the run simulated.
+	Clock mem.Clock
+	// BlockBytes is the L2 block size or SRAM page size swept.
+	BlockBytes uint64
+
+	// Cycles is total simulated time.
+	Cycles mem.Cycles
+	// LevelTime attributes time to hierarchy levels; the remainder
+	// (Cycles - sum) is pipelined execution not attributable to a
+	// stall.
+	LevelTime [NumLevels]mem.Cycles
+
+	// BenchRefs counts application references executed; OS reference
+	// counts are split by purpose for the Figure 4 ratio.
+	BenchRefs      uint64
+	OSTLBRefs      uint64 // TLB-miss handler references
+	OSFaultRefs    uint64 // page-fault handler references
+	OSSwitchRefs   uint64 // context-switch code references
+	TLBMisses      uint64
+	PageFaults     uint64
+	L1IMisses      uint64
+	L1DMisses      uint64
+	L2Misses       uint64     // baseline only: misses from L2 to DRAM
+	Writebacks     uint64     // blocks or pages written back to DRAM
+	Switches       uint64     // context switches at time-slice boundaries
+	SwitchesOnMiss uint64     // RAMpage: context switches taken on faults
+	IdleCycles     mem.Cycles // CS-on-miss: all processes blocked
+	Resizes        uint64     // adaptive RAMpage: dynamic page-size switches
+	Prefetches     uint64     // pages brought in ahead of demand (§3.2 extension)
+	PrefetchHits   uint64     // prefetched pages later demanded
+	PrefetchWasted uint64     // prefetched pages evicted unused
+	PrefetchStalls uint64     // demand accesses that waited for an in-flight prefetch
+}
+
+// Seconds returns the elapsed simulated time — the Tables 3–5 metric.
+func (r *Report) Seconds() float64 { return r.Clock.Seconds(r.Cycles) }
+
+// Charge adds cycles to both the total and a level's attribution.
+func (r *Report) Charge(l Level, c mem.Cycles) {
+	r.Cycles += c
+	r.LevelTime[l] += c
+}
+
+// LevelFraction returns the fraction of total run time spent in a
+// level — the Figures 2–3 metric.
+func (r *Report) LevelFraction(l Level) float64 {
+	if r.Cycles == 0 {
+		return 0
+	}
+	return float64(r.LevelTime[l]) / float64(r.Cycles)
+}
+
+// OverheadRatio returns the Figure 4 metric: "the ratio of additional
+// TLB miss and page fault handling references to the total number of
+// references in the benchmark trace files".
+func (r *Report) OverheadRatio() float64 {
+	if r.BenchRefs == 0 {
+		return 0
+	}
+	return float64(r.OSTLBRefs+r.OSFaultRefs) / float64(r.BenchRefs)
+}
+
+// OSRefs returns all operating-system references executed.
+func (r *Report) OSRefs() uint64 { return r.OSTLBRefs + r.OSFaultRefs + r.OSSwitchRefs }
+
+// String renders a one-run summary.
+func (r *Report) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s @%s block/page %s: %.4fs (%d cycles)\n",
+		r.Name, r.Clock, mem.FormatSize(r.BlockBytes), r.Seconds(), r.Cycles)
+	for l := Level(0); l < NumLevels; l++ {
+		fmt.Fprintf(&b, "  %-8s %6.2f%%\n", l, 100*r.LevelFraction(l))
+	}
+	fmt.Fprintf(&b, "  refs: bench %d, OS %d (tlb %d, fault %d, switch %d); overhead ratio %.3f\n",
+		r.BenchRefs, r.OSRefs(), r.OSTLBRefs, r.OSFaultRefs, r.OSSwitchRefs, r.OverheadRatio())
+	fmt.Fprintf(&b, "  events: tlbmiss %d, fault %d, l1i-miss %d, l1d-miss %d, l2-miss %d, wb %d, switch %d (+%d on miss)\n",
+		r.TLBMisses, r.PageFaults, r.L1IMisses, r.L1DMisses, r.L2Misses, r.Writebacks, r.Switches, r.SwitchesOnMiss)
+	return b.String()
+}

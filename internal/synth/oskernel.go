@@ -1,0 +1,189 @@
+package synth
+
+import (
+	"rampage/internal/mem"
+	"rampage/internal/xrand"
+)
+
+// Kernel builds the operating-system reference traces that the paper
+// interleaves with the benchmark workload:
+//
+//   - the TLB-miss handler, which walks the inverted page table
+//     (§2.2–2.3: a hash probe plus collision-chain loads);
+//   - the page-fault handler, which runs the clock replacement scan
+//     and updates the page table (§4.5);
+//   - the context-switch code, "approximately 400 references per
+//     context switch ... based on a standard textbook algorithm"
+//     (§4.6).
+//
+// The builders take the *data* addresses the handler touches (actual
+// page-table entries, chosen by the page-table model) and wrap them in
+// the handler's instruction fetches and bookkeeping accesses, so the
+// simulated cache sees a faithful mix of OS code and data traffic.
+//
+// Kernel virtual layout: handler code and private data live in a
+// reserved kernel range. In the RAMpage hierarchy this range is pinned
+// in the SRAM main memory (so handlers never fault to DRAM, §2.3); in
+// the baseline it is ordinary cacheable memory.
+const (
+	// KernelBase is the start of the kernel virtual range.
+	KernelBase = 0xF000_0000
+	// Handler code footprints within the kernel range.
+	tlbHandlerCode   = KernelBase + 0x0000 // 256 B loop
+	tlbHandlerSize   = 256
+	faultHandlerCode = KernelBase + 0x0400 // 1 KB
+	faultHandlerSize = 1024
+	switchCode       = KernelBase + 0x1000 // 2 KB
+	switchCodeSize   = 2048
+	// KernelDataBase holds scheduler queues and process control blocks.
+	KernelDataBase = KernelBase + 0x2000
+	pcbSize        = 512 // bytes of PCB state saved/restored per switch
+	maxPCBs        = 32  // PCB slots; PIDs wrap beyond this
+	queueBase      = KernelDataBase + maxPCBs*pcbSize
+	// KernelFixedBytes is the span of the fixed kernel region (handler
+	// code, PCBs, scheduler queues). The inverted page table is placed
+	// immediately after it; together they form the pinned operating-
+	// system reservation of §4.5.
+	KernelFixedBytes = 0x8000
+)
+
+// Kernel is a builder for OS reference traces. It is deterministic for
+// a given seed and safe to reuse across events; it is not safe for
+// concurrent use.
+type Kernel struct {
+	rng *xrand.RNG
+}
+
+// NewKernel returns a Kernel with the given deterministic seed.
+func NewKernel(seed uint64) *Kernel {
+	return &Kernel{rng: xrand.New(seed ^ 0xBADC0FFEE)}
+}
+
+// kref makes a kernel-tagged reference.
+func kref(kind mem.RefKind, addr uint64) mem.Ref {
+	return mem.Ref{PID: mem.KernelPID, Kind: kind, Addr: mem.VAddr(addr)}
+}
+
+// appendCode appends n sequential instruction fetches from the handler
+// code region starting at base (wrapping within size).
+func appendCode(dst []mem.Ref, base, size uint64, start, n int) []mem.Ref {
+	for i := 0; i < n; i++ {
+		off := uint64((start+i)*4) % size
+		dst = append(dst, kref(mem.IFetch, base+off))
+	}
+	return dst
+}
+
+// AppendTLBMiss appends the TLB-miss handler trace: a short prologue,
+// one load per page-table entry probed (the hash bucket and any
+// collision-chain entries), and an epilogue that refills the TLB.
+// entryAddrs are the virtual addresses of the inverted-page-table
+// entries the walk touches, in probe order.
+func (k *Kernel) AppendTLBMiss(dst []mem.Ref, entryAddrs []uint64) []mem.Ref {
+	// Prologue: save state, compute the hash (~10 instructions).
+	dst = appendCode(dst, tlbHandlerCode, tlbHandlerSize, 0, 10)
+	pc := 10
+	for _, ea := range entryAddrs {
+		// Compare tag, follow chain (~3 instructions per probe).
+		dst = append(dst, kref(mem.Load, ea))
+		dst = appendCode(dst, tlbHandlerCode, tlbHandlerSize, pc, 3)
+		pc += 3
+	}
+	// Epilogue: write the TLB entry, restore, return (~8 instructions).
+	dst = appendCode(dst, tlbHandlerCode, tlbHandlerSize, pc, 8)
+	return dst
+}
+
+// AppendPageFault appends the page-fault handler trace: a longer
+// prologue, a load per clock-scan probe (scanAddrs: the page-table
+// entries whose use bits the clock hand examines and clears — each is
+// a read-modify-write), stores that rewrite the victim's and the new
+// page's entries (updateAddrs), and an epilogue. The DRAM transfer
+// itself is timed by the simulator, not represented here.
+func (k *Kernel) AppendPageFault(dst []mem.Ref, scanAddrs, updateAddrs []uint64) []mem.Ref {
+	dst = appendCode(dst, faultHandlerCode, faultHandlerSize, 0, 20)
+	pc := 20
+	for _, sa := range scanAddrs {
+		dst = append(dst, kref(mem.Load, sa))
+		dst = append(dst, kref(mem.Store, sa)) // clear the use bit
+		dst = appendCode(dst, faultHandlerCode, faultHandlerSize, pc, 4)
+		pc += 4
+	}
+	for _, ua := range updateAddrs {
+		dst = append(dst, kref(mem.Load, ua))
+		dst = append(dst, kref(mem.Store, ua))
+		dst = appendCode(dst, faultHandlerCode, faultHandlerSize, pc, 3)
+		pc += 3
+	}
+	dst = appendCode(dst, faultHandlerCode, faultHandlerSize, pc, 15)
+	return dst
+}
+
+// AppendContextSwitch appends the context-switch trace: roughly 400
+// references per §4.6 — register/PCB save for the outgoing process,
+// scheduler queue manipulation, and PCB restore for the incoming
+// process. PIDs select the PCB addresses so repeated switches between
+// the same processes reuse the same cache lines.
+func (k *Kernel) AppendContextSwitch(dst []mem.Ref, oldPID, newPID mem.PID) []mem.Ref {
+	oldPCB := KernelDataBase + uint64(oldPID%maxPCBs)*pcbSize
+	newPCB := KernelDataBase + uint64(newPID%maxPCBs)*pcbSize
+	queues := uint64(queueBase)
+
+	// Save the outgoing context: ~56 store/ifetch pairs.
+	pc := 0
+	for i := 0; i < 56; i++ {
+		dst = appendCode(dst, switchCode, switchCodeSize, pc, 2)
+		pc += 2
+		dst = append(dst, kref(mem.Store, oldPCB+uint64(i*8)%pcbSize))
+	}
+	// Scheduler: walk the ready queue (~20 loads with some bookkeeping).
+	for i := 0; i < 20; i++ {
+		dst = appendCode(dst, switchCode, switchCodeSize, pc, 3)
+		pc += 3
+		dst = append(dst, kref(mem.Load, queues+k.rng.Uintn(64)*8))
+	}
+	// Restore the incoming context: ~56 load/ifetch pairs.
+	for i := 0; i < 56; i++ {
+		dst = appendCode(dst, switchCode, switchCodeSize, pc, 2)
+		pc += 2
+		dst = append(dst, kref(mem.Load, newPCB+uint64(i*8)%pcbSize))
+	}
+	return dst
+}
+
+// ContextSwitchRefCount returns the length of one context-switch trace
+// (for budgeting; the paper quotes ~400).
+func ContextSwitchRefCount() int {
+	k := NewKernel(0)
+	return len(k.AppendContextSwitch(nil, 0, 1))
+}
+
+// AppendThreadSwitch appends a lightweight thread-switch trace: the
+// §3.2/§6.3 multithreading extension, where "a cheaper mechanism for
+// context switching ... would make better use of the relatively small
+// miss cost of a page fault to DRAM". Only a register window and a
+// thread pointer move — roughly 40 references instead of ~400: a short
+// code burst plus 8 stores (outgoing registers) and 8 loads (incoming).
+func (k *Kernel) AppendThreadSwitch(dst []mem.Ref, oldPID, newPID mem.PID) []mem.Ref {
+	oldTCB := KernelDataBase + uint64(oldPID%maxPCBs)*pcbSize
+	newTCB := KernelDataBase + uint64(newPID%maxPCBs)*pcbSize
+	pc := 0
+	for i := 0; i < 8; i++ {
+		dst = appendCode(dst, switchCode, switchCodeSize, pc, 1)
+		pc++
+		dst = append(dst, kref(mem.Store, oldTCB+uint64(i*8)))
+	}
+	for i := 0; i < 8; i++ {
+		dst = appendCode(dst, switchCode, switchCodeSize, pc, 1)
+		pc++
+		dst = append(dst, kref(mem.Load, newTCB+uint64(i*8)))
+	}
+	dst = appendCode(dst, switchCode, switchCodeSize, pc, 8)
+	return dst
+}
+
+// ThreadSwitchRefCount returns the length of one thread-switch trace.
+func ThreadSwitchRefCount() int {
+	k := NewKernel(0)
+	return len(k.AppendThreadSwitch(nil, 0, 1))
+}

@@ -1,0 +1,369 @@
+package synth
+
+import (
+	"fmt"
+	"io"
+
+	"rampage/internal/mem"
+	"rampage/internal/xrand"
+)
+
+// Profile describes one synthetic benchmark: its published reference
+// mix from Table 2 of the paper, its instruction footprint, and the
+// data regions it touches. Profiles are value types; generating from a
+// profile never mutates it.
+type Profile struct {
+	// Name is the Table 2 program name (e.g. "compress").
+	Name string
+	// Description matches the Table 2 description column.
+	Description string
+	// IFetchMillions and TotalMillions are the Table 2 columns:
+	// instruction fetches and total references, in millions, for the
+	// full-scale trace.
+	IFetchMillions float64
+	TotalMillions  float64
+	// CodeBytes is the instruction footprint at full scale.
+	CodeBytes uint64
+	// HotCodeFrac is the fraction of the code containing the hot loops
+	// (defaults to 1/8); LoopMeanIter is the mean loop trip count
+	// (defaults to 16); LoopMeanBody is the mean loop body size in
+	// bytes (defaults to 128).
+	HotCodeFrac  float64
+	LoopMeanIter float64
+	LoopMeanBody float64
+	// Regions are the data regions. Weights are relative.
+	Regions []Region
+	// Phases optionally divides the run into program phases, each with
+	// its own per-region weight vector (real programs move between an
+	// input phase, a compute phase, an output phase, ...). Empty means
+	// one phase using the Regions' own weights. Phase fractions are
+	// normalized over the run.
+	Phases []Phase
+}
+
+// Phase is one program phase: a fraction of the run during which the
+// given per-region weights replace the profiles' defaults. A zero
+// weight silences a region for the phase.
+type Phase struct {
+	// Frac is the phase's share of the run (relative; normalized).
+	Frac float64
+	// Weights has one entry per profile region.
+	Weights []float64
+}
+
+// IFetchFrac returns the fraction of references that are instruction
+// fetches.
+func (p Profile) IFetchFrac() float64 {
+	if p.TotalMillions == 0 {
+		return 1
+	}
+	return p.IFetchMillions / p.TotalMillions
+}
+
+// Refs returns the number of references a generator with the given
+// scale produces.
+func (p Profile) Refs(scale float64) uint64 {
+	return uint64(p.TotalMillions * 1e6 * scale)
+}
+
+// Options configures trace generation from a Profile.
+type Options struct {
+	// Seed selects the deterministic random stream. The profile name is
+	// mixed in, so the same seed may be shared across benchmarks.
+	Seed uint64
+	// RefScale multiplies the reference count; SizeScale multiplies all
+	// footprint sizes (code and data regions). 1.0 is the paper's full
+	// scale; the default 0 means 1.0 for both. They are independent so
+	// the harness can scale memory capacities and trace lengths by
+	// different factors while keeping footprint-to-capacity ratios
+	// faithful.
+	RefScale  float64
+	SizeScale float64
+	// Scale, when non-zero, sets both RefScale and SizeScale — a
+	// convenience for proportional scaling.
+	Scale float64
+	// PID tags the generated references (default 0; interleaving
+	// retags).
+	PID mem.PID
+}
+
+// refScale and sizeScale resolve the effective factors.
+func (o Options) refScale() float64 {
+	if o.Scale != 0 {
+		return o.Scale
+	}
+	if o.RefScale != 0 {
+		return o.RefScale
+	}
+	return 1.0
+}
+
+func (o Options) sizeScale() float64 {
+	if o.Scale != 0 {
+		return o.Scale
+	}
+	if o.SizeScale != 0 {
+		return o.SizeScale
+	}
+	return 1.0
+}
+
+// Virtual address space layout for synthetic programs. The layout is
+// shared by all processes — physical tagging in the simulated caches
+// plus per-process translation keeps them distinct, exactly as a real
+// multiprogrammed system would.
+const (
+	codeBase    = 0x0040_0000
+	dataBase    = 0x1000_0000
+	regionAlign = 1 << 22 // regions start on 4MB virtual boundaries
+)
+
+// Generator produces a deterministic reference stream for one profile.
+// It implements trace.Reader.
+type Generator struct {
+	prof     Profile
+	pid      mem.PID
+	rng      *xrand.RNG
+	left     uint64
+	dataFrac float64
+
+	regions   []*regionState
+	weightSum float64
+	weights   []float64 // current per-region weights (phase-dependent)
+
+	total       uint64
+	phaseEnds   []uint64    // absolute emitted-reference phase boundaries
+	phaseWeight [][]float64 // per-phase weight vectors
+	phaseIdx    int
+
+	codeSize  uint64
+	pc        uint64 // offset within code
+	loopStart uint64
+	loopEnd   uint64
+	iterLeft  uint64
+
+	hotCodeFrac  float64
+	loopMeanIter float64
+	loopMeanBody float64
+}
+
+// NewGenerator builds a Generator for profile p. It returns an error
+// for degenerate profiles (no references, no regions with positive
+// weight when data references are required).
+func NewGenerator(p Profile, opts Options) (*Generator, error) {
+	refScale, sizeScale := opts.refScale(), opts.sizeScale()
+	if refScale < 0 || sizeScale < 0 {
+		return nil, fmt.Errorf("synth: negative scale (refs %g, sizes %g)", refScale, sizeScale)
+	}
+	total := p.Refs(refScale)
+	if total == 0 {
+		return nil, fmt.Errorf("synth: profile %q yields zero references at scale %g", p.Name, refScale)
+	}
+	g := &Generator{
+		prof:         p,
+		pid:          opts.PID,
+		rng:          xrand.New(opts.Seed ^ hashName(p.Name)),
+		left:         total,
+		total:        total,
+		dataFrac:     1 - p.IFetchFrac(),
+		hotCodeFrac:  defaultF(p.HotCodeFrac, 1.0/8),
+		loopMeanIter: defaultF(p.LoopMeanIter, 16),
+		loopMeanBody: defaultF(p.LoopMeanBody, 128),
+	}
+	g.codeSize = uint64(float64(p.CodeBytes) * sizeScale)
+	if g.codeSize < 1024 {
+		g.codeSize = 1024
+	}
+	g.codeSize = mem.AlignUp(g.codeSize, 64)
+
+	base := uint64(dataBase)
+	for _, spec := range p.Regions {
+		scaled := uint64(float64(spec.Size) * sizeScale)
+		rs := newRegionState(spec, base, scaled)
+		g.regions = append(g.regions, rs)
+		g.weightSum += spec.Weight
+		base = mem.AlignUp(base+rs.size+regionAlign, regionAlign)
+	}
+	if g.dataFrac > 0 && g.weightSum <= 0 {
+		return nil, fmt.Errorf("synth: profile %q needs data regions with positive weight", p.Name)
+	}
+	if err := g.buildPhases(p, total); err != nil {
+		return nil, err
+	}
+	g.newLoop()
+	return g, nil
+}
+
+// buildPhases validates the phase schedule and sets the initial weight
+// vector.
+func (g *Generator) buildPhases(p Profile, total uint64) error {
+	base := make([]float64, len(p.Regions))
+	for i, r := range p.Regions {
+		base[i] = r.Weight
+	}
+	if len(p.Phases) == 0 {
+		g.weights = base
+		return nil
+	}
+	var fracSum float64
+	for i, ph := range p.Phases {
+		if len(ph.Weights) != len(p.Regions) {
+			return fmt.Errorf("synth: profile %q phase %d has %d weights for %d regions",
+				p.Name, i, len(ph.Weights), len(p.Regions))
+		}
+		if ph.Frac <= 0 {
+			return fmt.Errorf("synth: profile %q phase %d has non-positive fraction", p.Name, i)
+		}
+		var sum float64
+		for _, w := range ph.Weights {
+			if w < 0 {
+				return fmt.Errorf("synth: profile %q phase %d has a negative weight", p.Name, i)
+			}
+			sum += w
+		}
+		if g.dataFrac > 0 && sum <= 0 {
+			return fmt.Errorf("synth: profile %q phase %d silences every region", p.Name, i)
+		}
+		fracSum += ph.Frac
+	}
+	var acc float64
+	g.phaseEnds = make([]uint64, len(p.Phases))
+	g.phaseWeight = make([][]float64, len(p.Phases))
+	for i, ph := range p.Phases {
+		acc += ph.Frac
+		g.phaseEnds[i] = uint64(float64(total) * acc / fracSum)
+		g.phaseWeight[i] = ph.Weights
+	}
+	g.phaseEnds[len(p.Phases)-1] = total // absorb rounding
+	g.setPhase(0)
+	return nil
+}
+
+// setPhase installs phase i's weight vector.
+func (g *Generator) setPhase(i int) {
+	g.phaseIdx = i
+	g.weights = g.phaseWeight[i]
+	g.weightSum = 0
+	for _, w := range g.weights {
+		g.weightSum += w
+	}
+}
+
+// advancePhase moves to the next phase when the emitted count crosses
+// a boundary.
+func (g *Generator) advancePhase() {
+	if g.phaseEnds == nil {
+		return
+	}
+	emitted := g.total - g.left
+	for g.phaseIdx < len(g.phaseEnds)-1 && emitted >= g.phaseEnds[g.phaseIdx] {
+		g.setPhase(g.phaseIdx + 1)
+	}
+}
+
+func defaultF(v, d float64) float64 {
+	if v == 0 {
+		return d
+	}
+	return v
+}
+
+// hashName mixes a profile name into the seed so equal seeds give
+// independent streams per benchmark.
+func hashName(name string) uint64 {
+	var h uint64 = 0xcbf29ce484222325
+	for i := 0; i < len(name); i++ {
+		h ^= uint64(name[i])
+		h *= 0x100000001b3
+	}
+	return h
+}
+
+// Remaining returns the number of references still to be generated.
+func (g *Generator) Remaining() uint64 { return g.left }
+
+// Next implements trace.Reader.
+func (g *Generator) Next() (mem.Ref, error) {
+	if g.left == 0 {
+		return mem.Ref{}, io.EOF
+	}
+	g.advancePhase()
+	g.left--
+	if g.rng.Chance(g.dataFrac) {
+		return g.nextData(), nil
+	}
+	return g.nextIFetch(), nil
+}
+
+// nextIFetch advances the program counter through the current loop.
+func (g *Generator) nextIFetch() mem.Ref {
+	addr := mem.VAddr(codeBase + g.pc)
+	g.pc += 4
+	if g.pc >= g.loopEnd {
+		if g.iterLeft > 0 {
+			g.iterLeft--
+			g.pc = g.loopStart
+		} else {
+			g.newLoop()
+		}
+	}
+	return mem.Ref{PID: g.pid, Kind: mem.IFetch, Addr: addr}
+}
+
+// newLoop picks the next loop: usually within the hot fraction of the
+// code, occasionally anywhere (a call into colder code).
+func (g *Generator) newLoop() {
+	hot := uint64(float64(g.codeSize) * g.hotCodeFrac)
+	if hot < 256 {
+		hot = 256
+	}
+	if hot > g.codeSize {
+		hot = g.codeSize
+	}
+	var start uint64
+	if g.rng.Chance(0.9) {
+		start = g.rng.Uintn(hot/4) * 4
+	} else {
+		start = g.rng.Uintn(g.codeSize/4) * 4
+	}
+	body := 32 + g.rng.Geometric(g.loopMeanBody/4)*4
+	if start+body > g.codeSize {
+		start = g.codeSize - body
+		if start > g.codeSize { // underflow: body larger than code
+			start = 0
+			body = g.codeSize
+		}
+	}
+	g.loopStart = start
+	g.loopEnd = start + body
+	g.pc = start
+	g.iterLeft = g.rng.Geometric(g.loopMeanIter)
+}
+
+// nextData picks a region by weight and an offset by its pattern.
+func (g *Generator) nextData() mem.Ref {
+	rs := g.pickRegion()
+	off := rs.nextOffset(g.rng)
+	kind := mem.Load
+	if g.rng.Chance(rs.spec.StoreFrac) {
+		kind = mem.Store
+	}
+	return mem.Ref{PID: g.pid, Kind: kind, Addr: mem.VAddr(rs.base + off)}
+}
+
+func (g *Generator) pickRegion() *regionState {
+	x := g.rng.Float() * g.weightSum
+	last := g.regions[len(g.regions)-1]
+	for i, rs := range g.regions {
+		w := g.weights[i]
+		if w <= 0 {
+			continue
+		}
+		x -= w
+		if x < 0 {
+			return rs
+		}
+		last = rs
+	}
+	return last
+}

@@ -1,0 +1,76 @@
+package tlb
+
+import (
+	"testing"
+
+	"rampage/internal/mem"
+	"rampage/internal/xrand"
+)
+
+// TestTLBInvariantsUnderRandomOps drives the TLB with a pseudo-random
+// operation mix and checks the structural invariants a translation
+// buffer must keep regardless of its (random) replacement choices:
+//
+//  1. a Lookup hit returns exactly the frame of the latest Insert for
+//     that (pid, vpn);
+//  2. occupancy never exceeds capacity;
+//  3. Invalidate removes exactly the named translation;
+//  4. translations never migrate between PIDs.
+func TestTLBInvariantsUnderRandomOps(t *testing.T) {
+	shapes := []Config{
+		{Entries: 64, Assoc: 0, PageBytes: 4096},
+		{Entries: 1024, Assoc: 2, PageBytes: 1024},
+		{Entries: 16, Assoc: 4, PageBytes: 128},
+	}
+	for _, cfg := range shapes {
+		tb := MustNew(cfg)
+		rng := xrand.New(7)
+		// Oracle of the latest Insert per (pid, vpn).
+		type key struct {
+			pid mem.PID
+			vpn uint64
+		}
+		latest := map[key]uint64{}
+		for i := 0; i < 100000; i++ {
+			pid := mem.PID(rng.Intn(4))
+			vpn := rng.Uintn(512)
+			va := mem.VAddr(vpn * cfg.PageBytes)
+			switch rng.Intn(4) {
+			case 0, 1: // lookup
+				pa, hit := tb.Lookup(pid, va)
+				if hit {
+					want, known := latest[key{pid, vpn}]
+					if !known {
+						t.Fatalf("shape %+v: hit for never-inserted (%d, %#x)", cfg, pid, vpn)
+					}
+					if uint64(pa)/cfg.PageBytes != want {
+						t.Fatalf("shape %+v: stale frame %d, want %d", cfg, uint64(pa)/cfg.PageBytes, want)
+					}
+				}
+			case 2: // insert
+				frame := rng.Uintn(1 << 20)
+				tb.Insert(pid, va, frame)
+				latest[key{pid, vpn}] = frame
+				if !tb.Probe(pid, va) {
+					t.Fatalf("shape %+v: translation absent right after Insert", cfg)
+				}
+			case 3: // invalidate
+				tb.Invalidate(pid, va)
+				if tb.Probe(pid, va) {
+					t.Fatalf("shape %+v: translation present after Invalidate", cfg)
+				}
+			}
+		}
+		// Occupancy bound: count present translations among the oracle
+		// keys; it can never exceed capacity.
+		present := 0
+		for k := range latest {
+			if tb.Probe(k.pid, mem.VAddr(k.vpn*cfg.PageBytes)) {
+				present++
+			}
+		}
+		if present > cfg.Entries {
+			t.Errorf("shape %+v: %d translations present, capacity %d", cfg, present, cfg.Entries)
+		}
+	}
+}

@@ -1,0 +1,232 @@
+// Package tlb models the translation lookaside buffer of §4.3: 64
+// entries, fully associative, random replacement, one-cycle (fully
+// pipelined) hits. The same model, configured with more entries and
+// set-associativity, covers the 1K-entry 2-way TLB of the §6.3 future-
+// work measurements.
+//
+// The TLB's role differs between the two hierarchies (§2.3): in the
+// baseline it caches virtual→DRAM translations of fixed 4 KB pages; in
+// RAMpage it caches virtual→SRAM-main-memory translations whose page
+// size is the SRAM page size, so small SRAM pages shrink TLB reach —
+// the source of the Figure 4 overhead spike.
+//
+// Entries are tagged with the owning process (an address-space ID), so
+// context switches need not flush; when a page is replaced from the
+// SRAM main memory its TLB entry is invalidated (§2.3).
+package tlb
+
+import (
+	"fmt"
+
+	"rampage/internal/mem"
+	"rampage/internal/xrand"
+)
+
+// Config describes a TLB.
+type Config struct {
+	// Entries is the total entry count (power of two).
+	Entries int
+	// Assoc is ways per set; 0 means fully associative.
+	Assoc int
+	// PageBytes is the size of the pages being translated (power of
+	// two). This is the SRAM page size in RAMpage and the DRAM page
+	// size in the baseline.
+	PageBytes uint64
+	// Seed feeds the deterministic random replacement.
+	Seed uint64
+}
+
+// Validate checks the configuration.
+func (c Config) Validate() error {
+	if c.Entries <= 0 || !mem.IsPow2(uint64(c.Entries)) {
+		return fmt.Errorf("tlb: entry count %d is not a positive power of two", c.Entries)
+	}
+	if c.Assoc < 0 || c.Assoc > c.Entries {
+		return fmt.Errorf("tlb: associativity %d out of range", c.Assoc)
+	}
+	if c.PageBytes == 0 || !mem.IsPow2(c.PageBytes) {
+		return fmt.Errorf("tlb: page size %d is not a power of two", c.PageBytes)
+	}
+	return nil
+}
+
+// DefaultConfig is the paper's TLB: 64 entries, fully associative.
+func DefaultConfig(pageBytes uint64) Config {
+	return Config{Entries: 64, Assoc: 0, PageBytes: pageBytes}
+}
+
+// entry is one translation.
+type entry struct {
+	valid bool
+	pid   mem.PID
+	vpn   uint64
+	frame uint64 // physical frame number in the target space
+}
+
+// Stats counts TLB events.
+type Stats struct {
+	Hits          uint64
+	Misses        uint64
+	Invalidations uint64
+	Flushes       uint64
+}
+
+// MissRate returns misses / (hits + misses).
+func (s Stats) MissRate() float64 {
+	t := s.Hits + s.Misses
+	if t == 0 {
+		return 0
+	}
+	return float64(s.Misses) / float64(t)
+}
+
+// TLB is the translation buffer. It is not safe for concurrent use.
+type TLB struct {
+	cfg       Config
+	entries   []entry // sets*assoc, set-major
+	assoc     int
+	setMask   uint64
+	pageShift uint
+	rng       *xrand.RNG
+	stats     Stats
+}
+
+// New builds a TLB from a validated configuration.
+func New(cfg Config) (*TLB, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	assoc := cfg.Assoc
+	if assoc == 0 {
+		assoc = cfg.Entries
+	}
+	sets := cfg.Entries / assoc
+	if sets*assoc != cfg.Entries || !mem.IsPow2(uint64(sets)) {
+		return nil, fmt.Errorf("tlb: %d entries not divisible into %d-way sets", cfg.Entries, assoc)
+	}
+	return &TLB{
+		cfg:       cfg,
+		entries:   make([]entry, cfg.Entries),
+		assoc:     assoc,
+		setMask:   uint64(sets - 1),
+		pageShift: mem.Log2(cfg.PageBytes),
+		rng:       xrand.New(cfg.Seed ^ 0x71B),
+	}, nil
+}
+
+// MustNew is New but panics on error, for fixed known-good configs.
+func MustNew(cfg Config) *TLB {
+	t, err := New(cfg)
+	if err != nil {
+		panic(err)
+	}
+	return t
+}
+
+// Config returns the TLB's configuration.
+func (t *TLB) Config() Config { return t.cfg }
+
+// Stats returns a copy of the counters.
+func (t *TLB) Stats() Stats { return t.stats }
+
+// VPN returns the virtual page number of addr under this TLB's page
+// size.
+func (t *TLB) VPN(addr mem.VAddr) uint64 { return uint64(addr) >> t.pageShift }
+
+func (t *TLB) set(vpn uint64) []entry {
+	base := (vpn & t.setMask) * uint64(t.assoc)
+	return t.entries[base : base+uint64(t.assoc)]
+}
+
+// Lookup translates (pid, addr). On a hit it returns the physical
+// address (frame base plus page offset) and true. On a miss it returns
+// false; the caller runs the page-table walk and then calls Insert.
+func (t *TLB) Lookup(pid mem.PID, addr mem.VAddr) (mem.PAddr, bool) {
+	vpn := t.VPN(addr)
+	for i := range t.set(vpn) {
+		e := &t.set(vpn)[i]
+		if e.valid && e.pid == pid && e.vpn == vpn {
+			t.stats.Hits++
+			off := uint64(addr) & (t.cfg.PageBytes - 1)
+			return mem.PAddr(e.frame<<t.pageShift | off), true
+		}
+	}
+	t.stats.Misses++
+	return 0, false
+}
+
+// Probe reports whether a translation is present without touching
+// statistics.
+func (t *TLB) Probe(pid mem.PID, addr mem.VAddr) bool {
+	vpn := t.VPN(addr)
+	for _, e := range t.set(vpn) {
+		if e.valid && e.pid == pid && e.vpn == vpn {
+			return true
+		}
+	}
+	return false
+}
+
+// Insert installs a translation from (pid, vpn of addr) to the given
+// physical frame number, replacing a random entry if the set is full.
+func (t *TLB) Insert(pid mem.PID, addr mem.VAddr, frame uint64) {
+	vpn := t.VPN(addr)
+	set := t.set(vpn)
+	// Reuse an existing or invalid slot first.
+	victim := -1
+	for i := range set {
+		if set[i].valid && set[i].pid == pid && set[i].vpn == vpn {
+			set[i].frame = frame
+			return
+		}
+		if !set[i].valid && victim < 0 {
+			victim = i
+		}
+	}
+	if victim < 0 {
+		victim = t.rng.Intn(t.assoc)
+	}
+	set[victim] = entry{valid: true, pid: pid, vpn: vpn, frame: frame}
+}
+
+// Invalidate removes the translation for (pid, vpn of addr) if present,
+// reporting whether it was. The RAMpage page-replacement path uses it
+// (§2.3: "If a page is replaced from the SRAM main memory, its entry
+// ... in the TLB is flushed").
+func (t *TLB) Invalidate(pid mem.PID, addr mem.VAddr) bool {
+	vpn := t.VPN(addr)
+	set := t.set(vpn)
+	for i := range set {
+		if set[i].valid && set[i].pid == pid && set[i].vpn == vpn {
+			set[i] = entry{}
+			t.stats.Invalidations++
+			return true
+		}
+	}
+	return false
+}
+
+// FlushPID removes all translations belonging to pid (used when an
+// address space is destroyed).
+func (t *TLB) FlushPID(pid mem.PID) {
+	for i := range t.entries {
+		if t.entries[i].valid && t.entries[i].pid == pid {
+			t.entries[i] = entry{}
+		}
+	}
+	t.stats.Flushes++
+}
+
+// FlushAll empties the TLB.
+func (t *TLB) FlushAll() {
+	for i := range t.entries {
+		t.entries[i] = entry{}
+	}
+	t.stats.Flushes++
+}
+
+// Reach returns the bytes of address space the TLB can map when full —
+// the quantity that collapses for small RAMpage pages (Figure 4).
+func (t *TLB) Reach() uint64 {
+	return uint64(t.cfg.Entries) * t.cfg.PageBytes
+}

@@ -1,0 +1,244 @@
+package trace
+
+import (
+	"bytes"
+	"errors"
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"rampage/internal/mem"
+)
+
+func roundTripBinary(t *testing.T, refs []mem.Ref) []mem.Ref {
+	t.Helper()
+	var buf bytes.Buffer
+	fw, err := NewFileWriter(&buf)
+	if err != nil {
+		t.Fatalf("NewFileWriter: %v", err)
+	}
+	for _, r := range refs {
+		if err := fw.Write(r); err != nil {
+			t.Fatalf("Write(%v): %v", r, err)
+		}
+	}
+	if err := fw.Flush(); err != nil {
+		t.Fatalf("Flush: %v", err)
+	}
+	fr, err := NewFileReader(&buf)
+	if err != nil {
+		t.Fatalf("NewFileReader: %v", err)
+	}
+	got, err := Drain(fr)
+	if err != nil {
+		t.Fatalf("Drain: %v", err)
+	}
+	return got
+}
+
+func TestBinaryRoundTrip(t *testing.T) {
+	refs := []mem.Ref{
+		ref(0, mem.IFetch, 0x400000),
+		ref(0, mem.IFetch, 0x400004),
+		ref(0, mem.Load, 0x10008000),
+		ref(3, mem.Store, 0x20),
+		ref(0, mem.IFetch, 0x400008),
+		ref(3, mem.Load, 0x18),
+		ref(mem.KernelPID, mem.IFetch, 0xffff0000),
+	}
+	got := roundTripBinary(t, refs)
+	if len(got) != len(refs) {
+		t.Fatalf("round trip yielded %d refs, want %d", len(got), len(refs))
+	}
+	for i := range refs {
+		if got[i] != refs[i] {
+			t.Errorf("ref %d: got %v, want %v", i, got[i], refs[i])
+		}
+	}
+}
+
+func TestBinaryRoundTripEmpty(t *testing.T) {
+	if got := roundTripBinary(t, nil); len(got) != 0 {
+		t.Errorf("empty round trip yielded %d refs", len(got))
+	}
+}
+
+func TestBinaryRoundTripProperty(t *testing.T) {
+	f := func(seed int64, n uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		refs := make([]mem.Ref, int(n))
+		for i := range refs {
+			refs[i] = mem.Ref{
+				PID:  mem.PID(rng.Intn(8)),
+				Kind: mem.RefKind(rng.Intn(3)),
+				Addr: mem.VAddr(rng.Uint64()),
+			}
+		}
+		var buf bytes.Buffer
+		fw, err := NewFileWriter(&buf)
+		if err != nil {
+			return false
+		}
+		for _, r := range refs {
+			if fw.Write(r) != nil {
+				return false
+			}
+		}
+		if fw.Flush() != nil {
+			return false
+		}
+		fr, err := NewFileReader(&buf)
+		if err != nil {
+			return false
+		}
+		got, err := Drain(fr)
+		if err != nil || len(got) != len(refs) {
+			return false
+		}
+		for i := range refs {
+			if got[i] != refs[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestBinaryCompression(t *testing.T) {
+	// Sequential ifetches from one PID should cost ~2 bytes each.
+	var buf bytes.Buffer
+	fw, _ := NewFileWriter(&buf)
+	const n = 1000
+	for i := 0; i < n; i++ {
+		fw.Write(ref(0, mem.IFetch, 0x400000+uint64(4*i)))
+	}
+	fw.Flush()
+	if perRef := float64(buf.Len()) / n; perRef > 2.5 {
+		t.Errorf("sequential trace costs %.2f bytes/ref, want <= 2.5", perRef)
+	}
+}
+
+func TestBinaryCorruptHeader(t *testing.T) {
+	cases := [][]byte{
+		nil,
+		[]byte("RM"),
+		[]byte("XXXX\x01"),
+		[]byte("RMPT\x07"),
+	}
+	for _, data := range cases {
+		if _, err := NewFileReader(bytes.NewReader(data)); !errors.Is(err, ErrCorrupt) {
+			t.Errorf("NewFileReader(%q) = %v, want ErrCorrupt", data, err)
+		}
+	}
+}
+
+func TestBinaryCorruptBody(t *testing.T) {
+	// Valid header followed by a record with the same-PID flag set on
+	// the first record.
+	data := append([]byte("RMPT\x01"), samePIDFlag, 0x00)
+	fr, err := NewFileReader(bytes.NewReader(data))
+	if err != nil {
+		t.Fatalf("NewFileReader: %v", err)
+	}
+	if _, err := fr.Next(); !errors.Is(err, ErrCorrupt) {
+		t.Errorf("Next on corrupt body = %v, want ErrCorrupt", err)
+	}
+	// Truncated after header byte.
+	data = append([]byte("RMPT\x01"), 0x00)
+	fr, _ = NewFileReader(bytes.NewReader(data))
+	if _, err := fr.Next(); !errors.Is(err, ErrCorrupt) {
+		t.Errorf("Next on truncated record = %v, want ErrCorrupt", err)
+	}
+	// Bad kind bits.
+	data = append([]byte("RMPT\x01"), 0x03, 0x00, 0x02)
+	fr, _ = NewFileReader(bytes.NewReader(data))
+	if _, err := fr.Next(); !errors.Is(err, ErrCorrupt) {
+		t.Errorf("Next on bad kind = %v, want ErrCorrupt", err)
+	}
+}
+
+func TestBinaryRejectsBadKind(t *testing.T) {
+	var buf bytes.Buffer
+	fw, _ := NewFileWriter(&buf)
+	if err := fw.Write(mem.Ref{Kind: mem.RefKind(7)}); err == nil {
+		t.Error("Write with bad kind succeeded, want error")
+	}
+}
+
+func TestTextRoundTrip(t *testing.T) {
+	refs := []mem.Ref{
+		ref(0, mem.IFetch, 0x400000),
+		ref(1, mem.Load, 0xdeadbeef),
+		ref(2, mem.Store, 0x10),
+	}
+	var buf bytes.Buffer
+	tw := NewTextWriter(&buf)
+	for _, r := range refs {
+		if err := tw.Write(r); err != nil {
+			t.Fatalf("Write: %v", err)
+		}
+	}
+	tw.Flush()
+	got, err := Drain(NewTextReader(&buf))
+	if err != nil {
+		t.Fatalf("Drain: %v", err)
+	}
+	if len(got) != len(refs) {
+		t.Fatalf("got %d refs, want %d", len(got), len(refs))
+	}
+	for i := range refs {
+		if got[i] != refs[i] {
+			t.Errorf("ref %d: got %v, want %v", i, got[i], refs[i])
+		}
+	}
+}
+
+func TestTextReaderComments(t *testing.T) {
+	in := "# header comment\n\n0 load 0x10\n  # indented comment\n1 s 0x20\n"
+	got, err := Drain(NewTextReader(strings.NewReader(in)))
+	if err != nil {
+		t.Fatalf("Drain: %v", err)
+	}
+	if len(got) != 2 {
+		t.Fatalf("got %d refs, want 2", len(got))
+	}
+	if got[1].Kind != mem.Store || got[1].Addr != 0x20 {
+		t.Errorf("short-form record parsed as %v", got[1])
+	}
+}
+
+func TestTextReaderErrors(t *testing.T) {
+	bad := []string{
+		"0 load",            // missing field
+		"x load 0x10",       // bad pid
+		"0 jump 0x10",       // bad kind
+		"0 load zzz",        // bad addr
+		"0 load 0x10 extra", // extra field
+	}
+	for _, in := range bad {
+		_, err := Drain(NewTextReader(strings.NewReader(in)))
+		if !errors.Is(err, ErrCorrupt) {
+			t.Errorf("input %q: err = %v, want ErrCorrupt", in, err)
+		}
+	}
+}
+
+func TestCopy(t *testing.T) {
+	var buf bytes.Buffer
+	fw, _ := NewFileWriter(&buf)
+	in := []mem.Ref{ref(0, mem.Load, 1), ref(0, mem.Store, 2)}
+	n, err := Copy(fw, NewSliceReader(in))
+	if err != nil || n != 2 {
+		t.Fatalf("Copy = (%d, %v), want (2, nil)", n, err)
+	}
+	fw.Flush()
+	fr, _ := NewFileReader(&buf)
+	got, _ := Drain(fr)
+	if len(got) != 2 {
+		t.Errorf("copied trace has %d refs, want 2", len(got))
+	}
+}

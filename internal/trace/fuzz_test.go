@@ -1,0 +1,81 @@
+package trace
+
+import (
+	"bytes"
+	"testing"
+
+	"rampage/internal/mem"
+)
+
+// FuzzFileReader feeds arbitrary bytes to the binary trace decoder; it
+// must reject or parse them without panicking, and anything it parses
+// must re-encode losslessly.
+func FuzzFileReader(f *testing.F) {
+	// Seed: a valid two-record trace and some corrupt variants.
+	var buf bytes.Buffer
+	w, _ := NewFileWriter(&buf)
+	w.Write(mem.Ref{PID: 1, Kind: mem.IFetch, Addr: 0x400000})
+	w.Write(mem.Ref{PID: 1, Kind: mem.Load, Addr: 0x100008})
+	w.Flush()
+	f.Add(buf.Bytes())
+	f.Add([]byte("RMPT\x01"))
+	f.Add([]byte("RMPT\x01\x04\x00"))
+	f.Add([]byte("XXXX"))
+	f.Add([]byte{})
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		r, err := NewFileReader(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		refs, err := Drain(r)
+		if err != nil {
+			return
+		}
+		// Round-trip whatever parsed.
+		var out bytes.Buffer
+		w, err := NewFileWriter(&out)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, ref := range refs {
+			if err := w.Write(ref); err != nil {
+				t.Fatalf("re-encode of parsed ref failed: %v", err)
+			}
+		}
+		if err := w.Flush(); err != nil {
+			t.Fatal(err)
+		}
+		r2, err := NewFileReader(&out)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := Drain(r2)
+		if err != nil {
+			t.Fatalf("re-decode failed: %v", err)
+		}
+		if len(got) != len(refs) {
+			t.Fatalf("round trip changed length: %d -> %d", len(refs), len(got))
+		}
+		for i := range refs {
+			if got[i] != refs[i] {
+				t.Fatalf("round trip changed ref %d: %v -> %v", i, refs[i], got[i])
+			}
+		}
+	})
+}
+
+// FuzzTextReader does the same for the text format.
+func FuzzTextReader(f *testing.F) {
+	f.Add("0 load 0x10\n1 s 0x20\n")
+	f.Add("# comment\n\n")
+	f.Add("garbage line")
+	f.Fuzz(func(t *testing.T, data string) {
+		r := NewTextReader(bytes.NewReader([]byte(data)))
+		for i := 0; i < 10000; i++ {
+			if _, err := r.Next(); err != nil {
+				return
+			}
+		}
+	})
+}

@@ -1,0 +1,88 @@
+package trace
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+
+	"rampage/internal/mem"
+)
+
+// Stats summarises a trace stream: total references, breakdown by kind
+// and by PID, and the virtual address span touched. rampage-trace uses
+// it to reproduce the Table 2 inventory view for generated traces.
+type Stats struct {
+	Total   uint64
+	ByKind  [3]uint64
+	ByPID   map[mem.PID]uint64
+	MinAddr mem.VAddr
+	MaxAddr mem.VAddr
+}
+
+// NewStats returns an empty Stats collector.
+func NewStats() *Stats {
+	return &Stats{ByPID: make(map[mem.PID]uint64), MinAddr: ^mem.VAddr(0)}
+}
+
+// Observe records one reference.
+func (s *Stats) Observe(r mem.Ref) {
+	s.Total++
+	if r.Kind <= mem.Store {
+		s.ByKind[r.Kind]++
+	}
+	s.ByPID[r.PID]++
+	if r.Addr < s.MinAddr {
+		s.MinAddr = r.Addr
+	}
+	if r.Addr > s.MaxAddr {
+		s.MaxAddr = r.Addr
+	}
+}
+
+// Collect drains r into a Stats summary.
+func Collect(r Reader) (*Stats, error) {
+	s := NewStats()
+	for {
+		ref, err := r.Next()
+		if err != nil {
+			if errors.Is(err, io.EOF) {
+				return s, nil
+			}
+			return s, err
+		}
+		s.Observe(ref)
+	}
+}
+
+// IFetches returns the number of instruction fetches observed.
+func (s *Stats) IFetches() uint64 { return s.ByKind[mem.IFetch] }
+
+// Loads returns the number of loads observed.
+func (s *Stats) Loads() uint64 { return s.ByKind[mem.Load] }
+
+// Stores returns the number of stores observed.
+func (s *Stats) Stores() uint64 { return s.ByKind[mem.Store] }
+
+// DataRefs returns loads plus stores.
+func (s *Stats) DataRefs() uint64 { return s.Loads() + s.Stores() }
+
+// String renders a multi-line report.
+func (s *Stats) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "refs %d (ifetch %d, load %d, store %d)\n",
+		s.Total, s.IFetches(), s.Loads(), s.Stores())
+	if s.Total > 0 {
+		fmt.Fprintf(&b, "addr span [0x%x, 0x%x]\n", uint64(s.MinAddr), uint64(s.MaxAddr))
+	}
+	pids := make([]mem.PID, 0, len(s.ByPID))
+	for pid := range s.ByPID {
+		pids = append(pids, pid)
+	}
+	sort.Slice(pids, func(i, j int) bool { return pids[i] < pids[j] })
+	for _, pid := range pids {
+		fmt.Fprintf(&b, "  pid %d: %d refs\n", pid, s.ByPID[pid])
+	}
+	return b.String()
+}

@@ -1,0 +1,96 @@
+package trace
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+
+	"rampage/internal/mem"
+)
+
+// Text trace format: one reference per line,
+//
+//	<pid> <kind> <hex address>
+//
+// e.g. "3 load 0x10a2f4". Blank lines and lines starting with '#' are
+// ignored. The format is intended for hand-written test inputs and for
+// inspecting binary traces with rampage-trace.
+
+// TextWriter emits the text trace format.
+type TextWriter struct {
+	w *bufio.Writer
+}
+
+// NewTextWriter returns a text-format Writer.
+func NewTextWriter(w io.Writer) *TextWriter {
+	return &TextWriter{w: bufio.NewWriter(w)}
+}
+
+// Write implements Writer.
+func (tw *TextWriter) Write(r mem.Ref) error {
+	_, err := fmt.Fprintf(tw.w, "%d %s 0x%x\n", r.PID, r.Kind, uint64(r.Addr))
+	return err
+}
+
+// Flush writes buffered lines to the underlying writer.
+func (tw *TextWriter) Flush() error { return tw.w.Flush() }
+
+// TextReader parses the text trace format.
+type TextReader struct {
+	s    *bufio.Scanner
+	line int
+}
+
+// NewTextReader returns a text-format Reader.
+func NewTextReader(r io.Reader) *TextReader {
+	return &TextReader{s: bufio.NewScanner(r)}
+}
+
+// Next implements Reader.
+func (tr *TextReader) Next() (mem.Ref, error) {
+	for tr.s.Scan() {
+		tr.line++
+		line := strings.TrimSpace(tr.s.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		ref, err := parseTextRef(line)
+		if err != nil {
+			return mem.Ref{}, fmt.Errorf("%w: line %d: %v", ErrCorrupt, tr.line, err)
+		}
+		return ref, nil
+	}
+	if err := tr.s.Err(); err != nil {
+		return mem.Ref{}, err
+	}
+	return mem.Ref{}, io.EOF
+}
+
+func parseTextRef(line string) (mem.Ref, error) {
+	fields := strings.Fields(line)
+	if len(fields) != 3 {
+		return mem.Ref{}, fmt.Errorf("want 3 fields, got %d", len(fields))
+	}
+	pid, err := strconv.ParseUint(fields[0], 10, 16)
+	if err != nil {
+		return mem.Ref{}, fmt.Errorf("bad pid %q", fields[0])
+	}
+	var kind mem.RefKind
+	switch fields[1] {
+	case "ifetch", "i":
+		kind = mem.IFetch
+	case "load", "l", "r":
+		kind = mem.Load
+	case "store", "s", "w":
+		kind = mem.Store
+	default:
+		return mem.Ref{}, fmt.Errorf("bad kind %q", fields[1])
+	}
+	addr, err := strconv.ParseUint(strings.TrimPrefix(fields[2], "0x"), 16, 64)
+	if err != nil {
+		return mem.Ref{}, fmt.Errorf("bad address %q", fields[2])
+	}
+	return mem.Ref{PID: mem.PID(pid), Kind: kind, Addr: mem.VAddr(addr)}, nil
+}

@@ -1,0 +1,80 @@
+// Package xrand provides a tiny deterministic pseudo-random generator
+// (SplitMix64) shared by the trace generators and the random
+// replacement policies of the cache and TLB models. Unlike math/rand's
+// default source it is guaranteed stable across Go releases, which
+// keeps every simulation bit-for-bit reproducible from its seed.
+package xrand
+
+// RNG is a SplitMix64 generator. The zero value is a valid generator
+// seeded with zero; use New to seed explicitly. RNG is not safe for
+// concurrent use.
+type RNG struct {
+	state uint64
+}
+
+// New returns a generator with the given seed. Distinct seeds give
+// independent streams.
+func New(seed uint64) *RNG { return &RNG{state: seed} }
+
+// Next returns the next 64 random bits.
+func (r *RNG) Next() uint64 {
+	r.state += 0x9E3779B97F4A7C15
+	z := r.state
+	z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9
+	z = (z ^ (z >> 27)) * 0x94D049BB133111EB
+	return z ^ (z >> 31)
+}
+
+// Uintn returns a uniform value in [0, n). n must be positive.
+func (r *RNG) Uintn(n uint64) uint64 {
+	hi, _ := mul64(r.Next(), n)
+	return hi
+}
+
+// Intn returns a uniform int in [0, n). n must be positive.
+func (r *RNG) Intn(n int) int { return int(r.Uintn(uint64(n))) }
+
+// Float returns a uniform value in [0, 1).
+func (r *RNG) Float() float64 {
+	return float64(r.Next()>>11) / float64(1<<53)
+}
+
+// Chance reports true with probability p.
+func (r *RNG) Chance(p float64) bool { return r.Float() < p }
+
+// Geometric returns a geometrically distributed value with mean ~mean
+// (support 1..), used for loop trip counts and burst lengths.
+func (r *RNG) Geometric(mean float64) uint64 {
+	if mean <= 1 {
+		return 1
+	}
+	n := uint64(1)
+	p := 1 / mean
+	for !r.Chance(p) && n < uint64(mean*64) {
+		n++
+	}
+	return n
+}
+
+// Mix is a stateless SplitMix64 finalizer: a stable pseudo-random
+// function of its argument, useful for giving elements fixed random
+// successors (pointer-chase patterns) and for hashing.
+func Mix(z uint64) uint64 {
+	z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9
+	z = (z ^ (z >> 27)) * 0x94D049BB133111EB
+	return z ^ (z >> 31)
+}
+
+// mul64 returns the 128-bit product of a and b as (hi, lo).
+func mul64(a, b uint64) (hi, lo uint64) {
+	const mask = 0xFFFFFFFF
+	aLo, aHi := a&mask, a>>32
+	bLo, bHi := b&mask, b>>32
+	t := aLo*bHi + (aLo*bLo)>>32
+	w1 := t & mask
+	w2 := t >> 32
+	w1 += aHi * bLo
+	hi = aHi*bHi + w2 + (w1 >> 32)
+	lo = a * b
+	return hi, lo
+}

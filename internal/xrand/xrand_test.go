@@ -1,0 +1,88 @@
+package xrand
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestDeterminism(t *testing.T) {
+	a, b := New(7), New(7)
+	for i := 0; i < 1000; i++ {
+		if a.Next() != b.Next() {
+			t.Fatal("same seed diverged")
+		}
+	}
+}
+
+func TestZeroValueUsable(t *testing.T) {
+	var r RNG
+	if r.Next() == r.Next() {
+		t.Error("zero-value RNG repeats")
+	}
+}
+
+func TestUintnBounds(t *testing.T) {
+	r := New(3)
+	f := func(n uint16) bool {
+		bound := uint64(n) + 1
+		return r.Uintn(bound) < bound
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestIntn(t *testing.T) {
+	r := New(5)
+	for i := 0; i < 1000; i++ {
+		if v := r.Intn(7); v < 0 || v >= 7 {
+			t.Fatalf("Intn(7) = %d", v)
+		}
+	}
+}
+
+func TestFloatRange(t *testing.T) {
+	r := New(9)
+	for i := 0; i < 10000; i++ {
+		if v := r.Float(); v < 0 || v >= 1 {
+			t.Fatalf("Float() = %g", v)
+		}
+	}
+}
+
+func TestChanceExtremes(t *testing.T) {
+	r := New(1)
+	for i := 0; i < 100; i++ {
+		if r.Chance(0) {
+			t.Fatal("Chance(0) fired")
+		}
+		if !r.Chance(1.1) {
+			t.Fatal("Chance(>1) did not fire")
+		}
+	}
+}
+
+func TestGeometric(t *testing.T) {
+	r := New(2)
+	if v := r.Geometric(0.5); v != 1 {
+		t.Errorf("Geometric(<=1) = %d, want 1", v)
+	}
+	var sum uint64
+	const n = 20000
+	for i := 0; i < n; i++ {
+		sum += r.Geometric(8)
+	}
+	mean := float64(sum) / n
+	if mean < 6 || mean > 10 {
+		t.Errorf("Geometric(8) mean = %.2f", mean)
+	}
+}
+
+func TestMixIsStable(t *testing.T) {
+	if Mix(12345) != Mix(12345) {
+		t.Error("Mix not a pure function")
+	}
+	if Mix(1) == Mix(2) {
+		t.Error("Mix(1) == Mix(2)")
+	}
+}

@@ -1,0 +1,144 @@
+// Tests of the public facade: everything a downstream user touches
+// must work through package rampage alone.
+package rampage_test
+
+import (
+	"strings"
+	"testing"
+
+	"rampage"
+	"rampage/internal/trace"
+)
+
+func tinyConfig() rampage.Config {
+	cfg := rampage.QuickScaled()
+	cfg.RefScale = 1.0 / 10000
+	return cfg
+}
+
+func TestFacadeRun(t *testing.T) {
+	rep, err := rampage.Run(tinyConfig(), rampage.RunSpec{
+		System:    rampage.SystemRAMpage,
+		IssueMHz:  1000,
+		SizeBytes: 1024,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Seconds() <= 0 || rep.BenchRefs == 0 {
+		t.Errorf("empty run: %+v", rep)
+	}
+}
+
+func TestFacadeSweep(t *testing.T) {
+	grid, err := rampage.Sweep(tinyConfig(), rampage.SystemBaselineDM,
+		[]uint64{200}, []uint64{512, 4096}, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(grid) != 1 || len(grid[0]) != 2 {
+		t.Fatalf("grid shape wrong")
+	}
+}
+
+func TestFacadeExperiments(t *testing.T) {
+	exps := rampage.Experiments()
+	if len(exps) < 17 {
+		t.Errorf("registry has %d experiments, want >= 17", len(exps))
+	}
+	e, ok := rampage.FindExperiment("table1")
+	if !ok {
+		t.Fatal("table1 missing")
+	}
+	out, err := e.Run(tinyConfig(), nil, nil)
+	if err != nil || out == "" {
+		t.Errorf("table1 run failed: %v", err)
+	}
+}
+
+func TestFacadeTable1(t *testing.T) {
+	rows := rampage.Table1()
+	if len(rows) == 0 {
+		t.Fatal("empty Table 1")
+	}
+	if s := rampage.FormatTable1(rows); !strings.Contains(s, "rambus") {
+		t.Error("FormatTable1 output unexpected")
+	}
+	d := rampage.NewDirectRambus()
+	if d.TransferTime(2) == 0 {
+		t.Error("device timing zero")
+	}
+}
+
+func TestFacadeWorkload(t *testing.T) {
+	profiles := rampage.Table2()
+	if len(profiles) != 18 {
+		t.Fatalf("Table2 has %d profiles", len(profiles))
+	}
+	p, ok := rampage.FindProfile("compress")
+	if !ok {
+		t.Fatal("compress missing")
+	}
+	g, err := rampage.NewGenerator(p, rampage.GenOptions{Seed: 1, RefScale: 0.0001})
+	if err != nil {
+		t.Fatal(err)
+	}
+	refs, err := trace.Drain(g)
+	if err != nil || len(refs) == 0 {
+		t.Errorf("generator produced %d refs, err %v", len(refs), err)
+	}
+}
+
+func TestFacadeMachineAPI(t *testing.T) {
+	m, err := rampage.NewRAMpage(rampage.RAMpageConfig{
+		Params:    rampage.DefaultParams(1000),
+		SRAMBytes: 264 << 10,
+		PageBytes: 1024,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, _ := rampage.FindProfile("sed")
+	g, _ := rampage.NewGenerator(p, rampage.GenOptions{Seed: 1, RefScale: 0.001})
+	sched, err := rampage.NewScheduler(m, []rampage.TraceReader{g}, rampage.SchedulerConfig{Quantum: 1000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := sched.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.BenchRefs == 0 {
+		t.Error("machine API run executed nothing")
+	}
+}
+
+func TestFacadeAdaptive(t *testing.T) {
+	m, err := rampage.NewAdaptiveRAMpage(rampage.AdaptiveConfig{
+		RAMpageConfig: rampage.RAMpageConfig{
+			Params:    rampage.DefaultParams(1000),
+			SRAMBytes: 264 << 10,
+			PageBytes: 128,
+		},
+		EpochRefs: 5000,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, _ := rampage.FindProfile("nasa7")
+	g, _ := rampage.NewGenerator(p, rampage.GenOptions{Seed: 1, RefScale: 0.001, SizeScale: 1.0 / 16})
+	sched, _ := rampage.NewScheduler(m, []rampage.TraceReader{g}, rampage.SchedulerConfig{Quantum: 50000})
+	rep, err := sched.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.BenchRefs == 0 {
+		t.Error("adaptive run executed nothing")
+	}
+}
+
+func TestFacadeSweepConstants(t *testing.T) {
+	if len(rampage.IssueRatesMHz) != 6 || len(rampage.BlockSizes) != 6 {
+		t.Errorf("paper sweeps wrong: %v, %v", rampage.IssueRatesMHz, rampage.BlockSizes)
+	}
+}
