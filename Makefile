@@ -1,0 +1,38 @@
+# Build, test and benchmark entry points for the RAMpage simulator.
+
+GO ?= go
+
+.PHONY: all build test vet race bench bench-hot bench-snapshot clean
+
+all: build test vet
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+vet:
+	$(GO) vet ./...
+
+# The scheduler and sweep machinery are the concurrency-bearing paths.
+race:
+	$(GO) test -race ./internal/harness/... ./internal/sim/...
+
+# Full artifact benchmark suite (one pass, quick feedback).
+bench:
+	$(GO) test -bench=. -benchmem -run='^$$' .
+
+# Just the simulator hot-loop benchmarks that gate performance work.
+bench-hot:
+	$(GO) test -bench='Table3|Fig4|Throughput' -benchmem -run='^$$' .
+
+# Machine-readable benchmark snapshot: three repetitions of every
+# artifact benchmark, converted to JSON for regression tracking.
+bench-snapshot:
+	$(GO) test -bench=. -benchmem -run='^$$' -count=3 . \
+		| tee /dev/stderr \
+		| $(GO) run ./tools/benchjson > BENCH_batch.json
+
+clean:
+	$(GO) clean ./...

@@ -36,6 +36,7 @@ func runExperiment(b *testing.B, id string, rates, sizes []uint64) {
 		b.Fatalf("experiment %q missing", id)
 	}
 	cfg := benchConfig()
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if _, err := exp.Run(cfg, rates, sizes); err != nil {
@@ -50,8 +51,7 @@ func runExperiment(b *testing.B, id string, rates, sizes []uint64) {
 // bandwidth efficiency). Analytic, so it also reports the headline
 // §3.5 costs as metrics.
 func BenchmarkTable1Efficiency(b *testing.B) {
-	var rows []struct{}
-	_ = rows
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		table := rampage.Table1()
 		last := table[len(table)-1]
@@ -64,6 +64,7 @@ func BenchmarkTable1Efficiency(b *testing.B) {
 // workload at the benchmark scale and reports generator throughput.
 func BenchmarkTable2Workload(b *testing.B) {
 	cfg := benchConfig()
+	b.ReportAllocs()
 	b.ResetTimer()
 	var refs uint64
 	for i := 0; i < b.N; i++ {
@@ -90,6 +91,7 @@ func BenchmarkTable2Workload(b *testing.B) {
 // best-vs-best RAMpage speedup at each endpoint rate.
 func BenchmarkTable3BaselineVsRAMpage(b *testing.B) {
 	cfg := benchConfig()
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		base, err := rampage.Sweep(cfg, rampage.SystemBaselineDM, benchRates, benchSizes, false)
@@ -114,6 +116,7 @@ func BenchmarkTable3BaselineVsRAMpage(b *testing.B) {
 // plain RAMpage at 4GHz — the paper's headline "up to 16%".
 func BenchmarkTable4SwitchOnMiss(b *testing.B) {
 	cfg := benchConfig()
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		cs, err := rampage.Sweep(cfg, rampage.SystemRAMpageCS, benchRates, benchSizes, true)
@@ -153,6 +156,7 @@ func BenchmarkFig3LevelBreakdown4GHz(b *testing.B) {
 // extreme page sizes.
 func BenchmarkFig4Overheads(b *testing.B) {
 	cfg := benchConfig()
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		rp, err := rampage.Sweep(cfg, rampage.SystemRAMpage, []uint64{1000}, benchSizes, false)
@@ -212,6 +216,7 @@ func BenchmarkExtensionBankedRDRAM(b *testing.B) {
 // at 4GHz with 1KB pages.
 func BenchmarkExtensionPrefetch(b *testing.B) {
 	cfg := benchConfig()
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		plain, err := rampage.Run(cfg, rampage.RunSpec{System: rampage.SystemRAMpage, IssueMHz: 4000, SizeBytes: 1024})
@@ -235,6 +240,7 @@ func BenchmarkExtensionPrefetch(b *testing.B) {
 // references per second on the RAMpage machine.
 func BenchmarkSimRAMpageThroughput(b *testing.B) {
 	cfg := benchConfig()
+	b.ReportAllocs()
 	b.ResetTimer()
 	var refs uint64
 	for i := 0; i < b.N; i++ {
@@ -253,6 +259,7 @@ func BenchmarkSimRAMpageThroughput(b *testing.B) {
 // conventional machine.
 func BenchmarkSimBaselineThroughput(b *testing.B) {
 	cfg := benchConfig()
+	b.ReportAllocs()
 	b.ResetTimer()
 	var refs uint64
 	for i := 0; i < b.N; i++ {
@@ -279,6 +286,7 @@ func BenchmarkGeneratorThroughput(b *testing.B) {
 		return g
 	}
 	g := mk()
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if _, err := g.Next(); err != nil {
@@ -295,6 +303,7 @@ func BenchmarkTraceFileWrite(b *testing.B) {
 		b.Fatal(err)
 	}
 	ref := mem.Ref{Kind: mem.IFetch, Addr: 0x400000}
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		ref.Addr += 4

@@ -17,6 +17,8 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"strconv"
 	"strings"
 	"time"
@@ -26,15 +28,43 @@ import (
 
 func main() {
 	var (
-		exp   = flag.String("exp", "", "experiment id, or 'all'")
-		list  = flag.Bool("list", false, "list available experiments")
-		scale = flag.String("scale", "default", "workload scale: quick, default, full")
-		rates = flag.String("rates", "", "comma-separated issue rates in MHz (default: paper sweep)")
-		sizes = flag.String("sizes", "", "comma-separated block/page sizes in bytes (default: paper sweep)")
-		seed  = flag.Uint64("seed", 42, "deterministic seed")
-		sweep = flag.String("sweep", "", "raw sweep mode: run this system (baseline, 2way, rampage, rampage-cs) over the grid and emit CSV on stdout")
+		exp      = flag.String("exp", "", "experiment id, or 'all'")
+		list     = flag.Bool("list", false, "list available experiments")
+		scale    = flag.String("scale", "default", "workload scale: quick, default, full")
+		rates    = flag.String("rates", "", "comma-separated issue rates in MHz (default: paper sweep)")
+		sizes    = flag.String("sizes", "", "comma-separated block/page sizes in bytes (default: paper sweep)")
+		seed     = flag.Uint64("seed", 42, "deterministic seed")
+		sweep    = flag.String("sweep", "", "raw sweep mode: run this system (baseline, 2way, rampage, rampage-cs) over the grid and emit CSV on stdout")
+		parallel = flag.Int("parallel", 0, "sweep worker count (0 = one per CPU); results are identical at any setting")
+		cpuProf  = flag.String("cpuprofile", "", "write a CPU profile to this file")
+		memProf  = flag.String("memprofile", "", "write a heap profile to this file on exit")
 	)
 	flag.Parse()
+
+	if *cpuProf != "" {
+		f, err := os.Create(*cpuProf)
+		if err != nil {
+			fatal(fmt.Errorf("-cpuprofile: %w", err))
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fatal(fmt.Errorf("-cpuprofile: %w", err))
+		}
+		defer pprof.StopCPUProfile()
+	}
+	if *memProf != "" {
+		defer func() {
+			f, err := os.Create(*memProf)
+			if err != nil {
+				fatal(fmt.Errorf("-memprofile: %w", err))
+			}
+			defer f.Close()
+			runtime.GC()
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fatal(fmt.Errorf("-memprofile: %w", err))
+			}
+		}()
+	}
 
 	if *list || (*exp == "" && *sweep == "") {
 		fmt.Println("available experiments:")
@@ -52,6 +82,7 @@ func main() {
 		fatal(err)
 	}
 	cfg.Seed = *seed
+	cfg.Workers = *parallel
 
 	rateList, err := parseList(*rates)
 	if err != nil {

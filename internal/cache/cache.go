@@ -140,6 +140,7 @@ type Cache struct {
 	sets       []line // sets*assoc lines, set-major
 	assoc      int
 	setMask    uint64
+	setShift   uint // log2(set count), for tag extraction
 	blockShift uint
 	clock      uint64
 	rng        *xrand.RNG
@@ -157,6 +158,7 @@ func New(cfg Config) (*Cache, error) {
 		sets:       make([]line, sets*uint64(cfg.Assoc)),
 		assoc:      cfg.Assoc,
 		setMask:    sets - 1,
+		setShift:   mem.Log2(sets),
 		blockShift: mem.Log2(cfg.BlockBytes),
 		rng:        xrand.New(cfg.Seed ^ 0xCAC4E),
 	}, nil
@@ -185,7 +187,7 @@ func (c *Cache) BlockAddr(addr mem.PAddr) mem.PAddr {
 
 func (c *Cache) index(addr mem.PAddr) (set uint64, tag uint64) {
 	block := uint64(addr) >> c.blockShift
-	return block & c.setMask, block >> mem.Log2(c.setMask+1)
+	return block & c.setMask, block >> c.setShift
 }
 
 func (c *Cache) setSlice(set uint64) []line {
@@ -228,6 +230,43 @@ func (c *Cache) Access(addr mem.PAddr, write bool) Result {
 	return res
 }
 
+// Hit is the hit half of Access, split out for the simulator's batched
+// fast path. When addr's block is present it updates clock, LRU and
+// dirty state exactly as Access would and reports true. When absent it
+// touches nothing — the caller completes the miss with Access, and the
+// combined state and statistics are identical to a single Access call.
+func (c *Cache) Hit(addr mem.PAddr, write bool) bool {
+	block := uint64(addr) >> c.blockShift
+	set, tag := block&c.setMask, block>>c.setShift
+	if c.assoc == 1 { // direct-mapped: one candidate line
+		w := &c.sets[set]
+		if w.valid && w.tag == tag {
+			c.clock++
+			c.stats.Hits++
+			w.used = c.clock
+			if write {
+				w.dirty = true
+			}
+			return true
+		}
+		return false
+	}
+	base := set * uint64(c.assoc)
+	ways := c.sets[base : base+uint64(c.assoc)]
+	for i := range ways {
+		if ways[i].valid && ways[i].tag == tag {
+			c.clock++
+			c.stats.Hits++
+			ways[i].used = c.clock
+			if write {
+				ways[i].dirty = true
+			}
+			return true
+		}
+	}
+	return false
+}
+
 // Probe reports whether addr is present without updating replacement
 // state or statistics.
 func (c *Cache) Probe(addr mem.PAddr) bool {
@@ -267,7 +306,7 @@ func (c *Cache) pickVictim(ways []line) int {
 
 // rebuild reconstructs a block-aligned address from its set and tag.
 func (c *Cache) rebuild(set, tag uint64) mem.PAddr {
-	return mem.PAddr((tag<<mem.Log2(c.setMask+1) | set) << c.blockShift)
+	return mem.PAddr((tag<<c.setShift | set) << c.blockShift)
 }
 
 // Invalidate removes the block containing addr if present, returning

@@ -317,6 +317,27 @@ func (m *Memory) Translate(pid mem.PID, va mem.VAddr, write bool) (Outcome, erro
 	return out, nil
 }
 
+// TranslateHit resolves (pid, va) only when the TLB already holds the
+// translation, with state and statistics effects identical to what
+// Translate would have in that case. It reports false — having touched
+// nothing — for kernel references and TLB misses; the caller falls
+// back to Translate, which then accounts the miss exactly once. This
+// is the batched simulator's fast path.
+func (m *Memory) TranslateHit(pid mem.PID, va mem.VAddr, write bool) (mem.PAddr, bool) {
+	if pid == mem.KernelPID {
+		return 0, false
+	}
+	pa, hit := m.tlb.TryLookup(pid, va)
+	if !hit {
+		return 0, false
+	}
+	m.stats.Translations++
+	if write {
+		m.pt.SetDirty(uint64(pa) >> m.pageShift)
+	}
+	return pa, true
+}
+
 // pageFault brings (pid, vpn) into a frame, replacing if necessary,
 // and fills m.fault with the event description.
 func (m *Memory) pageFault(pid mem.PID, vpn uint64) (uint64, error) {

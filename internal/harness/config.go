@@ -48,6 +48,17 @@ type Config struct {
 	// MaxRefs caps application references per run (0 = run traces to
 	// completion).
 	MaxRefs uint64
+	// Workers bounds Sweep's simulation parallelism (0 = one worker per
+	// CPU). Results are deterministic regardless of the setting.
+	Workers int
+	// DisableBatching forces the scheduler's per-reference execution
+	// loop instead of the batched pipeline. The two produce
+	// bit-identical reports; this is an equivalence-testing and
+	// debugging knob.
+	DisableBatching bool
+	// BatchSize overrides the scheduler's read-ahead window (0 = the
+	// scheduler default). Any positive value yields the same reports.
+	BatchSize uint64
 
 	// profiles, when non-nil, replaces the Table 2 profile set (used by
 	// the phased-workload experiment).

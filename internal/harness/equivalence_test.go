@@ -1,0 +1,140 @@
+package harness
+
+import (
+	"fmt"
+	"reflect"
+	"testing"
+)
+
+// equivSpecs covers every SystemKind plus the scheduler features that
+// interact with batching: switch traces, switch-on-miss blocking,
+// lightweight threads and the adaptive epoch controller.
+var equivSpecs = []RunSpec{
+	{System: BaselineDM, IssueMHz: 1000, SizeBytes: 128},
+	{System: TwoWayL2, IssueMHz: 4000, SizeBytes: 1024, SwitchTrace: true},
+	{System: RAMpage, IssueMHz: 1000, SizeBytes: 1024},
+	{System: RAMpageCS, IssueMHz: 4000, SizeBytes: 512, SwitchTrace: true},
+	{System: RAMpageCS, IssueMHz: 4000, SizeBytes: 128, SwitchTrace: true, LightweightThreads: true},
+	{System: RAMpage, IssueMHz: 4000, SizeBytes: 512, AdaptivePages: true},
+}
+
+// runBothPaths executes one spec through the per-reference loop and
+// the batched loop and fails unless the reports are bit-identical.
+func runBothPaths(t *testing.T, cfg Config, spec RunSpec) {
+	t.Helper()
+	cfg.DisableBatching = true
+	perRef, err := Run(cfg, spec)
+	if err != nil {
+		t.Fatalf("per-ref run: %v", err)
+	}
+	cfg.DisableBatching = false
+	batched, err := Run(cfg, spec)
+	if err != nil {
+		t.Fatalf("batched run: %v", err)
+	}
+	if !reflect.DeepEqual(perRef, batched) {
+		t.Errorf("reports diverge (batch=%d):\nper-ref: %+v\nbatched: %+v", cfg.BatchSize, perRef, batched)
+	}
+}
+
+// TestBatchedPathEquivalence asserts the batched scheduler pipeline
+// produces bit-identical reports to the per-reference loop for all
+// four systems (plus the threads and adaptive extensions).
+func TestBatchedPathEquivalence(t *testing.T) {
+	cfg := tinyConfig()
+	for _, spec := range equivSpecs {
+		spec := spec
+		name := spec.System.String()
+		if spec.LightweightThreads {
+			name += "-threads"
+		}
+		if spec.AdaptivePages {
+			name += "-adaptive"
+		}
+		t.Run(name, func(t *testing.T) {
+			t.Parallel()
+			runBothPaths(t, cfg, spec)
+		})
+	}
+}
+
+// TestBatchedPathEquivalenceBatchSizes sweeps the read-ahead window —
+// including a degenerate single-reference window and a window spanning
+// whole quanta — on the system with the most scheduler interaction.
+func TestBatchedPathEquivalenceBatchSizes(t *testing.T) {
+	cfg := tinyConfig()
+	spec := RunSpec{System: RAMpageCS, IssueMHz: 4000, SizeBytes: 512, SwitchTrace: true}
+	for _, batch := range []uint64{1, 7, 64, cfg.Quantum} {
+		batch := batch
+		t.Run(fmt.Sprintf("batch=%d", batch), func(t *testing.T) {
+			t.Parallel()
+			c := cfg
+			c.BatchSize = batch
+			runBothPaths(t, c, spec)
+		})
+	}
+}
+
+// TestBatchedPathEquivalenceMaxRefs checks that the MaxRefs cutoff
+// lands on the same reference in both paths, including when it falls
+// mid-window.
+func TestBatchedPathEquivalenceMaxRefs(t *testing.T) {
+	cfg := tinyConfig()
+	cfg.MaxRefs = 12_345
+	cfg.BatchSize = 64
+	runBothPaths(t, cfg, RunSpec{System: RAMpageCS, IssueMHz: 4000, SizeBytes: 512, SwitchTrace: true})
+}
+
+// TestSweepPreloadEquivalence pins Sweep's materialized-workload
+// replay against direct Run calls (which regenerate their streams):
+// every grid cell must be bit-identical.
+func TestSweepPreloadEquivalence(t *testing.T) {
+	cfg := tinyConfig()
+	rates := []uint64{1000, 4000}
+	sizes := []uint64{128, 1024}
+	grid, err := Sweep(cfg, RAMpageCS, rates, sizes, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, rate := range rates {
+		for j, size := range sizes {
+			direct, err := Run(cfg, RunSpec{System: RAMpageCS, IssueMHz: rate, SizeBytes: size, SwitchTrace: true})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !reflect.DeepEqual(grid[i][j], direct) {
+				t.Errorf("cell %dMHz/%dB diverges from direct run:\nsweep: %+v\ndirect: %+v", rate, size, grid[i][j], direct)
+			}
+		}
+	}
+}
+
+// FuzzBatchEquivalence fuzzes (seed, batch size, issue rate, page
+// size) through the switch-on-miss system, asserting bit-identical
+// reports between the two scheduler paths. The seed corpus pins the
+// ISSUE-mandated batch sizes {1, 7, 64, quantum}, so `go test` always
+// replays them even when no fuzz engine is attached.
+func FuzzBatchEquivalence(f *testing.F) {
+	quantum := QuickScaled().Quantum
+	f.Add(uint64(42), uint64(1), uint64(4000), uint64(512))
+	f.Add(uint64(42), uint64(7), uint64(4000), uint64(512))
+	f.Add(uint64(42), uint64(64), uint64(1000), uint64(128))
+	f.Add(uint64(42), quantum, uint64(4000), uint64(1024))
+	f.Add(uint64(7), uint64(13), uint64(2000), uint64(256))
+	f.Fuzz(func(t *testing.T, seed, batch, rateMHz, pageBytes uint64) {
+		cfg := tinyConfig()
+		cfg.Seed = seed
+		cfg.Processes = 4
+		cfg.MaxRefs = 30_000
+		cfg.BatchSize = 1 + batch%uint64(2*quantum) // clamp to a sane window
+		rates := []uint64{200, 1000, 2000, 4000}
+		sizes := []uint64{128, 256, 512, 1024, 2048, 4096}
+		spec := RunSpec{
+			System:      RAMpageCS,
+			IssueMHz:    rates[rateMHz%uint64(len(rates))],
+			SizeBytes:   sizes[pageBytes%uint64(len(sizes))],
+			SwitchTrace: true,
+		}
+		runBothPaths(t, cfg, spec)
+	})
+}

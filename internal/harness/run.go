@@ -7,9 +7,11 @@ import (
 
 	"rampage/internal/cache"
 	"rampage/internal/dram"
+	"rampage/internal/mem"
 	"rampage/internal/sim"
 	"rampage/internal/stats"
 	"rampage/internal/synth"
+	"rampage/internal/trace"
 )
 
 // SystemKind selects which machine a run simulates.
@@ -88,6 +90,17 @@ type RunSpec struct {
 // Run executes one simulation point under the given configuration and
 // returns its report.
 func Run(cfg Config, spec RunSpec) (*stats.Report, error) {
+	readers, err := cfg.Readers()
+	if err != nil {
+		return nil, err
+	}
+	return runWithReaders(cfg, spec, readers)
+}
+
+// runWithReaders is Run with the workload streams supplied by the
+// caller — Sweep uses it to replay one materialized workload across
+// every grid cell instead of regenerating it per cell.
+func runWithReaders(cfg Config, spec RunSpec, readers []trace.Reader) (*stats.Report, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
@@ -118,11 +131,6 @@ func Run(cfg Config, spec RunSpec) (*stats.Report, error) {
 			return nil, err
 		}
 		params.DRAM = mc
-	}
-
-	readers, err := cfg.Readers()
-	if err != nil {
-		return nil, err
 	}
 
 	var machine sim.Machine
@@ -193,6 +201,8 @@ func Run(cfg Config, spec RunSpec) (*stats.Report, error) {
 		LightweightThreads: spec.LightweightThreads,
 		Seed:               cfg.Seed,
 		MaxRefs:            cfg.MaxRefs,
+		DisableBatching:    cfg.DisableBatching,
+		BatchSize:          cfg.BatchSize,
 	})
 	if err != nil {
 		return nil, err
@@ -200,14 +210,70 @@ func Run(cfg Config, spec RunSpec) (*stats.Report, error) {
 	return sched.Run()
 }
 
+// preloadRefsCap bounds workload materialization in Sweep: streams
+// totalling more than this many references (16 bytes each — the cap is
+// ~1 GB) are regenerated per cell instead of being stored.
+const preloadRefsCap = 64 << 20
+
+// preloadWorkload materializes the configuration's reference streams
+// so a sweep can replay them across grid cells instead of regenerating
+// them — the streams depend only on the seed and scales, never on the
+// cell's rate or size. It returns nil when the workload is too large
+// to hold (full-scale runs) or a stream's length is unknown.
+func preloadWorkload(cfg Config) [][]mem.Ref {
+	readers, err := cfg.Readers()
+	if err != nil {
+		return nil
+	}
+	var total uint64
+	for _, r := range readers {
+		g, ok := r.(interface{ Remaining() uint64 })
+		if !ok {
+			return nil
+		}
+		total += g.Remaining()
+	}
+	if total > preloadRefsCap {
+		return nil
+	}
+	out := make([][]mem.Ref, len(readers))
+	for i, r := range readers {
+		refs := make([]mem.Ref, r.(interface{ Remaining() uint64 }).Remaining())
+		filled := 0
+		for filled < len(refs) {
+			n, err := trace.ReadBatch(r, refs[filled:])
+			if n == 0 || err != nil {
+				return nil // stream shorter than declared; fall back
+			}
+			filled += n
+		}
+		out[i] = refs
+	}
+	return out
+}
+
 // Sweep runs a grid of points — every issue rate crossed with every
 // size — for one system, returning reports indexed [rate][size]. Cells
 // are independent simulations, so they run in parallel across the
 // available CPUs; results are deterministic regardless of parallelism.
+// The workload is generated once and replayed in every cell (each cell
+// gets fresh SliceReaders over the shared, read-only backing slices),
+// since the streams are independent of the swept parameters.
 func Sweep(cfg Config, system SystemKind, rates, sizes []uint64, switchTrace bool) ([][]*stats.Report, error) {
 	out := make([][]*stats.Report, len(rates))
 	for i := range rates {
 		out[i] = make([]*stats.Report, len(sizes))
+	}
+	preloaded := preloadWorkload(cfg)
+	cellRun := func(spec RunSpec) (*stats.Report, error) {
+		if preloaded == nil {
+			return Run(cfg, spec)
+		}
+		readers := make([]trace.Reader, len(preloaded))
+		for i, refs := range preloaded {
+			readers[i] = trace.NewSliceReader(refs)
+		}
+		return runWithReaders(cfg, spec, readers)
 	}
 	type cell struct{ i, j int }
 	cells := make(chan cell)
@@ -217,7 +283,10 @@ func Sweep(cfg Config, system SystemKind, rates, sizes []uint64, switchTrace boo
 		errOnce  sync.Once
 		firstErr error
 	)
-	workers := runtime.NumCPU()
+	workers := cfg.Workers
+	if workers <= 0 {
+		workers = runtime.NumCPU()
+	}
 	if n := len(rates) * len(sizes); n < workers {
 		workers = n
 	}
@@ -229,7 +298,7 @@ func Sweep(cfg Config, system SystemKind, rates, sizes []uint64, switchTrace boo
 				if failed.Load() {
 					continue // drain remaining cells after a failure
 				}
-				rep, err := Run(cfg, RunSpec{
+				rep, err := cellRun(RunSpec{
 					System:      system,
 					IssueMHz:    rates[c.i],
 					SizeBytes:   sizes[c.j],

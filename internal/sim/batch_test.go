@@ -1,0 +1,129 @@
+package sim
+
+import (
+	"reflect"
+	"testing"
+
+	"rampage/internal/mem"
+)
+
+func newBatchBaseline(t *testing.T) *Baseline {
+	t.Helper()
+	b, err := NewBaseline(BaselineConfig{
+		Params:    DefaultParams(1000),
+		L2Bytes:   256 << 10,
+		L2Block:   1024,
+		L2Assoc:   1,
+		DRAMBytes: 16 << 20,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return b
+}
+
+func newBatchRAMpage(t *testing.T) *RAMpage {
+	t.Helper()
+	r, err := NewRAMpage(RAMpageConfig{
+		Params:    DefaultParams(1000),
+		SRAMBytes: 264 << 10,
+		PageBytes: 1024,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return r
+}
+
+// batchWorkload is a small user-mode reference mix: a code loop plus a
+// data walk confined to a few pages, so the steady state is all TLB
+// and L1 hits with occasional L1 conflict traffic at the start.
+func batchWorkload(n int) []mem.Ref {
+	refs := make([]mem.Ref, n)
+	for i := range refs {
+		switch i % 3 {
+		case 0:
+			refs[i] = mem.Ref{PID: 1, Kind: mem.IFetch, Addr: mem.VAddr(0x1000 + uint64(i%256)*4)}
+		case 1:
+			refs[i] = mem.Ref{PID: 1, Kind: mem.Load, Addr: mem.VAddr(0x4000 + uint64(i%128)*8)}
+		default:
+			refs[i] = mem.Ref{PID: 1, Kind: mem.Store, Addr: mem.VAddr(0x5000 + uint64(i%64)*8)}
+		}
+	}
+	return refs
+}
+
+// TestExecBatchMatchesExec runs the same reference stream through Exec
+// one at a time and through ExecBatch, and requires bit-identical
+// reports (the scheduler-level equivalence tests in internal/harness
+// cover the blocking switch-on-miss path).
+func TestExecBatchMatchesExec(t *testing.T) {
+	refs := batchWorkload(4096)
+	t.Run("baseline", func(t *testing.T) {
+		one, batch := newBatchBaseline(t), newBatchBaseline(t)
+		for _, ref := range refs {
+			if _, err := one.Exec(ref); err != nil {
+				t.Fatal(err)
+			}
+		}
+		for off := 0; off < len(refs); off += 129 { // deliberately unaligned windows
+			end := off + 129
+			if end > len(refs) {
+				end = len(refs)
+			}
+			n, block, err := batch.ExecBatch(refs[off:end])
+			if err != nil || block != 0 || n != end-off {
+				t.Fatalf("ExecBatch = %d, %d, %v", n, block, err)
+			}
+		}
+		if !reflect.DeepEqual(one.Report(), batch.Report()) {
+			t.Errorf("reports diverge:\nexec:  %+v\nbatch: %+v", one.Report(), batch.Report())
+		}
+	})
+	t.Run("rampage", func(t *testing.T) {
+		one, batch := newBatchRAMpage(t), newBatchRAMpage(t)
+		for _, ref := range refs {
+			if _, err := one.Exec(ref); err != nil {
+				t.Fatal(err)
+			}
+		}
+		for off := 0; off < len(refs); off += 129 {
+			end := off + 129
+			if end > len(refs) {
+				end = len(refs)
+			}
+			n, block, err := batch.ExecBatch(refs[off:end])
+			if err != nil || block != 0 || n != end-off {
+				t.Fatalf("ExecBatch = %d, %d, %v", n, block, err)
+			}
+		}
+		if !reflect.DeepEqual(one.Report(), batch.Report()) {
+			t.Errorf("reports diverge:\nexec:  %+v\nbatch: %+v", one.Report(), batch.Report())
+		}
+	})
+}
+
+// TestExecBatchZeroAllocSteadyState pins the hot path: once the TLB
+// and L1 are warm, executing a batch must not allocate at all.
+func TestExecBatchZeroAllocSteadyState(t *testing.T) {
+	refs := batchWorkload(512)
+	run := func(t *testing.T, m Machine) {
+		t.Helper()
+		// Warm up: fault the pages in and fill the caches.
+		for i := 0; i < 4; i++ {
+			if n, block, err := m.ExecBatch(refs); err != nil || block != 0 || n != len(refs) {
+				t.Fatalf("warm-up ExecBatch = %d, %d, %v", n, block, err)
+			}
+		}
+		allocs := testing.AllocsPerRun(20, func() {
+			if _, _, err := m.ExecBatch(refs); err != nil {
+				t.Fatal(err)
+			}
+		})
+		if allocs != 0 {
+			t.Errorf("steady-state ExecBatch allocates %.1f times per batch", allocs)
+		}
+	}
+	t.Run("baseline", func(t *testing.T) { run(t, newBatchBaseline(t)) })
+	t.Run("rampage", func(t *testing.T) { run(t, newBatchRAMpage(t)) })
+}

@@ -17,6 +17,15 @@ type Machine interface {
 	// the reference's page arrives from DRAM: the process must block
 	// and the SAME reference must be re-executed after that time.
 	Exec(ref mem.Ref) (blockUntil mem.Cycles, err error)
+	// ExecBatch runs application references in order, stopping at the
+	// first that blocks or errors. consumed is the number of references
+	// that completed. When consumed < len(refs) with a nil error and a
+	// non-zero blockUntil, refs[consumed] faulted with its page arriving
+	// at blockUntil: that reference did NOT execute and must be retried
+	// after that time, exactly as with Exec. Machines accelerate the
+	// common TLB-hit/L1-hit case with an inlined fast path; the executed
+	// reference semantics are bit-identical to repeated Exec calls.
+	ExecBatch(refs []mem.Ref) (consumed int, blockUntil mem.Cycles, err error)
 	// ExecTrace runs an operating-system reference sequence (handler
 	// or context-switch code), accounting it under the given class.
 	ExecTrace(refs []mem.Ref, class RefClass) error

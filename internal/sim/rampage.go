@@ -118,6 +118,32 @@ func (r *RAMpage) Exec(ref mem.Ref) (mem.Cycles, error) {
 	return r.execOne(ref, ClassBench)
 }
 
+// ExecBatch implements Machine. The fast path — no transfers in
+// flight, a user reference whose translation hits the TLB — skips the
+// per-reference event machinery entirely; TLB misses, faults and any
+// in-flight-page bookkeeping fall back to the per-reference path. A
+// blocking reference stops the batch unconsumed, exactly like Exec.
+func (r *RAMpage) ExecBatch(refs []mem.Ref) (int, mem.Cycles, error) {
+	for i := range refs {
+		ref := refs[i]
+		if len(r.inFlight) == 0 && len(r.pending) == 0 {
+			if pa, ok := r.mm.TranslateHit(ref.PID, ref.Addr, ref.Kind == mem.Store); ok {
+				r.rep.BenchRefs++
+				r.accessL1(ref.Kind, pa)
+				continue
+			}
+		}
+		block, err := r.execOne(ref, ClassBench)
+		if err != nil {
+			return i, 0, err
+		}
+		if block != 0 {
+			return i, block, nil
+		}
+	}
+	return len(refs), 0, nil
+}
+
 // ExecTrace implements Machine. Operating-system references are pinned
 // in SRAM (§4.6) and can never fault.
 func (r *RAMpage) ExecTrace(refs []mem.Ref, class RefClass) error {
@@ -345,10 +371,10 @@ func (r *RAMpage) accessL1(kind mem.RefKind, pa mem.PAddr) {
 	if kind == mem.IFetch {
 		r.rep.Charge(stats.L1I, 1)
 	}
-	res := side.Access(pa, kind == mem.Store)
-	if res.Hit {
+	if side.Hit(pa, kind == mem.Store) {
 		return
 	}
+	res := side.Access(pa, kind == mem.Store)
 	if kind == mem.IFetch {
 		r.rep.L1IMisses++
 	} else {

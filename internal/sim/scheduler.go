@@ -31,7 +31,19 @@ type proc struct {
 	pending   mem.Ref    // the faulting reference to retry after unblock
 	hasPend   bool
 	sliceLeft uint64 // references remaining in the current time slice
+
+	// Batched-path read-ahead buffer: buf[bufPos:bufN] holds fetched
+	// but not yet executed references; rdErr is the stream's terminal
+	// error (io.EOF or a failure), delivered once the buffer drains.
+	buf    []mem.Ref
+	bufPos int
+	bufN   int
+	rdErr  error
 }
+
+// DefaultBatchSize is the per-process read-ahead window of the batched
+// scheduler path.
+const DefaultBatchSize = 512
 
 // SchedulerConfig configures the multiprogramming driver.
 type SchedulerConfig struct {
@@ -51,6 +63,50 @@ type SchedulerConfig struct {
 	// MaxRefs, when non-zero, stops the run after that many
 	// application references (for smoke tests and quick sweeps).
 	MaxRefs uint64
+	// DisableBatching forces the original per-reference execution loop.
+	// The batched path produces bit-identical reports; this escape
+	// hatch exists for equivalence testing and as a debugging aid.
+	DisableBatching bool
+	// BatchSize is the read-ahead window of the batched path in
+	// references (0 = DefaultBatchSize). Any positive value yields the
+	// same reports; larger windows amortise more dispatch overhead.
+	BatchSize uint64
+}
+
+// readyRing is a fixed-capacity FIFO of process indices with O(1)
+// push-front for the resume-on-arrival path (the per-preemption slice
+// prepend it replaces allocated on every miss-induced switch). A
+// process is enqueued only on its transition to procReady, so at most
+// once concurrently: capacity equals the process count and pushes
+// cannot overflow.
+type readyRing struct {
+	buf  []int
+	head int
+	n    int
+}
+
+func newReadyRing(capacity int) readyRing {
+	return readyRing{buf: make([]int, capacity)}
+}
+
+func (r *readyRing) len() int { return r.n }
+
+func (r *readyRing) pushBack(v int) {
+	r.buf[(r.head+r.n)%len(r.buf)] = v
+	r.n++
+}
+
+func (r *readyRing) pushFront(v int) {
+	r.head = (r.head - 1 + len(r.buf)) % len(r.buf)
+	r.buf[r.head] = v
+	r.n++
+}
+
+func (r *readyRing) popFront() int {
+	v := r.buf[r.head]
+	r.head = (r.head + 1) % len(r.buf)
+	r.n--
+	return v
 }
 
 // Scheduler drives a Machine with a multiprogrammed workload.
@@ -72,7 +128,7 @@ type Scheduler struct {
 	m      Machine
 	cfg    SchedulerConfig
 	procs  []*proc
-	queue  []int      // FIFO of ready process indices
+	queue  readyRing
 	wakeAt mem.Cycles // earliest blocked readyAt (0 = none)
 	kernel *synth.Kernel
 	buf    []mem.Ref
@@ -88,10 +144,10 @@ func NewScheduler(m Machine, readers []trace.Reader, cfg SchedulerConfig) (*Sche
 		cfg.Quantum = trace.DefaultQuantum
 	}
 	procs := make([]*proc, len(readers))
-	queue := make([]int, len(readers))
+	queue := newReadyRing(len(readers))
 	for i, r := range readers {
 		procs[i] = &proc{pid: mem.PID(i), r: trace.NewRetag(r, mem.PID(i)), sliceLeft: cfg.Quantum}
-		queue[i] = i
+		queue.pushBack(i)
 	}
 	return &Scheduler{
 		m:      m,
@@ -103,8 +159,19 @@ func NewScheduler(m Machine, readers []trace.Reader, cfg SchedulerConfig) (*Sche
 }
 
 // Run executes the workload to completion and returns the machine's
-// report.
+// report. The batched path and the per-reference path produce
+// bit-identical reports; see DESIGN.md's Performance section for the
+// invariant.
 func (s *Scheduler) Run() (*stats.Report, error) {
+	if s.cfg.DisableBatching {
+		return s.runPerRef()
+	}
+	return s.runBatched()
+}
+
+// runPerRef is the original reference-at-a-time loop, kept as the
+// semantic reference for the batched path.
+func (s *Scheduler) runPerRef() (*stats.Report, error) {
 	rep := s.m.Report()
 	cur, ok := s.dispatch()
 	if !ok {
@@ -120,7 +187,7 @@ func (s *Scheduler) Run() (*stats.Report, error) {
 		if s.wakeAt != 0 && s.m.Now() >= s.wakeAt {
 			if woken := s.earliestArrived(); woken >= 0 && woken != cur {
 				s.procs[cur].state = procReady
-				s.queue = append([]int{cur}, s.queue...) // fill-in keeps priority
+				s.queue.pushFront(cur) // fill-in keeps priority
 				if err := s.switchTrace(rep, cur, woken, true); err != nil {
 					return rep, err
 				}
@@ -173,19 +240,11 @@ func (s *Scheduler) Run() (*stats.Report, error) {
 			}
 			// Page fault with switch-on-miss: block this process and
 			// run something else while the page is in flight (§4.6).
-			p.state = procBlocked
-			p.readyAt = blockUntil
 			p.pending = ref
 			p.hasPend = true
-			rep.SwitchesOnMiss++
-			if s.wakeAt == 0 || blockUntil < s.wakeAt {
-				s.wakeAt = blockUntil
-			}
-			next, ok := s.dispatch()
-			if !ok {
-				return rep, fmt.Errorf("sim: no runnable process while pages in flight")
-			}
-			if err := s.switchTrace(rep, cur, next, true); err != nil {
+			s.blockProc(rep, cur, blockUntil)
+			next, err := s.resumeAfterBlock(rep, cur)
+			if err != nil {
 				return rep, err
 			}
 			cur = next
@@ -194,23 +253,179 @@ func (s *Scheduler) Run() (*stats.Report, error) {
 		executed++
 		p.sliceLeft--
 		if p.sliceLeft == 0 {
-			p.sliceLeft = s.cfg.Quantum
-			s.admitUnblocked()
-			if len(s.queue) > 0 {
-				// Round-robin: the running process goes to the back.
-				p.state = procReady
-				s.queue = append(s.queue, cur)
-				next, _ := s.dispatch()
-				if next != cur {
-					rep.Switches++
-					if err := s.switchTrace(rep, cur, next, false); err != nil {
-						return rep, err
-					}
-				}
-				cur = next
+			next, err := s.quantumBoundary(rep, cur)
+			if err != nil {
+				return rep, err
 			}
+			cur = next
 		}
 	}
+}
+
+// runBatched is the batched execution loop: it fetches a window of
+// references into the process's read-ahead buffer and executes it with
+// one ExecBatch call. Semantics are bit-identical to runPerRef:
+//
+//   - the window never exceeds the slice remainder, so quantum
+//     boundaries land on exactly the same reference;
+//   - while any page is in flight (wakeAt != 0) the window degrades to
+//     a single reference, preserving the per-reference resume-on-
+//     arrival preemption check and the stall-retry path;
+//   - a blocking reference is left unconsumed at the buffer cursor,
+//     which is the batched equivalent of the pending-retry slot;
+//   - MaxRefs caps the window, and stream errors surface only after
+//     the references read before them have executed, exactly as a
+//     per-reference Next loop would.
+func (s *Scheduler) runBatched() (*stats.Report, error) {
+	rep := s.m.Report()
+	batchCap := s.cfg.BatchSize
+	if batchCap == 0 {
+		batchCap = DefaultBatchSize
+	}
+	cur, ok := s.dispatch()
+	if !ok {
+		return rep, nil
+	}
+	var executed uint64
+	for {
+		if s.cfg.MaxRefs > 0 && executed >= s.cfg.MaxRefs {
+			return rep, nil
+		}
+		if s.wakeAt != 0 && s.m.Now() >= s.wakeAt {
+			if woken := s.earliestArrived(); woken >= 0 && woken != cur {
+				s.procs[cur].state = procReady
+				s.queue.pushFront(cur) // fill-in keeps priority
+				if err := s.switchTrace(rep, cur, woken, true); err != nil {
+					return rep, err
+				}
+				s.procs[woken].state = procRunning
+				cur = woken
+			}
+			s.recomputeWake()
+		}
+		p := s.procs[cur]
+		if p.bufPos == p.bufN {
+			if p.rdErr == nil {
+				if p.buf == nil {
+					p.buf = make([]mem.Ref, batchCap)
+				}
+				n, err := trace.ReadBatch(p.r, p.buf)
+				p.bufPos, p.bufN = 0, n
+				p.rdErr = err
+				if n == 0 && err == nil {
+					p.rdErr = io.EOF // defensive: empty read with no error
+				}
+			}
+			if p.bufPos == p.bufN {
+				if !errors.Is(p.rdErr, io.EOF) {
+					return rep, p.rdErr
+				}
+				p.state = procDone
+				next, ok := s.dispatch()
+				if !ok {
+					return rep, nil // all done
+				}
+				if err := s.switchTrace(rep, cur, next, false); err != nil {
+					return rep, err
+				}
+				cur = next
+				continue
+			}
+		}
+		window := uint64(p.bufN - p.bufPos)
+		if window > p.sliceLeft {
+			window = p.sliceLeft
+		}
+		if s.wakeAt != 0 {
+			window = 1 // per-reference checks while transfers are in flight
+		}
+		if s.cfg.MaxRefs > 0 {
+			if left := s.cfg.MaxRefs - executed; window > left {
+				window = left
+			}
+		}
+		consumed, blockUntil, err := s.m.ExecBatch(p.buf[p.bufPos : p.bufPos+int(window)])
+		p.bufPos += consumed
+		executed += uint64(consumed)
+		p.sliceLeft -= uint64(consumed)
+		if err != nil {
+			return rep, err
+		}
+		if blockUntil != 0 {
+			// p.buf[p.bufPos] faulted and must retry after blockUntil.
+			if s.wakeAt != 0 {
+				// Stall in place; loop-top preemption resumes the
+				// original faulter the moment its page lands.
+				s.m.AdvanceTo(blockUntil)
+				continue
+			}
+			// Page fault with switch-on-miss: block this process and
+			// run something else while the page is in flight (§4.6).
+			// The faulting reference stays at p.buf[p.bufPos] — the
+			// batched equivalent of the pending-retry slot.
+			s.blockProc(rep, cur, blockUntil)
+			next, err := s.resumeAfterBlock(rep, cur)
+			if err != nil {
+				return rep, err
+			}
+			cur = next
+			continue
+		}
+		if p.sliceLeft == 0 {
+			next, err := s.quantumBoundary(rep, cur)
+			if err != nil {
+				return rep, err
+			}
+			cur = next
+		}
+	}
+}
+
+// blockProc records a page-fault block for the current process
+// (switch-on-miss, §4.6) and updates the wake bookkeeping.
+func (s *Scheduler) blockProc(rep *stats.Report, cur int, blockUntil mem.Cycles) {
+	p := s.procs[cur]
+	p.state = procBlocked
+	p.readyAt = blockUntil
+	rep.SwitchesOnMiss++
+	if s.wakeAt == 0 || blockUntil < s.wakeAt {
+		s.wakeAt = blockUntil
+	}
+}
+
+// resumeAfterBlock dispatches the fill-in process after a block and
+// charges the miss-induced switch trace.
+func (s *Scheduler) resumeAfterBlock(rep *stats.Report, cur int) (int, error) {
+	next, ok := s.dispatch()
+	if !ok {
+		return -1, fmt.Errorf("sim: no runnable process while pages in flight")
+	}
+	if err := s.switchTrace(rep, cur, next, true); err != nil {
+		return -1, err
+	}
+	return next, nil
+}
+
+// quantumBoundary handles an expired time slice: refresh the slice,
+// admit arrived processes and rotate round-robin.
+func (s *Scheduler) quantumBoundary(rep *stats.Report, cur int) (int, error) {
+	p := s.procs[cur]
+	p.sliceLeft = s.cfg.Quantum
+	s.admitUnblocked()
+	if s.queue.len() == 0 {
+		return cur, nil
+	}
+	// Round-robin: the running process goes to the back.
+	p.state = procReady
+	s.queue.pushBack(cur)
+	next, _ := s.dispatch()
+	if next != cur {
+		rep.Switches++
+		if err := s.switchTrace(rep, cur, next, false); err != nil {
+			return cur, err
+		}
+	}
+	return next, nil
 }
 
 // dispatch pops the next runnable process off the FIFO queue, first
@@ -219,14 +434,13 @@ func (s *Scheduler) Run() (*stats.Report, error) {
 // flight. ok is false when every process is done.
 func (s *Scheduler) dispatch() (int, bool) {
 	s.admitUnblocked()
-	for len(s.queue) == 0 {
+	for s.queue.len() == 0 {
 		if !s.waitForBlocked() {
 			return -1, false
 		}
 		s.admitUnblocked()
 	}
-	next := s.queue[0]
-	s.queue = s.queue[1:]
+	next := s.queue.popFront()
 	s.procs[next].state = procRunning
 	return next, true
 }
@@ -274,7 +488,7 @@ func (s *Scheduler) admitUnblocked() {
 			return
 		}
 		s.procs[best].state = procReady
-		s.queue = append(s.queue, best)
+		s.queue.pushBack(best)
 	}
 }
 

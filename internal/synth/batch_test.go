@@ -1,0 +1,86 @@
+package synth
+
+import (
+	"errors"
+	"io"
+	"testing"
+
+	"rampage/internal/mem"
+)
+
+// TestGeneratorReadBatchMatchesNext drains two identically-seeded
+// generators — one reference at a time and in deliberately odd batch
+// sizes — and requires the exact same stream. This pins the batched
+// path's RNG call order: phases must advance once per reference window
+// exactly as the scalar path does.
+func TestGeneratorReadBatchMatchesNext(t *testing.T) {
+	p, ok := FindProfile("swm256")
+	if !ok {
+		t.Fatal("swm256 profile missing")
+	}
+	opts := Options{Seed: 11, RefScale: 1.0 / 2000, SizeScale: 1.0 / 16}
+	scalar, err := NewGenerator(p, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	batched, err := NewGenerator(p, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var want []mem.Ref
+	for {
+		ref, err := scalar.Next()
+		if errors.Is(err, io.EOF) {
+			break
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		want = append(want, ref)
+	}
+	var got []mem.Ref
+	buf := make([]mem.Ref, 0, 257)
+	for size := 1; ; size = size%257 + 1 { // cycle through window sizes
+		n, err := batched.ReadBatch(buf[:size])
+		got = append(got, buf[:n]...)
+		if errors.Is(err, io.EOF) {
+			break
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	if len(got) != len(want) {
+		t.Fatalf("stream lengths differ: batched %d vs scalar %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("ref %d differs: batched %+v vs scalar %+v", i, got[i], want[i])
+		}
+	}
+}
+
+// TestGeneratorReadBatchZeroAlloc pins the generator's batched fill:
+// steady-state batches must not allocate.
+func TestGeneratorReadBatchZeroAlloc(t *testing.T) {
+	p, ok := FindProfile("swm256")
+	if !ok {
+		t.Fatal("swm256 profile missing")
+	}
+	g, err := NewGenerator(p, Options{Seed: 1, RefScale: 1, SizeScale: 1.0 / 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	buf := make([]mem.Ref, 256)
+	if _, err := g.ReadBatch(buf); err != nil { // warm up
+		t.Fatal(err)
+	}
+	allocs := testing.AllocsPerRun(50, func() {
+		if n, err := g.ReadBatch(buf); err != nil || n == 0 {
+			t.Fatalf("ReadBatch = %d, %v", n, err)
+		}
+	})
+	if allocs != 0 {
+		t.Errorf("ReadBatch allocates %.1f times per batch", allocs)
+	}
+}

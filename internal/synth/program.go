@@ -295,6 +295,38 @@ func (g *Generator) Next() (mem.Ref, error) {
 	return g.nextIFetch(), nil
 }
 
+// ReadBatch implements trace.BatchReader. A batch never crosses a
+// phase boundary, so checking the phase schedule once per batch
+// consumes the random stream in exactly the order repeated Next calls
+// would — the two paths generate bit-identical traces.
+func (g *Generator) ReadBatch(dst []mem.Ref) (int, error) {
+	if g.left == 0 {
+		return 0, io.EOF
+	}
+	if len(dst) == 0 {
+		return 0, nil
+	}
+	g.advancePhase()
+	n := uint64(len(dst))
+	if n > g.left {
+		n = g.left
+	}
+	if g.phaseEnds != nil && g.phaseIdx < len(g.phaseEnds)-1 {
+		if until := g.phaseEnds[g.phaseIdx] - (g.total - g.left); until < n {
+			n = until
+		}
+	}
+	for i := uint64(0); i < n; i++ {
+		g.left--
+		if g.rng.Chance(g.dataFrac) {
+			dst[i] = g.nextData()
+		} else {
+			dst[i] = g.nextIFetch()
+		}
+	}
+	return int(n), nil
+}
+
 // nextIFetch advances the program counter through the current loop.
 func (g *Generator) nextIFetch() mem.Ref {
 	addr := mem.VAddr(codeBase + g.pc)

@@ -82,14 +82,40 @@ func (s Stats) MissRate() float64 {
 
 // TLB is the translation buffer. It is not safe for concurrent use.
 type TLB struct {
-	cfg       Config
-	entries   []entry // sets*assoc, set-major
+	cfg     Config
+	entries []entry // sets*assoc, set-major
+	// keys mirrors entries with one packed word per entry
+	// (vpn<<16 | pid, or keyInvalid) so Lookup scans one word per way
+	// instead of a four-field struct — the scan is the simulator's
+	// hottest loop. entries stays authoritative; a key match is always
+	// re-verified against the entry.
+	keys      []uint64
 	assoc     int
 	setMask   uint64
 	pageShift uint
 	rng       *xrand.RNG
 	stats     Stats
+	// filter is a direct-mapped cache of recent hit positions: it maps
+	// (vpn^pid)&filterMask to the entry index that last hit for that
+	// translation. A
+	// filter probe is verified against keys (and then entries), so a
+	// stale slot can only cost a fall-through to the scan, never a
+	// wrong translation. Replacement is random and hits update no TLB
+	// state, so the filter is invisible to simulated behavior.
+	filter [filterSlots]int32
 }
+
+const (
+	filterSlots = 16
+	filterMask  = filterSlots - 1
+)
+
+// keyInvalid marks an empty slot in the packed key array. Real keys
+// can only equal it for virtual page numbers with all of bits 32..47
+// set, and the authoritative entry check rejects those false matches.
+const keyInvalid = ^uint64(0)
+
+func packKey(pid mem.PID, vpn uint64) uint64 { return vpn<<16 | uint64(pid) }
 
 // New builds a TLB from a validated configuration.
 func New(cfg Config) (*TLB, error) {
@@ -104,9 +130,14 @@ func New(cfg Config) (*TLB, error) {
 	if sets*assoc != cfg.Entries || !mem.IsPow2(uint64(sets)) {
 		return nil, fmt.Errorf("tlb: %d entries not divisible into %d-way sets", cfg.Entries, assoc)
 	}
+	keys := make([]uint64, cfg.Entries)
+	for i := range keys {
+		keys[i] = keyInvalid
+	}
 	return &TLB{
 		cfg:       cfg,
 		entries:   make([]entry, cfg.Entries),
+		keys:      keys,
 		assoc:     assoc,
 		setMask:   uint64(sets - 1),
 		pageShift: mem.Log2(cfg.PageBytes),
@@ -142,16 +173,49 @@ func (t *TLB) set(vpn uint64) []entry {
 // address (frame base plus page offset) and true. On a miss it returns
 // false; the caller runs the page-table walk and then calls Insert.
 func (t *TLB) Lookup(pid mem.PID, addr mem.VAddr) (mem.PAddr, bool) {
-	vpn := t.VPN(addr)
-	for i := range t.set(vpn) {
-		e := &t.set(vpn)[i]
+	if pa, ok := t.lookup(pid, addr); ok {
+		t.stats.Hits++
+		return pa, true
+	}
+	t.stats.Misses++
+	return 0, false
+}
+
+// TryLookup is Lookup for a speculative fast path: a hit counts as a
+// hit, but a miss leaves the statistics untouched so the caller can
+// fall back to the full Lookup-and-walk path, which then records the
+// miss exactly once.
+func (t *TLB) TryLookup(pid mem.PID, addr mem.VAddr) (mem.PAddr, bool) {
+	if pa, ok := t.lookup(pid, addr); ok {
+		t.stats.Hits++
+		return pa, true
+	}
+	return 0, false
+}
+
+func (t *TLB) lookup(pid mem.PID, addr mem.VAddr) (mem.PAddr, bool) {
+	vpn := uint64(addr) >> t.pageShift
+	key := packKey(pid, vpn)
+	fidx := (vpn ^ uint64(pid)) & filterMask
+	if fi := uint64(t.filter[fidx]); t.keys[fi] == key {
+		e := &t.entries[fi]
 		if e.valid && e.pid == pid && e.vpn == vpn {
-			t.stats.Hits++
 			off := uint64(addr) & (t.cfg.PageBytes - 1)
 			return mem.PAddr(e.frame<<t.pageShift | off), true
 		}
 	}
-	t.stats.Misses++
+	base := (vpn & t.setMask) * uint64(t.assoc)
+	keys := t.keys[base : base+uint64(t.assoc)]
+	for i := range keys {
+		if keys[i] == key {
+			e := &t.entries[base+uint64(i)]
+			if e.valid && e.pid == pid && e.vpn == vpn {
+				t.filter[fidx] = int32(base + uint64(i))
+				off := uint64(addr) & (t.cfg.PageBytes - 1)
+				return mem.PAddr(e.frame<<t.pageShift | off), true
+			}
+		}
+	}
 	return 0, false
 }
 
@@ -171,7 +235,8 @@ func (t *TLB) Probe(pid mem.PID, addr mem.VAddr) bool {
 // physical frame number, replacing a random entry if the set is full.
 func (t *TLB) Insert(pid mem.PID, addr mem.VAddr, frame uint64) {
 	vpn := t.VPN(addr)
-	set := t.set(vpn)
+	base := (vpn & t.setMask) * uint64(t.assoc)
+	set := t.entries[base : base+uint64(t.assoc)]
 	// Reuse an existing or invalid slot first.
 	victim := -1
 	for i := range set {
@@ -187,6 +252,8 @@ func (t *TLB) Insert(pid mem.PID, addr mem.VAddr, frame uint64) {
 		victim = t.rng.Intn(t.assoc)
 	}
 	set[victim] = entry{valid: true, pid: pid, vpn: vpn, frame: frame}
+	t.keys[base+uint64(victim)] = packKey(pid, vpn)
+	t.filter[(vpn^uint64(pid))&filterMask] = int32(base + uint64(victim))
 }
 
 // Invalidate removes the translation for (pid, vpn of addr) if present,
@@ -195,10 +262,12 @@ func (t *TLB) Insert(pid mem.PID, addr mem.VAddr, frame uint64) {
 // ... in the TLB is flushed").
 func (t *TLB) Invalidate(pid mem.PID, addr mem.VAddr) bool {
 	vpn := t.VPN(addr)
-	set := t.set(vpn)
+	base := (vpn & t.setMask) * uint64(t.assoc)
+	set := t.entries[base : base+uint64(t.assoc)]
 	for i := range set {
 		if set[i].valid && set[i].pid == pid && set[i].vpn == vpn {
 			set[i] = entry{}
+			t.keys[base+uint64(i)] = keyInvalid
 			t.stats.Invalidations++
 			return true
 		}
@@ -212,6 +281,7 @@ func (t *TLB) FlushPID(pid mem.PID) {
 	for i := range t.entries {
 		if t.entries[i].valid && t.entries[i].pid == pid {
 			t.entries[i] = entry{}
+			t.keys[i] = keyInvalid
 		}
 	}
 	t.stats.Flushes++
@@ -221,6 +291,7 @@ func (t *TLB) FlushPID(pid mem.PID) {
 func (t *TLB) FlushAll() {
 	for i := range t.entries {
 		t.entries[i] = entry{}
+		t.keys[i] = keyInvalid
 	}
 	t.stats.Flushes++
 }

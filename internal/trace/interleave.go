@@ -81,6 +81,42 @@ func (il *Interleaver) Next() (mem.Ref, error) {
 	return mem.Ref{}, io.EOF
 }
 
+// ReadBatch implements BatchReader. A batch never crosses a quantum
+// boundary or a stream change, so the delivered reference sequence is
+// identical to repeated Next calls.
+func (il *Interleaver) ReadBatch(dst []mem.Ref) (int, error) {
+	if len(dst) == 0 {
+		return 0, nil
+	}
+	for il.liveN > 0 {
+		if il.inSlice == il.quantum {
+			il.rotate()
+		}
+		if !il.live[il.cur] {
+			il.rotate()
+			continue
+		}
+		want := uint64(len(dst))
+		if left := il.quantum - il.inSlice; left < want {
+			want = left
+		}
+		n, err := ReadBatch(il.streams[il.cur], dst[:want])
+		il.inSlice += uint64(n)
+		if err == io.EOF {
+			il.live[il.cur] = false
+			il.liveN--
+			if n > 0 {
+				return n, nil
+			}
+			continue
+		}
+		if n > 0 || err != nil {
+			return n, err
+		}
+	}
+	return 0, io.EOF
+}
+
 // rotate advances to the next live stream and counts the switch.
 func (il *Interleaver) rotate() {
 	il.inSlice = 0

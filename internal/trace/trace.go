@@ -24,6 +24,41 @@ type Reader interface {
 	Next() (mem.Ref, error)
 }
 
+// BatchReader is implemented by Readers that can deliver many
+// references per call, amortising per-reference dispatch and state-
+// machine overhead in the simulator hot loop.
+//
+// ReadBatch fills dst with up to len(dst) references and returns the
+// number written. The first n entries of dst are valid regardless of
+// err. End of stream is reported as (0, io.EOF) — implementations may
+// return a full or partial batch with a nil error and deliver io.EOF
+// on the following call. A non-EOF error may accompany n > 0 when the
+// stream failed mid-batch.
+type BatchReader interface {
+	Reader
+	ReadBatch(dst []mem.Ref) (n int, err error)
+}
+
+// ReadBatch fills dst from r, using r's native batch path when it has
+// one and falling back to a Next loop otherwise. The contract is that
+// of BatchReader.ReadBatch.
+func ReadBatch(r Reader, dst []mem.Ref) (int, error) {
+	if br, ok := r.(BatchReader); ok {
+		return br.ReadBatch(dst)
+	}
+	for i := range dst {
+		ref, err := r.Next()
+		if err != nil {
+			if i > 0 && err == io.EOF {
+				return i, nil // io.EOF again on the next call
+			}
+			return i, err
+		}
+		dst[i] = ref
+	}
+	return len(dst), nil
+}
+
 // Writer consumes memory references, typically into a trace file.
 type Writer interface {
 	Write(mem.Ref) error
@@ -56,6 +91,16 @@ func (s *SliceReader) Next() (mem.Ref, error) {
 	return r, nil
 }
 
+// ReadBatch implements BatchReader.
+func (s *SliceReader) ReadBatch(dst []mem.Ref) (int, error) {
+	if s.pos >= len(s.refs) {
+		return 0, io.EOF
+	}
+	n := copy(dst, s.refs[s.pos:])
+	s.pos += n
+	return n, nil
+}
+
 // Reset rewinds the reader to the beginning of the slice.
 func (s *SliceReader) Reset() { s.pos = 0 }
 
@@ -85,6 +130,19 @@ func (l *Limit) Next() (mem.Ref, error) {
 	return ref, nil
 }
 
+// ReadBatch implements BatchReader.
+func (l *Limit) ReadBatch(dst []mem.Ref) (int, error) {
+	if l.remaining == 0 {
+		return 0, io.EOF
+	}
+	if uint64(len(dst)) > l.remaining {
+		dst = dst[:l.remaining]
+	}
+	n, err := ReadBatch(l.r, dst)
+	l.remaining -= uint64(n)
+	return n, err
+}
+
 // Concat chains readers end to end: when one returns io.EOF the next
 // takes over.
 type Concat struct {
@@ -109,6 +167,22 @@ func (c *Concat) Next() (mem.Ref, error) {
 	return mem.Ref{}, io.EOF
 }
 
+// ReadBatch implements BatchReader.
+func (c *Concat) ReadBatch(dst []mem.Ref) (int, error) {
+	for len(c.readers) > 0 {
+		n, err := ReadBatch(c.readers[0], dst)
+		if err == io.EOF {
+			c.readers = c.readers[1:]
+			if n > 0 {
+				return n, nil
+			}
+			continue
+		}
+		return n, err
+	}
+	return 0, io.EOF
+}
+
 // Counting wraps a Reader and counts the references delivered. The
 // simulator uses it to enforce reference budgets and to report
 // progress.
@@ -127,6 +201,13 @@ func (c *Counting) Next() (mem.Ref, error) {
 		c.n++
 	}
 	return ref, err
+}
+
+// ReadBatch implements BatchReader.
+func (c *Counting) ReadBatch(dst []mem.Ref) (int, error) {
+	n, err := ReadBatch(c.r, dst)
+	c.n += uint64(n)
+	return n, err
 }
 
 // Count returns the number of references delivered so far.
@@ -153,6 +234,16 @@ func (t *Retag) Next() (mem.Ref, error) {
 	}
 	ref.PID = t.pid
 	return ref, nil
+}
+
+// ReadBatch implements BatchReader, retagging the delivered batch in
+// place.
+func (t *Retag) ReadBatch(dst []mem.Ref) (int, error) {
+	n, err := ReadBatch(t.r, dst)
+	for i := 0; i < n; i++ {
+		dst[i].PID = t.pid
+	}
+	return n, err
 }
 
 // Drain reads r to exhaustion and returns all references. It is a test
