@@ -2,7 +2,11 @@
 
 GO ?= go
 
-.PHONY: all build test vet race bench bench-hot bench-snapshot clean
+# Experiments with a JSON form, mirrored under testdata/golden/.
+GOLDEN_EXPS := table3 table4 table5 fig2 fig3 fig4
+GOLDEN_DIR  := testdata/golden
+
+.PHONY: all build test vet race bench bench-hot bench-snapshot bench-check golden regress clean
 
 all: build test vet
 
@@ -28,11 +32,42 @@ bench-hot:
 	$(GO) test -bench='Table3|Fig4|Throughput' -benchmem -run='^$$' .
 
 # Machine-readable benchmark snapshot: three repetitions of every
-# artifact benchmark, converted to JSON for regression tracking.
+# artifact benchmark, converted to JSON for regression tracking. The
+# raw transcript goes to a temp file first so a failed bench run leaves
+# the committed snapshot untouched.
 bench-snapshot:
-	$(GO) test -bench=. -benchmem -run='^$$' -count=3 . \
-		| tee /dev/stderr \
-		| $(GO) run ./tools/benchjson > BENCH_batch.json
+	$(GO) test -bench=. -benchmem -run='^$$' -count=3 . | tee bench_raw.tmp
+	$(GO) run ./tools/benchjson < bench_raw.tmp > BENCH_batch.json.tmp
+	mv BENCH_batch.json.tmp BENCH_batch.json
+	rm -f bench_raw.tmp
+
+# Compare a fresh hot-loop bench pass against the committed snapshot
+# (minimum ns/op per benchmark, 5% regression budget by default).
+BENCH_TOL ?= 0.05
+bench-check:
+	$(GO) test -bench='Table3|Fig4|Throughput' -benchmem -run='^$$' -count=3 . | tee bench_raw.tmp
+	$(GO) run ./tools/benchjson < bench_raw.tmp > bench_got.tmp.json
+	rm -f bench_raw.tmp
+	$(GO) run ./tools/regress -mode bench -subset -tol $(BENCH_TOL) BENCH_batch.json bench_got.tmp.json
+	rm -f bench_got.tmp.json
+
+# Regenerate the committed golden JSON reports (default scaled
+# configuration, seed 42). Only needed when the simulator's behaviour
+# changes intentionally; commit the result.
+golden:
+	$(GO) run ./cmd/rampage-bench -exp all -scale default -format json -outdir $(GOLDEN_DIR)
+
+# Regenerate every golden experiment into a temp dir and diff it
+# against the committed goldens (exact: simulated data is
+# deterministic).
+regress: REGRESS_TMP := $(shell mktemp -d)
+regress:
+	$(GO) run ./cmd/rampage-bench -exp all -scale default -format json -outdir $(REGRESS_TMP)
+	@for exp in $(GOLDEN_EXPS); do \
+		$(GO) run ./tools/regress -mode report $(GOLDEN_DIR)/$$exp.json $(REGRESS_TMP)/$$exp.json || exit 1; \
+	done
+	rm -rf $(REGRESS_TMP)
 
 clean:
 	$(GO) clean ./...
+	rm -f bench_raw.tmp bench_got.tmp.json BENCH_batch.json.tmp

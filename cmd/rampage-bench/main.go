@@ -17,6 +17,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"path/filepath"
 	"runtime"
 	"runtime/pprof"
 	"strconv"
@@ -38,8 +39,14 @@ func main() {
 		parallel = flag.Int("parallel", 0, "sweep worker count (0 = one per CPU); results are identical at any setting")
 		cpuProf  = flag.String("cpuprofile", "", "write a CPU profile to this file")
 		memProf  = flag.String("memprofile", "", "write a heap profile to this file on exit")
+		format   = flag.String("format", "text", "output format: text, json (versioned experiment documents; tables 3-5 and figs 2-4)")
+		outDir   = flag.String("outdir", "", "with -format json: write one <id>.json per experiment here instead of stdout")
 	)
 	flag.Parse()
+
+	if *format != "text" && *format != "json" {
+		fatal(fmt.Errorf("unknown format %q (want text or json)", *format))
+	}
 
 	if *cpuProf != "" {
 		f, err := os.Create(*cpuProf)
@@ -111,6 +118,13 @@ func main() {
 		selected = []harness.Experiment{e}
 	}
 
+	if *format == "json" {
+		if err := runJSON(cfg, selected, rateList, sizeList, *outDir, *exp == "all"); err != nil {
+			fatal(err)
+		}
+		return
+	}
+
 	for _, e := range selected {
 		start := time.Now()
 		fmt.Printf("=== %s: %s ===\n", e.ID, e.Title)
@@ -121,6 +135,63 @@ func main() {
 		fmt.Println(out)
 		fmt.Printf("(%s in %v)\n\n", e.ID, time.Since(start).Round(time.Millisecond))
 	}
+}
+
+// runJSON emits the versioned experiment documents. A single
+// experiment with no -outdir goes to stdout (nothing else is printed,
+// so the output pipes cleanly into tools/regress); otherwise one
+// <id>.json file per experiment lands in the output directory.
+// Experiments without a JSON form are skipped with a note when running
+// "all" and rejected when named explicitly.
+func runJSON(cfg harness.Config, selected []harness.Experiment, rates, sizes []uint64, outDir string, all bool) error {
+	var ids []string
+	for _, e := range selected {
+		if !harness.HasJSONForm(e.ID) {
+			if all {
+				fmt.Fprintf(os.Stderr, "rampage-bench: skipping %s (no JSON form)\n", e.ID)
+				continue
+			}
+			return fmt.Errorf("experiment %q has no JSON form (JSON covers tables 3-5 and figs 2-4)", e.ID)
+		}
+		ids = append(ids, e.ID)
+	}
+	if len(ids) == 0 {
+		return fmt.Errorf("no selected experiment has a JSON form")
+	}
+	if outDir == "" && len(ids) > 1 {
+		return fmt.Errorf("multiple JSON experiments need -outdir")
+	}
+	if outDir != "" {
+		if err := os.MkdirAll(outDir, 0o755); err != nil {
+			return err
+		}
+	}
+	for _, id := range ids {
+		doc, err := harness.BuildExperimentDoc(cfg, id, rates, sizes)
+		if err != nil {
+			return fmt.Errorf("%s: %w", id, err)
+		}
+		if outDir == "" {
+			if err := harness.WriteJSON(os.Stdout, doc); err != nil {
+				return err
+			}
+			continue
+		}
+		path := filepath.Join(outDir, id+".json")
+		f, err := os.Create(path)
+		if err != nil {
+			return err
+		}
+		if err := harness.WriteJSON(f, doc); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+		fmt.Fprintf(os.Stderr, "rampage-bench: wrote %s\n", path)
+	}
+	return nil
 }
 
 // runSweepCSV runs one system across the grid and writes CSV rows to

@@ -24,6 +24,7 @@ import (
 	"os"
 
 	"rampage/internal/harness"
+	"rampage/internal/metrics"
 	"rampage/internal/sim"
 	"rampage/internal/trace"
 )
@@ -49,11 +50,17 @@ func main() {
 		banked      = flag.Bool("banked", false, "banked open-row RDRAM timing instead of the flat model")
 		channels    = flag.Int("channels", 1, "stripe the DRAM across N Rambus channels")
 		traceFile   = flag.String("tracefile", "", "replay a binary trace file instead of the synthetic workload (no scheduler; not for rampage-cs)")
+		format      = flag.String("format", "text", "output format: text, json (versioned report document)")
+		snapEvery   = flag.Uint64("snapinterval", 0, "with -format json: cut a metrics snapshot every N simulated cycles (0 = none)")
 	)
 	flag.Parse()
 
+	if *format != "text" && *format != "json" {
+		fatal(fmt.Errorf("unknown format %q (want text or json)", *format))
+	}
+
 	if *traceFile != "" {
-		if err := replayFile(*traceFile, *system, *mhz, *size, *seed); err != nil {
+		if err := replayFile(*traceFile, *system, *mhz, *size, *seed, *format, *snapEvery); err != nil {
 			fatal(err)
 		}
 		return
@@ -66,6 +73,12 @@ func main() {
 	cfg.Seed = *seed
 	cfg.MaxRefs = *maxRefs
 	cfg.Processes = *procs
+
+	var col *metrics.Collector
+	if *format == "json" {
+		col = metrics.NewCollector(*snapEvery)
+		cfg.Observer = col
+	}
 
 	kind, err := parseSystem(*system)
 	if err != nil {
@@ -90,12 +103,18 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
+	if *format == "json" {
+		if err := harness.WriteJSON(os.Stdout, harness.NewRunDoc(rep, col)); err != nil {
+			fatal(err)
+		}
+		return
+	}
 	fmt.Print(rep.String())
 }
 
 // replayFile runs a binary trace file through a machine directly (no
 // scheduler, references in file order) and prints the report.
-func replayFile(path, system string, mhz, size, seed uint64) error {
+func replayFile(path, system string, mhz, size, seed uint64, format string, snapEvery uint64) error {
 	kind, err := parseSystem(system)
 	if err != nil {
 		return err
@@ -123,6 +142,11 @@ func replayFile(path, system string, mhz, size, seed uint64) error {
 	if err != nil {
 		return err
 	}
+	var col *metrics.Collector
+	if format == "json" {
+		col = metrics.NewCollector(snapEvery)
+		machine.SetObserver(col)
+	}
 	f, err := os.Open(path)
 	if err != nil {
 		return err
@@ -134,6 +158,9 @@ func replayFile(path, system string, mhz, size, seed uint64) error {
 	}
 	if err := sim.Replay(machine, r); err != nil {
 		return err
+	}
+	if format == "json" {
+		return harness.WriteJSON(os.Stdout, harness.NewRunDoc(machine.Report(), col))
 	}
 	fmt.Print(machine.Report().String())
 	return nil

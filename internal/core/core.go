@@ -27,6 +27,7 @@ import (
 	"fmt"
 
 	"rampage/internal/mem"
+	"rampage/internal/metrics"
 	"rampage/internal/pagetable"
 	"rampage/internal/synth"
 	"rampage/internal/tlb"
@@ -94,6 +95,10 @@ type Fault struct {
 	// VictimWasPrefetched is true when the replaced page had been
 	// prefetched but never demanded — a wasted prefetch.
 	VictimWasPrefetched bool
+	// VictimTLBEvicted is true when unmapping the victim shot down a
+	// live TLB entry (§2.3: "If a page is replaced from the SRAM main
+	// memory, its entry ... in the TLB is flushed").
+	VictimTLBEvicted bool
 	// PageDRAMAddr is the DRAM physical address backing the faulting
 	// page; VictimDRAMAddr backs the replaced page (valid when
 	// VictimValid). Address-sensitive DRAM models (banked RDRAM) time
@@ -232,6 +237,13 @@ func (m *Memory) Stats() Stats { return m.stats }
 // TLBStats exposes the TLB's counters.
 func (m *Memory) TLBStats() tlb.Stats { return m.tlb.Stats() }
 
+// SetObserver attaches a metrics observer to the TLB and page table
+// (nil detaches). Observation never influences simulated behaviour.
+func (m *Memory) SetObserver(obs metrics.Observer) {
+	m.tlb.SetObserver(obs)
+	m.pt.SetObserver(obs)
+}
+
 // PTStats exposes the page table's counters.
 func (m *Memory) PTStats() pagetable.Stats { return m.pt.Stats() }
 
@@ -356,7 +368,7 @@ func (m *Memory) pageFault(pid mem.PID, vpn uint64) (uint64, error) {
 		if err != nil {
 			return 0, err
 		}
-		m.tlb.Invalidate(vpid, mem.VAddr(vvpn<<m.pageShift))
+		m.fault.VictimTLBEvicted = m.tlb.Invalidate(vpid, mem.VAddr(vvpn<<m.pageShift))
 		m.fault.VictimDRAMAddr = m.seen[seenKey{vpid, vvpn}]
 		m.fault.ScanAddrs = m.scanBuf
 		m.fault.VictimValid = true

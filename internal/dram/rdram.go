@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"rampage/internal/mem"
+	"rampage/internal/metrics"
 )
 
 // Addressed is a device whose timing depends on where the transfer
@@ -43,6 +44,7 @@ type RDRAM struct {
 
 	openRows []int64 // per bank: open row index, -1 = closed
 	stats    RDRAMStats
+	obs      metrics.Observer // nil unless probing is attached
 }
 
 // RDRAMStats counts row-buffer behaviour.
@@ -102,10 +104,16 @@ func (r *RDRAM) TransferTimeAt(addr, n uint64) mem.Picos {
 		if r.openRows[bank] == row {
 			t += r.RowHit
 			r.stats.RowHits++
+			if r.obs != nil {
+				r.obs.Count(metrics.EvDRAMRowHit, 1)
+			}
 		} else {
 			t += r.RowMiss
 			r.openRows[bank] = row
 			r.stats.RowMisses++
+			if r.obs != nil {
+				r.obs.Count(metrics.EvDRAMRowMiss, 1)
+			}
 		}
 		chunk := r.RowBytes - addr%r.RowBytes
 		if chunk > n {
@@ -120,6 +128,11 @@ func (r *RDRAM) TransferTimeAt(addr, n uint64) mem.Picos {
 
 // Stats returns the row-buffer counters.
 func (r *RDRAM) Stats() RDRAMStats { return r.stats }
+
+// SetObserver attaches a metrics observer to the row-buffer probes
+// (nil detaches). TransferTimeAt is only called for real transfers, so
+// the observer sees exactly the channel's activity.
+func (r *RDRAM) SetObserver(obs metrics.Observer) { r.obs = obs }
 
 // HitRate returns the fraction of row activations that hit an open
 // row.

@@ -10,6 +10,7 @@ import (
 
 	"rampage/internal/core"
 	"rampage/internal/mem"
+	"rampage/internal/metrics"
 	"rampage/internal/synth"
 	"rampage/internal/trace"
 )
@@ -59,6 +60,12 @@ type Config struct {
 	// BatchSize overrides the scheduler's read-ahead window (0 = the
 	// scheduler default). Any positive value yields the same reports.
 	BatchSize uint64
+	// Observer, when non-nil, is attached to the machine and the
+	// scheduler for the run: it receives event probes and periodic Tick
+	// calls but never influences the simulation (reports stay
+	// bit-identical). A metrics.Collector is not safe for concurrent
+	// use, so Sweep ignores this field — observers are per-run only.
+	Observer metrics.Observer
 
 	// profiles, when non-nil, replaces the Table 2 profile set (used by
 	// the phased-workload experiment).

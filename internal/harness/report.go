@@ -1,0 +1,224 @@
+package harness
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"rampage/internal/metrics"
+	"rampage/internal/stats"
+)
+
+// ReportVersion is the schema version stamped into every JSON document
+// this package emits. Bump it on any incompatible change to the field
+// set so tools/regress can refuse to compare mismatched schemas.
+const ReportVersion = 1
+
+// ReportJSON is the flattened, stable-schema form of a stats.Report.
+// Every field is simulated data — deterministic for a given seed and
+// configuration — so golden comparisons may demand exact equality.
+type ReportJSON struct {
+	Name       string  `json:"name"`
+	ClockMHz   uint64  `json:"clock_mhz"`
+	BlockBytes uint64  `json:"block_bytes"`
+	Cycles     uint64  `json:"cycles"`
+	Seconds    float64 `json:"seconds"`
+
+	// LevelCycles attributes simulated time to hierarchy levels, keyed
+	// by the paper's figure labels (L1i, L1d, L2/SRAM, DRAM).
+	LevelCycles map[string]uint64 `json:"level_cycles"`
+
+	BenchRefs    uint64 `json:"bench_refs"`
+	OSTLBRefs    uint64 `json:"os_tlb_refs"`
+	OSFaultRefs  uint64 `json:"os_fault_refs"`
+	OSSwitchRefs uint64 `json:"os_switch_refs"`
+
+	TLBHits        uint64 `json:"tlb_hits"`
+	TLBMisses      uint64 `json:"tlb_misses"`
+	TLBEvictions   uint64 `json:"tlb_evictions"`
+	ClockScans     uint64 `json:"clock_scans"`
+	PageFaults     uint64 `json:"page_faults"`
+	L1IMisses      uint64 `json:"l1i_misses"`
+	L1DMisses      uint64 `json:"l1d_misses"`
+	L2Misses       uint64 `json:"l2_misses"`
+	Writebacks     uint64 `json:"writebacks"`
+	Switches       uint64 `json:"switches"`
+	SwitchesOnMiss uint64 `json:"switches_on_miss"`
+	IdleCycles     uint64 `json:"idle_cycles"`
+	Resizes        uint64 `json:"resizes"`
+	Prefetches     uint64 `json:"prefetches"`
+	PrefetchHits   uint64 `json:"prefetch_hits"`
+	PrefetchWasted uint64 `json:"prefetch_wasted"`
+	PrefetchStalls uint64 `json:"prefetch_stalls"`
+
+	TLBHandlerCycles   uint64 `json:"tlb_handler_cycles"`
+	FaultHandlerCycles uint64 `json:"fault_handler_cycles"`
+	DRAMTransfers      uint64 `json:"dram_transfers"`
+	DRAMBytes          uint64 `json:"dram_bytes"`
+
+	OverheadRatio float64 `json:"overhead_ratio"`
+}
+
+// NewReportJSON flattens a stats.Report into its JSON form.
+func NewReportJSON(r *stats.Report) ReportJSON {
+	levels := make(map[string]uint64, stats.NumLevels)
+	for l := stats.Level(0); l < stats.NumLevels; l++ {
+		levels[l.String()] = uint64(r.LevelTime[l])
+	}
+	return ReportJSON{
+		Name:               r.Name,
+		ClockMHz:           r.Clock.IssueMHz(),
+		BlockBytes:         r.BlockBytes,
+		Cycles:             uint64(r.Cycles),
+		Seconds:            r.Seconds(),
+		LevelCycles:        levels,
+		BenchRefs:          r.BenchRefs,
+		OSTLBRefs:          r.OSTLBRefs,
+		OSFaultRefs:        r.OSFaultRefs,
+		OSSwitchRefs:       r.OSSwitchRefs,
+		TLBHits:            r.TLBHits,
+		TLBMisses:          r.TLBMisses,
+		TLBEvictions:       r.TLBEvictions,
+		ClockScans:         r.ClockScans,
+		PageFaults:         r.PageFaults,
+		L1IMisses:          r.L1IMisses,
+		L1DMisses:          r.L1DMisses,
+		L2Misses:           r.L2Misses,
+		Writebacks:         r.Writebacks,
+		Switches:           r.Switches,
+		SwitchesOnMiss:     r.SwitchesOnMiss,
+		IdleCycles:         uint64(r.IdleCycles),
+		Resizes:            r.Resizes,
+		Prefetches:         r.Prefetches,
+		PrefetchHits:       r.PrefetchHits,
+		PrefetchWasted:     r.PrefetchWasted,
+		PrefetchStalls:     r.PrefetchStalls,
+		TLBHandlerCycles:   uint64(r.TLBHandlerCycles),
+		FaultHandlerCycles: uint64(r.FaultHandlerCycles),
+		DRAMTransfers:      r.DRAMTransfers,
+		DRAMBytes:          r.DRAMBytes,
+		OverheadRatio:      r.OverheadRatio(),
+	}
+}
+
+// RunDoc is the JSON document for a single simulation run
+// (rampage-sim -format json).
+type RunDoc struct {
+	Version int        `json:"version"`
+	Kind    string     `json:"kind"` // "run"
+	Report  ReportJSON `json:"report"`
+	// Metrics carries the observer's event summary when a collector was
+	// attached for the run.
+	Metrics *metrics.Summary `json:"metrics,omitempty"`
+}
+
+// NewRunDoc wraps one report (and an optional collector summary) in a
+// versioned document.
+func NewRunDoc(r *stats.Report, c *metrics.Collector) RunDoc {
+	doc := RunDoc{Version: ReportVersion, Kind: "run", Report: NewReportJSON(r)}
+	if c != nil {
+		doc.Metrics = c.Summary()
+	}
+	return doc
+}
+
+// SystemGrid is one system's sweep inside an ExperimentDoc: reports
+// indexed [rate][size], matching the document's RatesMHz × SizesBytes.
+type SystemGrid struct {
+	System      string         `json:"system"`
+	SwitchTrace bool           `json:"switch_trace"`
+	Rows        [][]ReportJSON `json:"rows"`
+}
+
+// ExperimentDoc is the JSON document for one experiment's sweep grids
+// (rampage-bench -format json). Only the sweep-structured experiments
+// (Tables 3–5, Figures 2–4) have a JSON form; the prose-style artifacts
+// keep their text renderings.
+type ExperimentDoc struct {
+	Version    int          `json:"version"`
+	Kind       string       `json:"kind"` // "experiment"
+	ID         string       `json:"id"`
+	Title      string       `json:"title"`
+	RatesMHz   []uint64     `json:"rates_mhz"`
+	SizesBytes []uint64     `json:"sizes_bytes"`
+	Systems    []SystemGrid `json:"systems"`
+}
+
+// jsonExperiments maps the experiments with a JSON form to their sweep
+// structure: which systems run, whether the switch trace is inserted,
+// and any fixed issue rate (0 = the full rate sweep).
+var jsonExperiments = map[string]struct {
+	systems     []SystemKind
+	switchTrace []bool
+	fixedMHz    uint64
+}{
+	"table3": {[]SystemKind{BaselineDM, RAMpage}, []bool{false, false}, 0},
+	"table4": {[]SystemKind{RAMpageCS, RAMpage}, []bool{true, false}, 0},
+	"table5": {[]SystemKind{TwoWayL2}, []bool{true}, 0},
+	"fig2":   {[]SystemKind{BaselineDM, RAMpage}, []bool{false, false}, 200},
+	"fig3":   {[]SystemKind{BaselineDM, RAMpage}, []bool{false, false}, 4000},
+	"fig4":   {[]SystemKind{BaselineDM, RAMpage}, []bool{false, false}, 1000},
+}
+
+// HasJSONForm reports whether BuildExperimentDoc supports the
+// experiment.
+func HasJSONForm(id string) bool {
+	_, ok := jsonExperiments[id]
+	return ok
+}
+
+// BuildExperimentDoc runs an experiment's sweeps and returns the
+// versioned JSON document. It supports the sweep-structured experiments
+// (table3, table4, table5, fig2, fig3, fig4); others return an error.
+func BuildExperimentDoc(cfg Config, id string, rates, sizes []uint64) (ExperimentDoc, error) {
+	shape, ok := jsonExperiments[id]
+	if !ok {
+		return ExperimentDoc{}, fmt.Errorf("harness: experiment %q has no JSON form", id)
+	}
+	exp, ok := FindExperiment(id)
+	if !ok {
+		return ExperimentDoc{}, fmt.Errorf("harness: unknown experiment %q", id)
+	}
+	if shape.fixedMHz != 0 {
+		rates = []uint64{shape.fixedMHz}
+	} else {
+		rates = defRates(rates)
+	}
+	sizes = defSizes(sizes)
+	doc := ExperimentDoc{
+		Version:    ReportVersion,
+		Kind:       "experiment",
+		ID:         id,
+		Title:      exp.Title,
+		RatesMHz:   rates,
+		SizesBytes: sizes,
+	}
+	for i, system := range shape.systems {
+		st := shape.switchTrace[i]
+		grid, err := Sweep(cfg, system, rates, sizes, st)
+		if err != nil {
+			return ExperimentDoc{}, err
+		}
+		rows := make([][]ReportJSON, len(grid))
+		for r, row := range grid {
+			rows[r] = make([]ReportJSON, len(row))
+			for c, rep := range row {
+				rows[r][c] = NewReportJSON(rep)
+			}
+		}
+		doc.Systems = append(doc.Systems, SystemGrid{
+			System:      system.String(),
+			SwitchTrace: st,
+			Rows:        rows,
+		})
+	}
+	return doc, nil
+}
+
+// WriteJSON encodes a document with stable indentation and a trailing
+// newline — the byte layout committed goldens use.
+func WriteJSON(w io.Writer, doc any) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(doc)
+}

@@ -195,6 +195,9 @@ func runWithReaders(cfg Config, spec RunSpec, readers []trace.Reader) (*stats.Re
 		machine = r
 	}
 
+	if cfg.Observer != nil {
+		machine.SetObserver(cfg.Observer)
+	}
 	sched, err := sim.NewScheduler(machine, readers, sim.SchedulerConfig{
 		Quantum:            cfg.Quantum,
 		InsertSwitchTrace:  spec.SwitchTrace,
@@ -203,6 +206,7 @@ func runWithReaders(cfg Config, spec RunSpec, readers []trace.Reader) (*stats.Re
 		MaxRefs:            cfg.MaxRefs,
 		DisableBatching:    cfg.DisableBatching,
 		BatchSize:          cfg.BatchSize,
+		Observer:           cfg.Observer,
 	})
 	if err != nil {
 		return nil, err
@@ -260,6 +264,7 @@ func preloadWorkload(cfg Config) [][]mem.Ref {
 // gets fresh SliceReaders over the shared, read-only backing slices),
 // since the streams are independent of the swept parameters.
 func Sweep(cfg Config, system SystemKind, rates, sizes []uint64, switchTrace bool) ([][]*stats.Report, error) {
+	cfg.Observer = nil // collectors are not safe across parallel cells
 	out := make([][]*stats.Report, len(rates))
 	for i := range rates {
 		out[i] = make([]*stats.Report, len(sizes))

@@ -23,6 +23,7 @@ import (
 	"fmt"
 
 	"rampage/internal/mem"
+	"rampage/internal/metrics"
 	"rampage/internal/xrand"
 )
 
@@ -100,6 +101,7 @@ type Inverted struct {
 	freeNext []int32 // free-list links
 	hand     uint64  // clock hand
 	stats    Stats
+	obs      metrics.Observer // nil unless probing is attached
 }
 
 // New builds an inverted page table with all frames free.
@@ -162,6 +164,11 @@ func (pt *Inverted) Config() Config { return pt.cfg }
 // Stats returns a copy of the counters.
 func (pt *Inverted) Stats() Stats { return pt.stats }
 
+// SetObserver attaches a metrics observer (nil detaches). The observer
+// sees walk chain lengths and clock-sweep lengths; it never influences
+// table behaviour.
+func (pt *Inverted) SetObserver(obs metrics.Observer) { pt.obs = obs }
+
 // TableBytes returns the memory footprint of the table structures
 // (hash anchor table plus frame entries) — the part of the §4.5
 // operating-system reservation that scales with page size.
@@ -202,15 +209,23 @@ func (pt *Inverted) lookup(pid mem.PID, vpn uint64, probes []uint64) (uint64, []
 	pt.stats.Lookups++
 	bucket := pt.hash(pid, vpn)
 	probes = append(probes, pt.HATAddr(bucket))
+	var chain uint64
 	for idx := pt.hat[bucket]; idx >= 0; idx = pt.entries[idx].next {
 		pt.stats.Probes++
+		chain++
 		probes = append(probes, pt.EntryAddr(uint64(idx)))
 		e := &pt.entries[idx]
 		if e.valid && e.pid == pid && e.vpn == vpn {
 			pt.stats.Hits++
 			e.used = true
+			if pt.obs != nil {
+				pt.obs.Observe(metrics.EvPTProbes, chain)
+			}
 			return uint64(idx), probes, true
 		}
+	}
+	if pt.obs != nil {
+		pt.obs.Observe(metrics.EvPTProbes, chain)
 	}
 	return 0, probes, false
 }
@@ -328,7 +343,13 @@ func (pt *Inverted) ClockSelect(scanAddrs []uint64) (victim uint64, _ []uint64, 
 			e.used = false
 			continue
 		}
+		if pt.obs != nil {
+			pt.obs.Observe(metrics.EvClockSweep, i+1)
+		}
 		return f, scanAddrs, true
+	}
+	if pt.obs != nil {
+		pt.obs.Observe(metrics.EvClockSweep, 2*n)
 	}
 	return 0, scanAddrs, false
 }

@@ -5,6 +5,7 @@ import (
 
 	"rampage/internal/core"
 	"rampage/internal/mem"
+	"rampage/internal/metrics"
 	"rampage/internal/stats"
 )
 
@@ -27,6 +28,13 @@ func (r *RAMpage) Resize(pageBytes, sramBytes uint64) error {
 	dirty := r.mm.DirtyUserPages()
 	if dirty > 0 {
 		r.rep.Writebacks += dirty
+		r.rep.DRAMTransfers += dirty
+		r.rep.DRAMBytes += dirty * r.cfg.PageBytes
+		if r.obs != nil {
+			for i := uint64(0); i < dirty; i++ {
+				r.obs.Observe(metrics.EvDRAMTransfer, r.cfg.PageBytes)
+			}
+		}
 		r.rep.Charge(stats.DRAM, mem.Cycles(dirty)*r.cfg.transferCycles(r.cfg.PageBytes))
 	}
 	// Purge L1: every present block costs a probe cycle; dirty data
@@ -51,6 +59,7 @@ func (r *RAMpage) Resize(pageBytes, sramBytes uint64) error {
 	r.cfg.PageBytes = pageBytes
 	r.cfg.SRAMBytes = sramBytes
 	r.mm = mm
+	r.mm.SetObserver(r.obs) // the rebuilt memory inherits the probes
 	r.rep.Resizes++
 	return nil
 }

@@ -5,6 +5,7 @@ import (
 
 	"rampage/internal/cache"
 	"rampage/internal/mem"
+	"rampage/internal/metrics"
 	"rampage/internal/pagetable"
 	"rampage/internal/stats"
 	"rampage/internal/synth"
@@ -55,6 +56,7 @@ type Baseline struct {
 	probeBuf    []uint64
 	trcBuf      []mem.Ref
 	updBuf      []uint64
+	obs         metrics.Observer // nil unless probing is attached
 }
 
 // NewBaseline builds the machine.
@@ -148,6 +150,15 @@ func NewBaseline(cfg BaselineConfig) (*Baseline, error) {
 // Report implements Machine.
 func (b *Baseline) Report() *stats.Report { return &b.rep }
 
+// SetObserver implements Machine, threading the observer through the
+// TLB, the page table and (when it has probes) the DRAM device.
+func (b *Baseline) SetObserver(obs metrics.Observer) {
+	b.obs = obs
+	b.tlb.SetObserver(obs)
+	b.pt.SetObserver(obs)
+	observeDRAM(b.cfg.DRAM, obs)
+}
+
 // Now implements Machine.
 func (b *Baseline) Now() mem.Cycles { return b.rep.Cycles }
 
@@ -181,6 +192,7 @@ func (b *Baseline) ExecBatch(refs []mem.Ref) (int, mem.Cycles, error) {
 		ref := refs[i]
 		if ref.PID != mem.KernelPID {
 			if pa, hit := b.tlb.TryLookup(ref.PID, ref.Addr); hit {
+				b.rep.TLBHits++
 				b.rep.BenchRefs++
 				b.accessL1(ref.Kind, pa)
 				continue
@@ -237,6 +249,7 @@ func (b *Baseline) translate(ref mem.Ref) (mem.PAddr, error) {
 		return mem.PAddr(off), nil
 	}
 	if pa, hit := b.tlb.Lookup(ref.PID, ref.Addr); hit {
+		b.rep.TLBHits++
 		return pa, nil
 	}
 	b.rep.TLBMisses++
@@ -262,13 +275,23 @@ func (b *Baseline) translate(ref mem.Ref) (mem.PAddr, error) {
 	// Interleave the page-lookup software trace (§4.3).
 	b.trcBuf = b.trcBuf[:0]
 	b.trcBuf = b.kernel.AppendTLBMiss(b.trcBuf, probes)
+	start := b.rep.Cycles
 	if err := b.ExecTrace(b.trcBuf, ClassTLB); err != nil {
 		return 0, err
 	}
+	b.rep.TLBHandlerCycles += b.rep.Cycles - start
+	if b.obs != nil {
+		b.obs.Observe(metrics.EvTLBHandlerCycles, uint64(b.rep.Cycles-start))
+	}
 	if len(b.updBuf) > 0 {
 		b.trcBuf = b.kernel.AppendPageFault(b.trcBuf[:0], nil, b.updBuf)
+		start = b.rep.Cycles
 		if err := b.ExecTrace(b.trcBuf, ClassFault); err != nil {
 			return 0, err
+		}
+		b.rep.FaultHandlerCycles += b.rep.Cycles - start
+		if b.obs != nil {
+			b.obs.Observe(metrics.EvFaultHandlerCycles, uint64(b.rep.Cycles-start))
 		}
 	}
 	off := uint64(ref.Addr) & (dramPageBytes - 1)
@@ -330,9 +353,19 @@ func (b *Baseline) accessL2(pa mem.PAddr) {
 		return
 	}
 	b.rep.L2Misses++
-	blk := uint64(pa) &^ (b.cfg.L2Block - 1)
-	b.rep.Charge(stats.DRAM, b.cfg.transferCyclesAt(blk, b.cfg.L2Block))
+	b.dramTransfer(uint64(pa) &^ (b.cfg.L2Block - 1))
 	b.handleL2Eviction(res)
+}
+
+// dramTransfer charges one real L2-block transfer on the Rambus
+// channel and accounts it (fills and write-backs alike).
+func (b *Baseline) dramTransfer(addr uint64) {
+	b.rep.DRAMTransfers++
+	b.rep.DRAMBytes += b.cfg.L2Block
+	if b.obs != nil {
+		b.obs.Observe(metrics.EvDRAMTransfer, b.cfg.L2Block)
+	}
+	b.rep.Charge(stats.DRAM, b.cfg.transferCyclesAt(addr, b.cfg.L2Block))
 }
 
 // handleL2Eviction maintains inclusion (purging the departing block
@@ -344,7 +377,7 @@ func (b *Baseline) handleL2Eviction(res cache.Result) {
 	dirtyL1 := b.l1.purgeRange(res.EvictedAddr, b.cfg.L2Block, &b.rep, b.cfg.L1WBPenalty)
 	if res.EvictedDirty || dirtyL1 > 0 {
 		b.rep.Writebacks++
-		b.rep.Charge(stats.DRAM, b.cfg.transferCyclesAt(uint64(res.EvictedAddr), b.cfg.L2Block))
+		b.dramTransfer(uint64(res.EvictedAddr))
 	}
 }
 
@@ -367,6 +400,6 @@ func (b *Baseline) writebackToL2(addr mem.PAddr) {
 		return
 	}
 	b.rep.L2Misses++
-	b.rep.Charge(stats.DRAM, b.cfg.transferCyclesAt(uint64(addr)&^(b.cfg.L2Block-1), b.cfg.L2Block))
+	b.dramTransfer(uint64(addr) &^ (b.cfg.L2Block - 1))
 	b.handleL2Eviction(res)
 }

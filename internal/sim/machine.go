@@ -2,7 +2,9 @@ package sim
 
 import (
 	"rampage/internal/cache"
+	"rampage/internal/dram"
 	"rampage/internal/mem"
+	"rampage/internal/metrics"
 	"rampage/internal/stats"
 )
 
@@ -38,6 +40,19 @@ type Machine interface {
 	// Report returns the machine's measurement record. It remains
 	// owned by the machine; read it after the run completes.
 	Report() *stats.Report
+	// SetObserver attaches a metrics observer to the machine and its
+	// components (nil detaches). Observation is read-only: the Report
+	// is bit-identical with or without an observer attached.
+	SetObserver(obs metrics.Observer)
+}
+
+// observeDRAM forwards an observer to DRAM devices that expose probes
+// (the banked RDRAM's row-buffer events); flat devices are stateless
+// and have nothing to report.
+func observeDRAM(d dram.Device, obs metrics.Observer) {
+	if o, ok := d.(interface{ SetObserver(metrics.Observer) }); ok {
+		o.SetObserver(obs)
+	}
 }
 
 // l1pair is the split L1 of §4.3 shared by all machines: 16 KB each of

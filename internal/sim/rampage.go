@@ -5,6 +5,7 @@ import (
 
 	"rampage/internal/core"
 	"rampage/internal/mem"
+	"rampage/internal/metrics"
 	"rampage/internal/stats"
 	"rampage/internal/synth"
 	"rampage/internal/tlb"
@@ -44,6 +45,7 @@ type RAMpage struct {
 	trcBuf     []mem.Ref
 	inFlight   []inFlightPage           // pages pinned while their transfer runs
 	pending    map[mem.PAddr]mem.Cycles // in-flight prefetched pages: base -> arrival
+	obs        metrics.Observer         // nil unless probing is attached
 }
 
 // inFlightPage tracks a pinned page whose DRAM transfer completes at
@@ -99,6 +101,14 @@ func (r *RAMpage) TLBStats() tlb.Stats { return r.mm.TLBStats() }
 // Report implements Machine.
 func (r *RAMpage) Report() *stats.Report { return &r.rep }
 
+// SetObserver implements Machine, threading the observer through the
+// SRAM main memory (TLB + page table) and the DRAM device.
+func (r *RAMpage) SetObserver(obs metrics.Observer) {
+	r.obs = obs
+	r.mm.SetObserver(obs)
+	observeDRAM(r.cfg.DRAM, obs)
+}
+
 // Now implements Machine.
 func (r *RAMpage) Now() mem.Cycles { return r.rep.Cycles }
 
@@ -128,6 +138,7 @@ func (r *RAMpage) ExecBatch(refs []mem.Ref) (int, mem.Cycles, error) {
 		ref := refs[i]
 		if len(r.inFlight) == 0 && len(r.pending) == 0 {
 			if pa, ok := r.mm.TranslateHit(ref.PID, ref.Addr, ref.Kind == mem.Store); ok {
+				r.rep.TLBHits++
 				r.rep.BenchRefs++
 				r.accessL1(ref.Kind, pa)
 				continue
@@ -181,9 +192,16 @@ func (r *RAMpage) execOne(ref mem.Ref, class RefClass) (mem.Cycles, error) {
 		// The TLB-miss handler walks the pinned inverted page table;
 		// its references hit SRAM by construction (§2.3).
 		r.trcBuf = r.kernel.AppendTLBMiss(r.trcBuf[:0], out.PTProbes)
+		start := r.rep.Cycles
 		if err := r.ExecTrace(r.trcBuf, ClassTLB); err != nil {
 			return 0, err
 		}
+		r.rep.TLBHandlerCycles += r.rep.Cycles - start
+		if r.obs != nil {
+			r.obs.Observe(metrics.EvTLBHandlerCycles, uint64(r.rep.Cycles-start))
+		}
+	} else if ref.PID != mem.KernelPID {
+		r.rep.TLBHits++
 	}
 	if out.PrefetchHit {
 		r.rep.PrefetchHits++
@@ -248,8 +266,13 @@ func (r *RAMpage) prefetchNext(ref mem.Ref) error {
 	}
 	r.rep.Prefetches++
 	r.trcBuf = r.kernel.AppendPageFault(r.trcBuf[:0], f.ScanAddrs, f.UpdateAddrs)
+	hstart := r.rep.Cycles
 	if err := r.ExecTrace(r.trcBuf, ClassFault); err != nil {
 		return err
+	}
+	r.rep.FaultHandlerCycles += r.rep.Cycles - hstart
+	if r.obs != nil {
+		r.obs.Observe(metrics.EvFaultHandlerCycles, uint64(r.rep.Cycles-hstart))
 	}
 	cost := r.pageTransferCycles(f)
 	start := r.rep.Cycles
@@ -289,9 +312,17 @@ func (r *RAMpage) unpinCompleted() {
 // time.
 func (r *RAMpage) handleFault(f *core.Fault) (mem.Cycles, error) {
 	r.rep.PageFaults++
+	if r.obs != nil {
+		r.obs.Count(metrics.EvPageFault, 1)
+	}
 	r.trcBuf = r.kernel.AppendPageFault(r.trcBuf[:0], f.ScanAddrs, f.UpdateAddrs)
+	start := r.rep.Cycles
 	if err := r.ExecTrace(r.trcBuf, ClassFault); err != nil {
 		return 0, err
+	}
+	r.rep.FaultHandlerCycles += r.rep.Cycles - start
+	if r.obs != nil {
+		r.obs.Observe(metrics.EvFaultHandlerCycles, uint64(r.rep.Cycles-start))
 	}
 	total := r.pageTransferCycles(f)
 	if r.cfg.SwitchOnMiss {
@@ -330,8 +361,10 @@ func (r *RAMpage) pageTransferCycles(f *core.Fault) mem.Cycles {
 	writeback := r.applyVictim(f)
 	if writeback {
 		total += r.cfg.transferCyclesAt(f.VictimDRAMAddr, r.cfg.PageBytes)
+		r.dramTransfer()
 	}
 	fetch := r.cfg.transferCyclesAt(f.PageDRAMAddr, r.cfg.PageBytes)
+	r.dramTransfer()
 	if writeback && r.cfg.PipelinedDRAM {
 		// The fetch's startup overlaps the write-back's data phase.
 		if s := r.cfg.startupCycles(); fetch > s {
@@ -341,11 +374,25 @@ func (r *RAMpage) pageTransferCycles(f *core.Fault) mem.Cycles {
 	return total + fetch
 }
 
+// dramTransfer accounts one real page-sized transfer on the Rambus
+// channel (fetch or victim write-back); the caller times it.
+func (r *RAMpage) dramTransfer() {
+	r.rep.DRAMTransfers++
+	r.rep.DRAMBytes += r.cfg.PageBytes
+	if r.obs != nil {
+		r.obs.Observe(metrics.EvDRAMTransfer, r.cfg.PageBytes)
+	}
+}
+
 // applyVictim performs the replacement bookkeeping for a fault or
 // prefetch: L1 inclusion purge of the departing page (§2.3) and the
 // write-back decision. It reports whether the victim must be written
 // to DRAM before its frame is reused.
 func (r *RAMpage) applyVictim(f *core.Fault) bool {
+	r.rep.ClockScans += uint64(len(f.ScanAddrs))
+	if f.VictimTLBEvicted {
+		r.rep.TLBEvictions++
+	}
 	writeback := false
 	if f.VictimValid {
 		// Inclusion: the replaced page's blocks leave L1 (§2.3). Dirty

@@ -6,6 +6,7 @@ import (
 	"io"
 
 	"rampage/internal/mem"
+	"rampage/internal/metrics"
 	"rampage/internal/stats"
 	"rampage/internal/synth"
 	"rampage/internal/trace"
@@ -71,6 +72,11 @@ type SchedulerConfig struct {
 	// references (0 = DefaultBatchSize). Any positive value yields the
 	// same reports; larger windows amortise more dispatch overhead.
 	BatchSize uint64
+	// Observer, when non-nil, receives scheduling events (context
+	// switches) and periodic Tick calls with the simulated time so it
+	// can cut interval snapshots. It never influences scheduling: the
+	// report is bit-identical with or without one attached.
+	Observer metrics.Observer
 }
 
 // readyRing is a fixed-capacity FIFO of process indices with O(1)
@@ -179,6 +185,9 @@ func (s *Scheduler) runPerRef() (*stats.Report, error) {
 	}
 	var executed uint64
 	for {
+		if s.cfg.Observer != nil {
+			s.cfg.Observer.Tick(uint64(s.m.Now()))
+		}
 		if s.cfg.MaxRefs > 0 && executed >= s.cfg.MaxRefs {
 			return rep, nil
 		}
@@ -288,6 +297,9 @@ func (s *Scheduler) runBatched() (*stats.Report, error) {
 	}
 	var executed uint64
 	for {
+		if s.cfg.Observer != nil {
+			s.cfg.Observer.Tick(uint64(s.m.Now()))
+		}
 		if s.cfg.MaxRefs > 0 && executed >= s.cfg.MaxRefs {
 			return rep, nil
 		}
@@ -388,6 +400,9 @@ func (s *Scheduler) blockProc(rep *stats.Report, cur int, blockUntil mem.Cycles)
 	p.state = procBlocked
 	p.readyAt = blockUntil
 	rep.SwitchesOnMiss++
+	if s.cfg.Observer != nil {
+		s.cfg.Observer.Count(metrics.EvSwitchOnMiss, 1)
+	}
 	if s.wakeAt == 0 || blockUntil < s.wakeAt {
 		s.wakeAt = blockUntil
 	}
@@ -421,6 +436,9 @@ func (s *Scheduler) quantumBoundary(rep *stats.Report, cur int) (int, error) {
 	next, _ := s.dispatch()
 	if next != cur {
 		rep.Switches++
+		if s.cfg.Observer != nil {
+			s.cfg.Observer.Count(metrics.EvContextSwitch, 1)
+		}
 		if err := s.switchTrace(rep, cur, next, false); err != nil {
 			return cur, err
 		}

@@ -70,7 +70,10 @@ type Report struct {
 	OSTLBRefs      uint64 // TLB-miss handler references
 	OSFaultRefs    uint64 // page-fault handler references
 	OSSwitchRefs   uint64 // context-switch code references
+	TLBHits        uint64
 	TLBMisses      uint64
+	TLBEvictions   uint64 // translations shot down by page replacement (§2.3)
+	ClockScans     uint64 // page-table entries the clock hand examined (§4.5)
 	PageFaults     uint64
 	L1IMisses      uint64
 	L1DMisses      uint64
@@ -84,6 +87,16 @@ type Report struct {
 	PrefetchHits   uint64     // prefetched pages later demanded
 	PrefetchWasted uint64     // prefetched pages evicted unused
 	PrefetchStalls uint64     // demand accesses that waited for an in-flight prefetch
+
+	// TLBHandlerCycles and FaultHandlerCycles are the simulated time
+	// spent replaying the TLB-miss and page-fault handler traces — the
+	// software-management cost Figure 4 normalizes by references.
+	TLBHandlerCycles   mem.Cycles
+	FaultHandlerCycles mem.Cycles
+	// DRAMTransfers counts real transfers on the Rambus channel (block
+	// fills, page fetches and write-backs); DRAMBytes their total size.
+	DRAMTransfers uint64
+	DRAMBytes     uint64
 }
 
 // Seconds returns the elapsed simulated time — the Tables 3–5 metric.
@@ -129,5 +142,8 @@ func (r *Report) String() string {
 		r.BenchRefs, r.OSRefs(), r.OSTLBRefs, r.OSFaultRefs, r.OSSwitchRefs, r.OverheadRatio())
 	fmt.Fprintf(&b, "  events: tlbmiss %d, fault %d, l1i-miss %d, l1d-miss %d, l2-miss %d, wb %d, switch %d (+%d on miss)\n",
 		r.TLBMisses, r.PageFaults, r.L1IMisses, r.L1DMisses, r.L2Misses, r.Writebacks, r.Switches, r.SwitchesOnMiss)
+	fmt.Fprintf(&b, "  mgmt: tlb-hit %d, tlb-evict %d, clock-scan %d, handler cycles tlb %d / fault %d, dram xfers %d (%s)\n",
+		r.TLBHits, r.TLBEvictions, r.ClockScans, r.TLBHandlerCycles, r.FaultHandlerCycles,
+		r.DRAMTransfers, mem.FormatSize(r.DRAMBytes))
 	return b.String()
 }

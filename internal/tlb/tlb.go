@@ -19,6 +19,7 @@ import (
 	"fmt"
 
 	"rampage/internal/mem"
+	"rampage/internal/metrics"
 	"rampage/internal/xrand"
 )
 
@@ -95,6 +96,7 @@ type TLB struct {
 	pageShift uint
 	rng       *xrand.RNG
 	stats     Stats
+	obs       metrics.Observer // nil unless probing is attached
 	// filter is a direct-mapped cache of recent hit positions: it maps
 	// (vpn^pid)&filterMask to the entry index that last hit for that
 	// translation. A
@@ -160,6 +162,10 @@ func (t *TLB) Config() Config { return t.cfg }
 // Stats returns a copy of the counters.
 func (t *TLB) Stats() Stats { return t.stats }
 
+// SetObserver attaches a metrics observer (nil detaches). The observer
+// sees hit/miss/evict/flush events; it never influences TLB behaviour.
+func (t *TLB) SetObserver(obs metrics.Observer) { t.obs = obs }
+
 // VPN returns the virtual page number of addr under this TLB's page
 // size.
 func (t *TLB) VPN(addr mem.VAddr) uint64 { return uint64(addr) >> t.pageShift }
@@ -175,9 +181,15 @@ func (t *TLB) set(vpn uint64) []entry {
 func (t *TLB) Lookup(pid mem.PID, addr mem.VAddr) (mem.PAddr, bool) {
 	if pa, ok := t.lookup(pid, addr); ok {
 		t.stats.Hits++
+		if t.obs != nil {
+			t.obs.Count(metrics.EvTLBHit, 1)
+		}
 		return pa, true
 	}
 	t.stats.Misses++
+	if t.obs != nil {
+		t.obs.Count(metrics.EvTLBMiss, 1)
+	}
 	return 0, false
 }
 
@@ -188,6 +200,9 @@ func (t *TLB) Lookup(pid mem.PID, addr mem.VAddr) (mem.PAddr, bool) {
 func (t *TLB) TryLookup(pid mem.PID, addr mem.VAddr) (mem.PAddr, bool) {
 	if pa, ok := t.lookup(pid, addr); ok {
 		t.stats.Hits++
+		if t.obs != nil {
+			t.obs.Count(metrics.EvTLBHit, 1)
+		}
 		return pa, true
 	}
 	return 0, false
@@ -269,6 +284,9 @@ func (t *TLB) Invalidate(pid mem.PID, addr mem.VAddr) bool {
 			set[i] = entry{}
 			t.keys[base+uint64(i)] = keyInvalid
 			t.stats.Invalidations++
+			if t.obs != nil {
+				t.obs.Count(metrics.EvTLBEvict, 1)
+			}
 			return true
 		}
 	}
@@ -285,6 +303,9 @@ func (t *TLB) FlushPID(pid mem.PID) {
 		}
 	}
 	t.stats.Flushes++
+	if t.obs != nil {
+		t.obs.Count(metrics.EvTLBFlush, 1)
+	}
 }
 
 // FlushAll empties the TLB.
@@ -294,6 +315,9 @@ func (t *TLB) FlushAll() {
 		t.keys[i] = keyInvalid
 	}
 	t.stats.Flushes++
+	if t.obs != nil {
+		t.obs.Count(metrics.EvTLBFlush, 1)
+	}
 }
 
 // Reach returns the bytes of address space the TLB can map when full —

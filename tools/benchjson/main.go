@@ -4,14 +4,18 @@
 //	go test -bench=. -benchmem -run='^$' -count=3 | go run ./tools/benchjson > BENCH.json
 //
 // Repeated -count measurements appear as separate objects; downstream
-// tooling can aggregate. Custom b.ReportMetric values land in
-// "metrics".
+// tooling can aggregate, or pass -min to fold them here: one object per
+// benchmark name keeping the minimum ns/op (the least-noise sample —
+// interference only ever slows a benchmark down). Custom b.ReportMetric
+// values land in "metrics".
 package main
 
 import (
 	"bufio"
 	"encoding/json"
+	"flag"
 	"fmt"
+	"io"
 	"os"
 	"strconv"
 	"strings"
@@ -27,9 +31,11 @@ type Result struct {
 	Metrics     map[string]float64 `json:"metrics,omitempty"`
 }
 
-func main() {
+// parse reads `go test -bench` output and returns one Result per
+// benchmark line, in input order.
+func parse(r io.Reader) ([]Result, error) {
 	var results []Result
-	sc := bufio.NewScanner(os.Stdin)
+	sc := bufio.NewScanner(r)
 	sc.Buffer(make([]byte, 1<<20), 1<<20)
 	for sc.Scan() {
 		line := sc.Text()
@@ -44,7 +50,7 @@ func main() {
 		if err != nil {
 			continue
 		}
-		r := Result{Name: fields[0], Iterations: iters}
+		res := Result{Name: fields[0], Iterations: iters}
 		// Remaining fields come in (value, unit) pairs.
 		for i := 2; i+1 < len(fields); i += 2 {
 			v, err := strconv.ParseFloat(fields[i], 64)
@@ -53,23 +59,53 @@ func main() {
 			}
 			switch unit := fields[i+1]; unit {
 			case "ns/op":
-				r.NsPerOp = v
+				res.NsPerOp = v
 			case "B/op":
-				r.BytesPerOp = v
+				res.BytesPerOp = v
 			case "allocs/op":
-				r.AllocsPerOp = v
+				res.AllocsPerOp = v
 			default:
-				if r.Metrics == nil {
-					r.Metrics = make(map[string]float64)
+				if res.Metrics == nil {
+					res.Metrics = make(map[string]float64)
 				}
-				r.Metrics[unit] = v
+				res.Metrics[unit] = v
 			}
 		}
-		results = append(results, r)
+		results = append(results, res)
 	}
-	if err := sc.Err(); err != nil {
+	return results, sc.Err()
+}
+
+// minByName folds repeated -count measurements: for each benchmark
+// name, keep the whole sample with the lowest ns/op. First-seen order
+// of names is preserved.
+func minByName(results []Result) []Result {
+	best := make(map[string]int)
+	var out []Result
+	for _, r := range results {
+		i, seen := best[r.Name]
+		if !seen {
+			best[r.Name] = len(out)
+			out = append(out, r)
+			continue
+		}
+		if r.NsPerOp < out[i].NsPerOp {
+			out[i] = r
+		}
+	}
+	return out
+}
+
+func main() {
+	min := flag.Bool("min", false, "keep only the minimum-ns/op sample per benchmark name")
+	flag.Parse()
+	results, err := parse(os.Stdin)
+	if err != nil {
 		fmt.Fprintln(os.Stderr, "benchjson:", err)
 		os.Exit(1)
+	}
+	if *min {
+		results = minByName(results)
 	}
 	enc := json.NewEncoder(os.Stdout)
 	enc.SetIndent("", "  ")

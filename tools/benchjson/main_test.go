@@ -1,0 +1,94 @@
+package main
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+// transcript is a canned `go test -bench -benchmem -count=2` output:
+// banner lines, two counts per benchmark, a custom ReportMetric, and a
+// trailing summary — everything the parser must skip or capture.
+const transcript = `goos: linux
+goarch: amd64
+pkg: rampage/internal/harness
+cpu: Some CPU @ 2.00GHz
+BenchmarkTable3Cell/rampage-8         	       3	 412345678 ns/op	     120 B/op	       2 allocs/op
+BenchmarkTable3Cell/rampage-8         	       3	 401234567 ns/op	     112 B/op	       2 allocs/op
+BenchmarkThroughput-8                 	       5	 200000000 ns/op	        55.25 Mrefs/s
+BenchmarkThroughput-8                 	       5	 210000000 ns/op	        52.50 Mrefs/s
+not a benchmark line
+BenchmarkNoPairs 1
+PASS
+ok  	rampage/internal/harness	12.345s
+`
+
+func TestParse(t *testing.T) {
+	results, err := parse(strings.NewReader(transcript))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != 4 {
+		t.Fatalf("parsed %d results, want 4: %+v", len(results), results)
+	}
+	r := results[0]
+	if r.Name != "BenchmarkTable3Cell/rampage-8" || r.Iterations != 3 {
+		t.Errorf("result[0] = %q x%d", r.Name, r.Iterations)
+	}
+	if r.NsPerOp != 412345678 || r.BytesPerOp != 120 || r.AllocsPerOp != 2 {
+		t.Errorf("result[0] measurements = %v/%v/%v", r.NsPerOp, r.BytesPerOp, r.AllocsPerOp)
+	}
+	if got := results[2].Metrics["Mrefs/s"]; got != 55.25 {
+		t.Errorf("custom metric = %v, want 55.25", got)
+	}
+}
+
+func TestMinByName(t *testing.T) {
+	results, err := parse(strings.NewReader(transcript))
+	if err != nil {
+		t.Fatal(err)
+	}
+	folded := minByName(results)
+	if len(folded) != 2 {
+		t.Fatalf("folded to %d results, want 2: %+v", len(folded), folded)
+	}
+	// The min sample wins wholesale — its sibling fields come along.
+	if folded[0].NsPerOp != 401234567 || folded[0].BytesPerOp != 112 {
+		t.Errorf("folded[0] = %v ns/op, %v B/op; want the second (faster) sample", folded[0].NsPerOp, folded[0].BytesPerOp)
+	}
+	if folded[1].Name != "BenchmarkThroughput-8" || folded[1].NsPerOp != 200000000 {
+		t.Errorf("folded[1] = %q %v ns/op", folded[1].Name, folded[1].NsPerOp)
+	}
+	if got := folded[1].Metrics["Mrefs/s"]; got != 55.25 {
+		t.Errorf("folded[1] metric = %v, want the min sample's 55.25", got)
+	}
+}
+
+// TestJSONShape pins the emitted field names — BENCH_batch.json
+// consumers (tools/regress bench mode) key on them.
+func TestJSONShape(t *testing.T) {
+	results, err := parse(strings.NewReader(transcript))
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw, err := json.Marshal(minByName(results))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var docs []map[string]any
+	if err := json.Unmarshal(raw, &docs); err != nil {
+		t.Fatal(err)
+	}
+	for _, key := range []string{"name", "iterations", "ns_per_op"} {
+		if _, ok := docs[0][key]; !ok {
+			t.Errorf("missing key %q in %v", key, docs[0])
+		}
+	}
+	// omitempty: the throughput benchmark has no B/op measurement.
+	if _, ok := docs[1]["bytes_per_op"]; ok {
+		t.Errorf("bytes_per_op should be omitted when unmeasured: %v", docs[1])
+	}
+	if _, ok := docs[1]["metrics"]; !ok {
+		t.Errorf("custom metrics missing: %v", docs[1])
+	}
+}

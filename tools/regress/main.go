@@ -1,0 +1,223 @@
+// Command regress compares a freshly generated result against a
+// committed golden and exits non-zero on divergence. It has two modes:
+//
+//	# Exact comparison of simulator JSON documents (rampage-bench
+//	# -format json / rampage-sim -format json). Simulated data is
+//	# deterministic for a given seed, so every field must match.
+//	go run ./tools/regress -mode report testdata/golden/table3.json /tmp/table3.json
+//
+//	# Tolerance comparison of BENCH_batch.json-style snapshots
+//	# (tools/benchjson output). Wall-clock numbers are noisy, so each
+//	# benchmark's best (minimum) ns/op may regress by at most -tol
+//	# (relative). Improvements never fail.
+//	go run ./tools/regress -mode bench -tol 0.05 BENCH_batch.json /tmp/bench.json
+//
+// The first path is the golden (want), the second the candidate (got).
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"math"
+	"os"
+	"reflect"
+	"sort"
+)
+
+func main() {
+	mode := flag.String("mode", "report", "comparison mode: report (exact), bench (ns/op tolerance)")
+	tol := flag.Float64("tol", 0.05, "bench mode: allowed relative ns/op regression per benchmark")
+	subset := flag.Bool("subset", false, "bench mode: the candidate covers only some golden benchmarks; skip the rest instead of failing")
+	flag.Parse()
+	if flag.NArg() != 2 {
+		fmt.Fprintln(os.Stderr, "usage: regress [-mode report|bench] [-tol frac] golden.json got.json")
+		os.Exit(2)
+	}
+	goldenPath, gotPath := flag.Arg(0), flag.Arg(1)
+	var (
+		diffs []string
+		err   error
+	)
+	switch *mode {
+	case "report":
+		diffs, err = compareReportFiles(goldenPath, gotPath)
+	case "bench":
+		diffs, err = compareBenchFiles(goldenPath, gotPath, *tol, *subset)
+	default:
+		err = fmt.Errorf("unknown mode %q (want report or bench)", *mode)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "regress:", err)
+		os.Exit(2)
+	}
+	if len(diffs) > 0 {
+		fmt.Fprintf(os.Stderr, "regress: %s diverges from %s:\n", gotPath, goldenPath)
+		for _, d := range diffs {
+			fmt.Fprintln(os.Stderr, "  "+d)
+		}
+		os.Exit(1)
+	}
+	fmt.Printf("regress: %s matches %s\n", gotPath, goldenPath)
+}
+
+func loadJSON(path string, v any) error {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	if err := json.Unmarshal(raw, v); err != nil {
+		return fmt.Errorf("%s: %w", path, err)
+	}
+	return nil
+}
+
+// compareReportFiles diffs two simulator JSON documents exactly.
+func compareReportFiles(goldenPath, gotPath string) ([]string, error) {
+	var golden, got any
+	if err := loadJSON(goldenPath, &golden); err != nil {
+		return nil, err
+	}
+	if err := loadJSON(gotPath, &got); err != nil {
+		return nil, err
+	}
+	if gv, ok := version(golden); ok {
+		if cv, ok := version(got); ok && gv != cv {
+			return nil, fmt.Errorf("schema version mismatch: golden v%d, got v%d — regenerate the golden", gv, cv)
+		}
+	}
+	return diffValues("$", golden, got, nil), nil
+}
+
+// version extracts a document's schema version when present.
+func version(doc any) (int, bool) {
+	m, ok := doc.(map[string]any)
+	if !ok {
+		return 0, false
+	}
+	v, ok := m["version"].(float64)
+	return int(v), ok
+}
+
+// maxDiffs bounds the report so a wholesale divergence stays readable.
+const maxDiffs = 50
+
+// diffValues recursively compares two decoded JSON values, appending
+// human-readable mismatches with their paths.
+func diffValues(path string, want, got any, diffs []string) []string {
+	if len(diffs) >= maxDiffs {
+		return diffs
+	}
+	switch w := want.(type) {
+	case map[string]any:
+		g, ok := got.(map[string]any)
+		if !ok {
+			return append(diffs, fmt.Sprintf("%s: golden is an object, got %T", path, got))
+		}
+		keys := make([]string, 0, len(w))
+		for k := range w {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		for _, k := range keys {
+			gv, ok := g[k]
+			if !ok {
+				diffs = append(diffs, fmt.Sprintf("%s.%s: missing in candidate", path, k))
+				continue
+			}
+			diffs = diffValues(path+"."+k, w[k], gv, diffs)
+		}
+		for k := range g {
+			if _, ok := w[k]; !ok {
+				diffs = append(diffs, fmt.Sprintf("%s.%s: not in golden", path, k))
+			}
+		}
+		return diffs
+	case []any:
+		g, ok := got.([]any)
+		if !ok {
+			return append(diffs, fmt.Sprintf("%s: golden is an array, got %T", path, got))
+		}
+		if len(w) != len(g) {
+			return append(diffs, fmt.Sprintf("%s: length %d, got %d", path, len(w), len(g)))
+		}
+		for i := range w {
+			diffs = diffValues(fmt.Sprintf("%s[%d]", path, i), w[i], g[i], diffs)
+		}
+		return diffs
+	default:
+		if !reflect.DeepEqual(want, got) {
+			diffs = append(diffs, fmt.Sprintf("%s: golden %v, got %v", path, want, got))
+		}
+		return diffs
+	}
+}
+
+// benchResult is the subset of a tools/benchjson entry the bench mode
+// compares.
+type benchResult struct {
+	Name    string  `json:"name"`
+	NsPerOp float64 `json:"ns_per_op"`
+}
+
+// bestByName folds repeated -count samples to each benchmark's minimum
+// ns/op, preserving first-seen order.
+func bestByName(results []benchResult) ([]string, map[string]float64) {
+	best := make(map[string]float64)
+	var order []string
+	for _, r := range results {
+		if v, ok := best[r.Name]; !ok || r.NsPerOp < v {
+			if !ok {
+				order = append(order, r.Name)
+			}
+			best[r.Name] = r.NsPerOp
+		}
+	}
+	return order, best
+}
+
+// compareBench checks every golden benchmark exists in the candidate
+// and did not regress beyond tol (relative). New benchmarks in the
+// candidate are fine; improvements are fine. With subset, golden
+// benchmarks absent from the candidate are skipped (the candidate ran
+// a filtered -bench pattern) instead of failing.
+func compareBench(golden, got []benchResult, tol float64, subset bool) []string {
+	order, want := bestByName(golden)
+	_, have := bestByName(got)
+	var diffs []string
+	for _, name := range order {
+		g, ok := have[name]
+		if !ok {
+			if !subset {
+				diffs = append(diffs, fmt.Sprintf("%s: missing from candidate", name))
+			}
+			continue
+		}
+		w := want[name]
+		if w <= 0 {
+			continue
+		}
+		if rel := g/w - 1; rel > tol {
+			diffs = append(diffs, fmt.Sprintf("%s: %.0f ns/op vs golden %.0f (%+.1f%% > %+.1f%% allowed)",
+				name, g, w, 100*rel, 100*tol))
+		}
+	}
+	return diffs
+}
+
+func compareBenchFiles(goldenPath, gotPath string, tol float64, subset bool) ([]string, error) {
+	if tol < 0 || math.IsNaN(tol) {
+		return nil, fmt.Errorf("bad -tol %v", tol)
+	}
+	var golden, got []benchResult
+	if err := loadJSON(goldenPath, &golden); err != nil {
+		return nil, err
+	}
+	if err := loadJSON(gotPath, &got); err != nil {
+		return nil, err
+	}
+	if len(golden) == 0 {
+		return nil, fmt.Errorf("%s: no benchmark entries", goldenPath)
+	}
+	return compareBench(golden, got, tol, subset), nil
+}

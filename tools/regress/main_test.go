@@ -1,0 +1,104 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func writeFile(t *testing.T, name, content string) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), name)
+	if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestReportModeIdentical(t *testing.T) {
+	doc := `{"version":1,"kind":"experiment","id":"table3","systems":[{"system":"rampage","rows":[[{"cycles":123}]]}]}`
+	diffs, err := compareReportFiles(writeFile(t, "a.json", doc), writeFile(t, "b.json", doc))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(diffs) != 0 {
+		t.Errorf("identical documents diff: %v", diffs)
+	}
+}
+
+func TestReportModeFindsDivergence(t *testing.T) {
+	golden := `{"version":1,"report":{"cycles":100,"page_faults":7},"extra":[1,2]}`
+	got := `{"version":1,"report":{"cycles":101,"page_faults":7,"new_field":1},"extra":[1,2,3]}`
+	diffs, err := compareReportFiles(writeFile(t, "a.json", golden), writeFile(t, "b.json", got))
+	if err != nil {
+		t.Fatal(err)
+	}
+	joined := strings.Join(diffs, "\n")
+	for _, want := range []string{"$.report.cycles", "golden 100, got 101", "$.report.new_field: not in golden", "$.extra: length 2, got 3"} {
+		if !strings.Contains(joined, want) {
+			t.Errorf("diffs missing %q:\n%s", want, joined)
+		}
+	}
+	if strings.Contains(joined, "page_faults") {
+		t.Errorf("equal field reported as diff:\n%s", joined)
+	}
+}
+
+func TestReportModeVersionMismatch(t *testing.T) {
+	golden := writeFile(t, "a.json", `{"version":1,"cycles":1}`)
+	got := writeFile(t, "b.json", `{"version":2,"cycles":1}`)
+	if _, err := compareReportFiles(golden, got); err == nil || !strings.Contains(err.Error(), "version mismatch") {
+		t.Errorf("want version-mismatch error, got %v", err)
+	}
+}
+
+func TestBenchModeTolerance(t *testing.T) {
+	golden := []benchResult{
+		{Name: "BenchmarkA", NsPerOp: 110}, // repeated counts: min = 100
+		{Name: "BenchmarkA", NsPerOp: 100},
+		{Name: "BenchmarkB", NsPerOp: 1000},
+		{Name: "BenchmarkGone", NsPerOp: 50},
+	}
+	got := []benchResult{
+		{Name: "BenchmarkA", NsPerOp: 104},  // +4%: within 5%
+		{Name: "BenchmarkB", NsPerOp: 1100}, // +10%: regression
+		{Name: "BenchmarkNew", NsPerOp: 1},  // extra: fine
+	}
+	diffs := compareBench(golden, got, 0.05, false)
+	joined := strings.Join(diffs, "\n")
+	if len(diffs) != 2 {
+		t.Fatalf("want 2 diffs, got %d:\n%s", len(diffs), joined)
+	}
+	if !strings.Contains(joined, "BenchmarkB") || !strings.Contains(joined, "BenchmarkGone: missing") {
+		t.Errorf("unexpected diffs:\n%s", joined)
+	}
+	// The min-of-count fold must compare 104 against 100, not 110.
+	if strings.Contains(joined, "BenchmarkA") {
+		t.Errorf("BenchmarkA within tolerance but reported:\n%s", joined)
+	}
+	// Subset mode: missing benchmarks are skipped, regressions still fail.
+	if diffs := compareBench(golden, got, 0.05, true); len(diffs) != 1 || !strings.Contains(diffs[0], "BenchmarkB") {
+		t.Errorf("subset mode diffs = %v, want only the BenchmarkB regression", diffs)
+	}
+	// Improvements never fail.
+	got[1].NsPerOp = 500
+	if diffs := compareBench(golden[:3], got, 0.05, false); len(diffs) != 0 {
+		t.Errorf("improvement reported as regression: %v", diffs)
+	}
+}
+
+func TestBenchModeFiles(t *testing.T) {
+	golden := writeFile(t, "g.json", `[{"name":"BenchmarkX","iterations":3,"ns_per_op":100}]`)
+	slow := writeFile(t, "s.json", `[{"name":"BenchmarkX","iterations":3,"ns_per_op":120}]`)
+	diffs, err := compareBenchFiles(golden, slow, 0.05, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(diffs) != 1 {
+		t.Errorf("want 1 regression, got %v", diffs)
+	}
+	if _, err := compareBenchFiles(writeFile(t, "e.json", `[]`), slow, 0.05, false); err == nil {
+		t.Error("empty golden accepted")
+	}
+}
