@@ -19,9 +19,12 @@ test:
 vet:
 	$(GO) vet ./...
 
-# The scheduler and sweep machinery are the concurrency-bearing paths.
+# The concurrency-bearing paths: scheduler and sweep machinery, plus
+# the experiment service's job queue and HTTP layer (-short skips the
+# service's full-scale golden test; the golden CI job runs it).
 race:
 	$(GO) test -race ./internal/harness/... ./internal/sim/...
+	$(GO) test -race -short ./internal/server/... ./internal/jobs/...
 
 # Full artifact benchmark suite (one pass, quick feedback).
 bench:

@@ -10,6 +10,7 @@
 package rampage_test
 
 import (
+	"context"
 	"testing"
 
 	"rampage"
@@ -39,7 +40,7 @@ func runExperiment(b *testing.B, id string, rates, sizes []uint64) {
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, err := exp.Run(cfg, rates, sizes); err != nil {
+		if _, err := exp.Run(context.Background(), cfg, rates, sizes); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -94,11 +95,11 @@ func BenchmarkTable3BaselineVsRAMpage(b *testing.B) {
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		base, err := rampage.Sweep(cfg, rampage.SystemBaselineDM, benchRates, benchSizes, false)
+		base, err := rampage.Sweep(context.Background(), cfg, rampage.SystemBaselineDM, benchRates, benchSizes, false)
 		if err != nil {
 			b.Fatal(err)
 		}
-		rp, err := rampage.Sweep(cfg, rampage.SystemRAMpage, benchRates, benchSizes, false)
+		rp, err := rampage.Sweep(context.Background(), cfg, rampage.SystemRAMpage, benchRates, benchSizes, false)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -119,11 +120,11 @@ func BenchmarkTable4SwitchOnMiss(b *testing.B) {
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		cs, err := rampage.Sweep(cfg, rampage.SystemRAMpageCS, benchRates, benchSizes, true)
+		cs, err := rampage.Sweep(context.Background(), cfg, rampage.SystemRAMpageCS, benchRates, benchSizes, true)
 		if err != nil {
 			b.Fatal(err)
 		}
-		plain, err := rampage.Sweep(cfg, rampage.SystemRAMpage, benchRates, benchSizes, false)
+		plain, err := rampage.Sweep(context.Background(), cfg, rampage.SystemRAMpage, benchRates, benchSizes, false)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -159,7 +160,7 @@ func BenchmarkFig4Overheads(b *testing.B) {
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		rp, err := rampage.Sweep(cfg, rampage.SystemRAMpage, []uint64{1000}, benchSizes, false)
+		rp, err := rampage.Sweep(context.Background(), cfg, rampage.SystemRAMpage, []uint64{1000}, benchSizes, false)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -219,11 +220,11 @@ func BenchmarkExtensionPrefetch(b *testing.B) {
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		plain, err := rampage.Run(cfg, rampage.RunSpec{System: rampage.SystemRAMpage, IssueMHz: 4000, SizeBytes: 1024})
+		plain, err := rampage.Run(context.Background(), cfg, rampage.RunSpec{System: rampage.SystemRAMpage, IssueMHz: 4000, SizeBytes: 1024})
 		if err != nil {
 			b.Fatal(err)
 		}
-		pf, err := rampage.Run(cfg, rampage.RunSpec{System: rampage.SystemRAMpage, IssueMHz: 4000, SizeBytes: 1024, PrefetchNext: true})
+		pf, err := rampage.Run(context.Background(), cfg, rampage.RunSpec{System: rampage.SystemRAMpage, IssueMHz: 4000, SizeBytes: 1024, PrefetchNext: true})
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -244,7 +245,7 @@ func BenchmarkSimRAMpageThroughput(b *testing.B) {
 	b.ResetTimer()
 	var refs uint64
 	for i := 0; i < b.N; i++ {
-		rep, err := rampage.Run(cfg, rampage.RunSpec{
+		rep, err := rampage.Run(context.Background(), cfg, rampage.RunSpec{
 			System: rampage.SystemRAMpage, IssueMHz: 1000, SizeBytes: 1024,
 		})
 		if err != nil {
@@ -263,7 +264,7 @@ func BenchmarkSimBaselineThroughput(b *testing.B) {
 	b.ResetTimer()
 	var refs uint64
 	for i := 0; i < b.N; i++ {
-		rep, err := rampage.Run(cfg, rampage.RunSpec{
+		rep, err := rampage.Run(context.Background(), cfg, rampage.RunSpec{
 			System: rampage.SystemBaselineDM, IssueMHz: 1000, SizeBytes: 1024,
 		})
 		if err != nil {

@@ -14,14 +14,16 @@
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"path/filepath"
 	"runtime"
 	"runtime/pprof"
-	"strconv"
-	"strings"
+	"syscall"
 	"time"
 
 	"rampage/internal/harness"
@@ -84,25 +86,30 @@ func main() {
 		return
 	}
 
-	cfg, err := scaleConfig(*scale)
+	cfg, err := harness.ConfigForScale(*scale)
 	if err != nil {
 		fatal(err)
 	}
 	cfg.Seed = *seed
 	cfg.Workers = *parallel
 
-	rateList, err := parseList(*rates)
+	rateList, err := harness.ParseGridList(*rates)
 	if err != nil {
 		fatal(fmt.Errorf("bad -rates: %w", err))
 	}
-	sizeList, err := parseList(*sizes)
+	sizeList, err := harness.ParseGridList(*sizes)
 	if err != nil {
 		fatal(fmt.Errorf("bad -sizes: %w", err))
 	}
 
+	// Ctrl-C (and SIGTERM) cancel the sweeps so a long run dies cleanly
+	// instead of finishing the whole grid after the interrupt.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
 	if *sweep != "" {
-		if err := runSweepCSV(cfg, *sweep, rateList, sizeList); err != nil {
-			fatal(err)
+		if err := runSweepCSV(ctx, cfg, *sweep, rateList, sizeList); err != nil {
+			fatalOrInterrupted(err)
 		}
 		return
 	}
@@ -119,8 +126,8 @@ func main() {
 	}
 
 	if *format == "json" {
-		if err := runJSON(cfg, selected, rateList, sizeList, *outDir, *exp == "all"); err != nil {
-			fatal(err)
+		if err := runJSON(ctx, cfg, selected, rateList, sizeList, *outDir, *exp == "all"); err != nil {
+			fatalOrInterrupted(err)
 		}
 		return
 	}
@@ -128,9 +135,9 @@ func main() {
 	for _, e := range selected {
 		start := time.Now()
 		fmt.Printf("=== %s: %s ===\n", e.ID, e.Title)
-		out, err := e.Run(cfg, rateList, sizeList)
+		out, err := e.Run(ctx, cfg, rateList, sizeList)
 		if err != nil {
-			fatal(fmt.Errorf("%s: %w", e.ID, err))
+			fatalOrInterrupted(fmt.Errorf("%s: %w", e.ID, err))
 		}
 		fmt.Println(out)
 		fmt.Printf("(%s in %v)\n\n", e.ID, time.Since(start).Round(time.Millisecond))
@@ -143,7 +150,7 @@ func main() {
 // <id>.json file per experiment lands in the output directory.
 // Experiments without a JSON form are skipped with a note when running
 // "all" and rejected when named explicitly.
-func runJSON(cfg harness.Config, selected []harness.Experiment, rates, sizes []uint64, outDir string, all bool) error {
+func runJSON(ctx context.Context, cfg harness.Config, selected []harness.Experiment, rates, sizes []uint64, outDir string, all bool) error {
 	var ids []string
 	for _, e := range selected {
 		if !harness.HasJSONForm(e.ID) {
@@ -167,7 +174,7 @@ func runJSON(cfg harness.Config, selected []harness.Experiment, rates, sizes []u
 		}
 	}
 	for _, id := range ids {
-		doc, err := harness.BuildExperimentDoc(cfg, id, rates, sizes)
+		doc, err := harness.BuildExperimentDoc(ctx, cfg, id, rates, sizes)
 		if err != nil {
 			return fmt.Errorf("%s: %w", id, err)
 		}
@@ -196,19 +203,10 @@ func runJSON(cfg harness.Config, selected []harness.Experiment, rates, sizes []u
 
 // runSweepCSV runs one system across the grid and writes CSV rows to
 // stdout for external plotting.
-func runSweepCSV(cfg harness.Config, system string, rates, sizes []uint64) error {
-	var kind harness.SystemKind
-	switch system {
-	case "baseline", "baseline-dm", "dm":
-		kind = harness.BaselineDM
-	case "2way", "l2-2way":
-		kind = harness.TwoWayL2
-	case "rampage":
-		kind = harness.RAMpage
-	case "rampage-cs", "cs":
-		kind = harness.RAMpageCS
-	default:
-		return fmt.Errorf("unknown system %q for -sweep", system)
+func runSweepCSV(ctx context.Context, cfg harness.Config, system string, rates, sizes []uint64) error {
+	kind, err := harness.ParseSystemKind(system)
+	if err != nil {
+		return err
 	}
 	if len(rates) == 0 {
 		rates = harness.IssueRatesMHz
@@ -217,42 +215,24 @@ func runSweepCSV(cfg harness.Config, system string, rates, sizes []uint64) error
 		sizes = harness.BlockSizes
 	}
 	switchTrace := kind == harness.TwoWayL2 || kind == harness.RAMpageCS
-	grid, err := harness.Sweep(cfg, kind, rates, sizes, switchTrace)
+	grid, err := harness.Sweep(ctx, cfg, kind, rates, sizes, switchTrace)
 	if err != nil {
 		return err
 	}
 	return harness.WriteSweepCSV(os.Stdout, rates, sizes, grid)
 }
 
-func scaleConfig(name string) (harness.Config, error) {
-	switch name {
-	case "quick":
-		return harness.QuickScaled(), nil
-	case "default":
-		return harness.DefaultScaled(), nil
-	case "full":
-		return harness.FullScale(), nil
-	default:
-		return harness.Config{}, fmt.Errorf("unknown scale %q (want quick, default or full)", name)
-	}
-}
-
-func parseList(s string) ([]uint64, error) {
-	if s == "" {
-		return nil, nil
-	}
-	var out []uint64
-	for _, part := range strings.Split(s, ",") {
-		v, err := strconv.ParseUint(strings.TrimSpace(part), 10, 64)
-		if err != nil {
-			return nil, err
-		}
-		out = append(out, v)
-	}
-	return out, nil
-}
-
 func fatal(err error) {
 	fmt.Fprintln(os.Stderr, "rampage-bench:", err)
 	os.Exit(1)
+}
+
+// fatalOrInterrupted treats context cancellation (Ctrl-C) as a clean
+// interrupt with the conventional 130 exit status.
+func fatalOrInterrupted(err error) {
+	if errors.Is(err, context.Canceled) {
+		fmt.Fprintln(os.Stderr, "rampage-bench: interrupted")
+		os.Exit(130)
+	}
+	fatal(err)
 }

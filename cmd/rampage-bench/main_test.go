@@ -1,38 +1,20 @@
 package main
 
-import "testing"
+import (
+	"context"
+	"testing"
 
-func TestParseList(t *testing.T) {
-	got, err := parseList("200, 4000")
-	if err != nil || len(got) != 2 || got[0] != 200 || got[1] != 4000 {
-		t.Errorf("parseList = %v, %v", got, err)
-	}
-	if got, err := parseList(""); err != nil || got != nil {
-		t.Errorf("empty parseList = %v, %v", got, err)
-	}
-	if _, err := parseList("12,abc"); err == nil {
-		t.Error("bad list accepted")
-	}
-}
+	"rampage/internal/harness"
+)
 
-func TestScaleConfig(t *testing.T) {
-	for _, name := range []string{"quick", "default", "full"} {
-		cfg, err := scaleConfig(name)
-		if err != nil {
-			t.Errorf("scaleConfig(%q): %v", name, err)
-		}
-		if err := cfg.Validate(); err != nil {
-			t.Errorf("scaleConfig(%q) invalid: %v", name, err)
-		}
-	}
-	if _, err := scaleConfig("bogus"); err == nil {
-		t.Error("bogus scale accepted")
-	}
-}
+// The list/scale/system parsing the flags rely on moved into
+// internal/harness (shared with rampage-sim and rampage-server); its
+// table-driven tests live there. What remains here is the CSV sweep
+// entry point's own error path.
 
 func TestRunSweepCSVRejectsUnknownSystem(t *testing.T) {
-	cfg, _ := scaleConfig("quick")
-	if err := runSweepCSV(cfg, "bogus", nil, nil); err == nil {
+	cfg, _ := harness.ConfigForScale("quick")
+	if err := runSweepCSV(context.Background(), cfg, "bogus", nil, nil); err == nil {
 		t.Error("unknown sweep system accepted")
 	}
 }

@@ -1,0 +1,90 @@
+// Command rampage-server serves the paper's experiments over HTTP.
+// Results are the same versioned JSON documents the CLIs emit, served
+// from a content-addressed cache: repeating a request never re-runs
+// the simulation, and identical concurrent requests share one run.
+//
+// Usage:
+//
+//	rampage-server                       # listen on :8080
+//	rampage-server -addr :9090 -workers 2
+//
+//	curl localhost:8080/v1/experiments
+//	curl localhost:8080/v1/experiments/table3?scale=quick
+//	curl -X POST -d '{"kind":"experiment","id":"table3"}' localhost:8080/v1/jobs
+//
+// SIGINT/SIGTERM drain gracefully: in-flight simulations finish (up
+// to -drain-timeout) while new requests are refused.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"rampage/internal/server"
+)
+
+func main() {
+	var (
+		addr         = flag.String("addr", ":8080", "listen address")
+		workers      = flag.Int("workers", 1, "concurrently running jobs (each sweep job also parallelizes across its grid cells)")
+		queue        = flag.Int("queue", 8, "queued-job bound; beyond it submissions get 429")
+		jobTimeout   = flag.Duration("job-timeout", 0, "per-job execution bound (0 = unlimited)")
+		cacheMB      = flag.Int64("cache-mb", 256, "result cache budget in MiB (0 = unlimited)")
+		sweepWorkers = flag.Int("sweep-parallel", 0, "per-job grid-cell parallelism (0 = one per CPU)")
+		drainTimeout = flag.Duration("drain-timeout", 2*time.Minute, "how long shutdown waits for in-flight jobs before canceling them")
+	)
+	flag.Parse()
+
+	svc := server.New(server.Config{
+		Workers:       *workers,
+		QueueDepth:    *queue,
+		JobTimeout:    *jobTimeout,
+		CacheBytes:    *cacheMB << 20,
+		SweepParallel: *sweepWorkers,
+	})
+
+	httpSrv := &http.Server{
+		Addr:              *addr,
+		Handler:           svc.Handler(),
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	errCh := make(chan error, 1)
+	go func() { errCh <- httpSrv.ListenAndServe() }()
+	log.Printf("rampage-server: listening on %s", *addr)
+
+	select {
+	case err := <-errCh:
+		// Listener failed before any signal (e.g. address in use).
+		fmt.Fprintln(os.Stderr, "rampage-server:", err)
+		os.Exit(1)
+	case <-ctx.Done():
+	}
+
+	log.Printf("rampage-server: draining (up to %v)", *drainTimeout)
+	drainCtx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
+	defer cancel()
+	// Stop accepting connections and finish in-flight requests, while
+	// the jobs manager finishes (or, at the deadline, cancels) the
+	// queued and running simulations those requests are waiting on.
+	drainErr := svc.Drain(drainCtx)
+	if err := httpSrv.Shutdown(drainCtx); err != nil && !errors.Is(err, context.DeadlineExceeded) {
+		log.Printf("rampage-server: shutdown: %v", err)
+	}
+	if drainErr != nil {
+		log.Printf("rampage-server: drain canceled in-flight jobs: %v", drainErr)
+		os.Exit(1)
+	}
+	log.Println("rampage-server: drained cleanly")
+}

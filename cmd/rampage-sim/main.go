@@ -19,9 +19,13 @@
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
+	"syscall"
 
 	"rampage/internal/harness"
 	"rampage/internal/metrics"
@@ -59,6 +63,12 @@ func main() {
 		fatal(fmt.Errorf("unknown format %q (want text or json)", *format))
 	}
 
+	// Ctrl-C (and SIGTERM) cancel the run's context so a long
+	// simulation dies cleanly at the next batch boundary instead of
+	// running to completion.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
 	if *traceFile != "" {
 		if err := replayFile(*traceFile, *system, *mhz, *size, *seed, *format, *snapEvery); err != nil {
 			fatal(err)
@@ -66,7 +76,7 @@ func main() {
 		return
 	}
 
-	cfg, err := scaleConfig(*scale)
+	cfg, err := harness.ConfigForScale(*scale)
 	if err != nil {
 		fatal(err)
 	}
@@ -80,11 +90,11 @@ func main() {
 		cfg.Observer = col
 	}
 
-	kind, err := parseSystem(*system)
+	kind, err := harness.ParseSystemKind(*system)
 	if err != nil {
 		fatal(err)
 	}
-	rep, err := harness.Run(cfg, harness.RunSpec{
+	rep, err := harness.Run(ctx, cfg, harness.RunSpec{
 		System:             kind,
 		IssueMHz:           *mhz,
 		SizeBytes:          *size,
@@ -101,6 +111,10 @@ func main() {
 		DRAMChannels:       *channels,
 	})
 	if err != nil {
+		if errors.Is(err, context.Canceled) {
+			fmt.Fprintln(os.Stderr, "rampage-sim: interrupted")
+			os.Exit(130)
+		}
 		fatal(err)
 	}
 	if *format == "json" {
@@ -115,7 +129,7 @@ func main() {
 // replayFile runs a binary trace file through a machine directly (no
 // scheduler, references in file order) and prints the report.
 func replayFile(path, system string, mhz, size, seed uint64, format string, snapEvery uint64) error {
-	kind, err := parseSystem(system)
+	kind, err := harness.ParseSystemKind(system)
 	if err != nil {
 		return err
 	}
@@ -164,34 +178,6 @@ func replayFile(path, system string, mhz, size, seed uint64, format string, snap
 	}
 	fmt.Print(machine.Report().String())
 	return nil
-}
-
-func scaleConfig(name string) (harness.Config, error) {
-	switch name {
-	case "quick":
-		return harness.QuickScaled(), nil
-	case "default":
-		return harness.DefaultScaled(), nil
-	case "full":
-		return harness.FullScale(), nil
-	default:
-		return harness.Config{}, fmt.Errorf("unknown scale %q (want quick, default or full)", name)
-	}
-}
-
-func parseSystem(name string) (harness.SystemKind, error) {
-	switch name {
-	case "baseline", "baseline-dm", "dm":
-		return harness.BaselineDM, nil
-	case "2way", "l2-2way":
-		return harness.TwoWayL2, nil
-	case "rampage":
-		return harness.RAMpage, nil
-	case "rampage-cs", "cs":
-		return harness.RAMpageCS, nil
-	default:
-		return 0, fmt.Errorf("unknown system %q (want baseline, 2way, rampage or rampage-cs)", name)
-	}
 }
 
 func fatal(err error) {

@@ -6,35 +6,15 @@ import (
 	"rampage/internal/harness"
 )
 
-func TestParseSystem(t *testing.T) {
-	cases := map[string]harness.SystemKind{
-		"baseline":    harness.BaselineDM,
-		"baseline-dm": harness.BaselineDM,
-		"dm":          harness.BaselineDM,
-		"2way":        harness.TwoWayL2,
-		"l2-2way":     harness.TwoWayL2,
-		"rampage":     harness.RAMpage,
-		"rampage-cs":  harness.RAMpageCS,
-		"cs":          harness.RAMpageCS,
-	}
-	for name, want := range cases {
-		got, err := parseSystem(name)
-		if err != nil || got != want {
-			t.Errorf("parseSystem(%q) = (%v, %v), want %v", name, got, err, want)
-		}
-	}
-	if _, err := parseSystem("bogus"); err == nil {
-		t.Error("bogus system accepted")
-	}
-}
+// System and scale parsing moved into internal/harness (shared with
+// rampage-bench and rampage-server); the exhaustive tables live there.
+// This smoke test pins that the CLI still reaches them.
 
-func TestScaleConfig(t *testing.T) {
-	for _, name := range []string{"quick", "default", "full"} {
-		if _, err := scaleConfig(name); err != nil {
-			t.Errorf("scaleConfig(%q): %v", name, err)
-		}
+func TestSharedParsersReachable(t *testing.T) {
+	if kind, err := harness.ParseSystemKind("rampage-cs"); err != nil || kind != harness.RAMpageCS {
+		t.Errorf("ParseSystemKind(rampage-cs) = (%v, %v)", kind, err)
 	}
-	if _, err := scaleConfig("bogus"); err == nil {
+	if _, err := harness.ConfigForScale("bogus"); err == nil {
 		t.Error("bogus scale accepted")
 	}
 }

@@ -1,6 +1,7 @@
 package rampage_test
 
 import (
+	"context"
 	"fmt"
 
 	"rampage"
@@ -32,7 +33,7 @@ func ExampleFindProfile() {
 func ExampleRun() {
 	cfg := rampage.QuickScaled()
 	cfg.RefScale = 1.0 / 10000 // ~109k references: fast enough for an example
-	rep, err := rampage.Run(cfg, rampage.RunSpec{
+	rep, err := rampage.Run(context.Background(), cfg, rampage.RunSpec{
 		System:    rampage.SystemRAMpage,
 		IssueMHz:  1000,
 		SizeBytes: 1024,
@@ -40,7 +41,7 @@ func ExampleRun() {
 	if err != nil {
 		panic(err)
 	}
-	again, err := rampage.Run(cfg, rampage.RunSpec{
+	again, err := rampage.Run(context.Background(), cfg, rampage.RunSpec{
 		System:    rampage.SystemRAMpage,
 		IssueMHz:  1000,
 		SizeBytes: 1024,

@@ -12,6 +12,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -25,19 +26,19 @@ func main() {
 	fmt.Println("RAMpage at 4GHz on the Table 2 workload, starting from 128B pages:")
 	fmt.Println()
 
-	fixedWorst, err := rampage.Run(cfg, rampage.RunSpec{
+	fixedWorst, err := rampage.Run(context.Background(), cfg, rampage.RunSpec{
 		System: rampage.SystemRAMpage, IssueMHz: mhz, SizeBytes: 128,
 	})
 	if err != nil {
 		log.Fatal(err)
 	}
-	fixedBest, err := rampage.Run(cfg, rampage.RunSpec{
+	fixedBest, err := rampage.Run(context.Background(), cfg, rampage.RunSpec{
 		System: rampage.SystemRAMpage, IssueMHz: mhz, SizeBytes: 2048,
 	})
 	if err != nil {
 		log.Fatal(err)
 	}
-	adaptive, err := rampage.Run(cfg, rampage.RunSpec{
+	adaptive, err := rampage.Run(context.Background(), cfg, rampage.RunSpec{
 		System: rampage.SystemRAMpage, IssueMHz: mhz, SizeBytes: 128,
 		AdaptivePages: true,
 	})
@@ -51,7 +52,7 @@ func main() {
 
 	fmt.Println()
 	fmt.Println("And with the sequential next-page prefetcher on top:")
-	prefetch, err := rampage.Run(cfg, rampage.RunSpec{
+	prefetch, err := rampage.Run(context.Background(), cfg, rampage.RunSpec{
 		System: rampage.SystemRAMpage, IssueMHz: mhz, SizeBytes: 2048,
 		PrefetchNext: true,
 	})

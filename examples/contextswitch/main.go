@@ -9,6 +9,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -78,5 +79,5 @@ func run(issueMHz, pageBytes, sramBytes uint64, switchOnMiss bool) (*rampage.Rep
 	if err != nil {
 		return nil, err
 	}
-	return sched.Run()
+	return sched.Run(context.Background())
 }

@@ -6,6 +6,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -22,7 +23,7 @@ func main() {
 		size     = 1024 // 1 KB L2 blocks / SRAM pages
 	)
 
-	baseline, err := rampage.Run(cfg, rampage.RunSpec{
+	baseline, err := rampage.Run(context.Background(), cfg, rampage.RunSpec{
 		System:    rampage.SystemBaselineDM,
 		IssueMHz:  issueMHz,
 		SizeBytes: size,
@@ -30,7 +31,7 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	rp, err := rampage.Run(cfg, rampage.RunSpec{
+	rp, err := rampage.Run(context.Background(), cfg, rampage.RunSpec{
 		System:    rampage.SystemRAMpage,
 		IssueMHz:  issueMHz,
 		SizeBytes: size,

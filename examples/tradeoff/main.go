@@ -9,6 +9,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -41,7 +42,7 @@ func main() {
 	results := make([][]string, 0, len(systems))
 	for _, sys := range systems {
 		row := []string{sys.name}
-		grid, err := rampage.Sweep(cfg, sys.kind, rates, sizes, sys.kind == rampage.SystemRAMpageCS || sys.kind == rampage.SystemTwoWayL2)
+		grid, err := rampage.Sweep(context.Background(), cfg, sys.kind, rates, sizes, sys.kind == rampage.SystemRAMpageCS || sys.kind == rampage.SystemTwoWayL2)
 		if err != nil {
 			log.Fatal(err)
 		}

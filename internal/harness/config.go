@@ -7,6 +7,9 @@ package harness
 
 import (
 	"fmt"
+	"math"
+	"strconv"
+	"strings"
 
 	"rampage/internal/core"
 	"rampage/internal/mem"
@@ -66,6 +69,11 @@ type Config struct {
 	// bit-identical). A metrics.Collector is not safe for concurrent
 	// use, so Sweep ignores this field — observers are per-run only.
 	Observer metrics.Observer
+	// CellDone, when non-nil, is invoked by Sweep once per completed
+	// grid cell, from the worker goroutines — it must be safe for
+	// concurrent use. The experiment service uses it for job progress;
+	// it never influences results and is excluded from cache keys.
+	CellDone func()
 
 	// profiles, when non-nil, replaces the Table 2 profile set (used by
 	// the phased-workload experiment).
@@ -116,18 +124,93 @@ func QuickScaled() Config {
 	}
 }
 
-// Validate checks the configuration.
+// Validate checks the configuration, returning a descriptive error for
+// every way a Config can be malformed (zero or negative scales, broken
+// capacities, unknown profiles) instead of letting the machine layers
+// panic or silently default.
 func (c Config) Validate() error {
 	if c.RefScale <= 0 || c.SizeScale <= 0 {
-		return fmt.Errorf("harness: scales must be positive")
+		return fmt.Errorf("harness: scales must be positive (RefScale=%g, SizeScale=%g)", c.RefScale, c.SizeScale)
+	}
+	if math.IsNaN(c.RefScale) || math.IsInf(c.RefScale, 0) ||
+		math.IsNaN(c.SizeScale) || math.IsInf(c.SizeScale, 0) {
+		return fmt.Errorf("harness: scales must be finite (RefScale=%g, SizeScale=%g)", c.RefScale, c.SizeScale)
 	}
 	if c.L2Bytes == 0 || !mem.IsPow2(c.L2Bytes) {
-		return fmt.Errorf("harness: L2 size %d is not a power of two", c.L2Bytes)
+		return fmt.Errorf("harness: L2 size %d is not a positive power of two", c.L2Bytes)
+	}
+	if c.DRAMBytes != 0 && !mem.IsPow2(c.DRAMBytes) {
+		return fmt.Errorf("harness: DRAM size %d is not a power of two", c.DRAMBytes)
 	}
 	if c.Quantum == 0 {
-		return fmt.Errorf("harness: zero quantum")
+		return fmt.Errorf("harness: zero scheduling quantum (references per time slice)")
+	}
+	if c.Processes < 0 {
+		return fmt.Errorf("harness: negative process count %d", c.Processes)
+	}
+	if c.Workers < 0 {
+		return fmt.Errorf("harness: negative sweep worker count %d", c.Workers)
+	}
+	if c.ProfileName != "" && c.profiles == nil {
+		if _, ok := synth.FindProfile(c.ProfileName); !ok {
+			return fmt.Errorf("harness: unknown profile %q (see Table2 for the workload inventory)", c.ProfileName)
+		}
 	}
 	return nil
+}
+
+// ScaleNames lists the named configurations ConfigForScale accepts.
+var ScaleNames = []string{"quick", "default", "full"}
+
+// ConfigForScale maps a workload-scale name shared by the CLIs and the
+// experiment service ("quick", "default", "full") to its configuration.
+func ConfigForScale(name string) (Config, error) {
+	switch name {
+	case "quick":
+		return QuickScaled(), nil
+	case "default":
+		return DefaultScaled(), nil
+	case "full":
+		return FullScale(), nil
+	default:
+		return Config{}, fmt.Errorf("harness: unknown scale %q (want quick, default or full)", name)
+	}
+}
+
+// ParseSystemKind maps the user-facing system names (CLI flags, API
+// requests) to a SystemKind, accepting the short aliases the CLIs have
+// always taken.
+func ParseSystemKind(name string) (SystemKind, error) {
+	switch name {
+	case "baseline", "baseline-dm", "dm":
+		return BaselineDM, nil
+	case "2way", "l2-2way":
+		return TwoWayL2, nil
+	case "rampage":
+		return RAMpage, nil
+	case "rampage-cs", "cs":
+		return RAMpageCS, nil
+	default:
+		return 0, fmt.Errorf("harness: unknown system %q (want baseline, 2way, rampage or rampage-cs)", name)
+	}
+}
+
+// ParseGridList parses a comma-separated list of issue rates or sizes
+// ("200,400,800"); an empty string selects the paper default (nil).
+func ParseGridList(s string) ([]uint64, error) {
+	if s == "" {
+		return nil, nil
+	}
+	parts := strings.Split(s, ",")
+	out := make([]uint64, 0, len(parts))
+	for _, part := range parts {
+		v, err := strconv.ParseUint(strings.TrimSpace(part), 10, 64)
+		if err != nil {
+			return nil, fmt.Errorf("harness: bad grid value %q: %w", part, err)
+		}
+		out = append(out, v)
+	}
+	return out, nil
 }
 
 // SRAMBytes returns the RAMpage SRAM capacity for a given page size:

@@ -2,6 +2,7 @@ package harness
 
 import (
 	"bytes"
+	"context"
 	"encoding/csv"
 	"strconv"
 	"strings"
@@ -12,7 +13,7 @@ func TestWriteSweepCSV(t *testing.T) {
 	cfg := tinyConfig()
 	rates := []uint64{200, 4000}
 	sizes := []uint64{512, 2048}
-	grid, err := Sweep(cfg, RAMpage, rates, sizes, false)
+	grid, err := Sweep(context.Background(), cfg, RAMpage, rates, sizes, false)
 	if err != nil {
 		t.Fatal(err)
 	}

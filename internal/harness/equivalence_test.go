@@ -1,6 +1,7 @@
 package harness
 
 import (
+	"context"
 	"fmt"
 	"reflect"
 	"testing"
@@ -23,12 +24,12 @@ var equivSpecs = []RunSpec{
 func runBothPaths(t *testing.T, cfg Config, spec RunSpec) {
 	t.Helper()
 	cfg.DisableBatching = true
-	perRef, err := Run(cfg, spec)
+	perRef, err := Run(context.Background(), cfg, spec)
 	if err != nil {
 		t.Fatalf("per-ref run: %v", err)
 	}
 	cfg.DisableBatching = false
-	batched, err := Run(cfg, spec)
+	batched, err := Run(context.Background(), cfg, spec)
 	if err != nil {
 		t.Fatalf("batched run: %v", err)
 	}
@@ -92,13 +93,13 @@ func TestSweepPreloadEquivalence(t *testing.T) {
 	cfg := tinyConfig()
 	rates := []uint64{1000, 4000}
 	sizes := []uint64{128, 1024}
-	grid, err := Sweep(cfg, RAMpageCS, rates, sizes, true)
+	grid, err := Sweep(context.Background(), cfg, RAMpageCS, rates, sizes, true)
 	if err != nil {
 		t.Fatal(err)
 	}
 	for i, rate := range rates {
 		for j, size := range sizes {
-			direct, err := Run(cfg, RunSpec{System: RAMpageCS, IssueMHz: rate, SizeBytes: size, SwitchTrace: true})
+			direct, err := Run(context.Background(), cfg, RunSpec{System: RAMpageCS, IssueMHz: rate, SizeBytes: size, SwitchTrace: true})
 			if err != nil {
 				t.Fatal(err)
 			}

@@ -1,6 +1,7 @@
 package harness
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"strings"
@@ -20,7 +21,7 @@ type Experiment struct {
 	Title string
 	// Run executes the experiment under cfg with the given issue-rate
 	// and size sweeps (empty slices select the paper defaults).
-	Run func(cfg Config, rates, sizes []uint64) (string, error)
+	Run func(ctx context.Context, cfg Config, rates, sizes []uint64) (string, error)
 }
 
 // Experiments returns the registry, in paper order.
@@ -68,13 +69,13 @@ func defSizes(sizes []uint64) []uint64 {
 
 // --- Table 1 ---
 
-func runTable1(Config, []uint64, []uint64) (string, error) {
+func runTable1(context.Context, Config, []uint64, []uint64) (string, error) {
 	return dram.FormatTable1(dram.Table1()), nil
 }
 
 // --- Table 2 ---
 
-func runTable2(cfg Config, _, _ []uint64) (string, error) {
+func runTable2(ctx context.Context, cfg Config, _, _ []uint64) (string, error) {
 	var b strings.Builder
 	fmt.Fprintf(&b, "%-12s %-36s %10s %10s\n", "program", "description", "ifetch(M)", "total(M)")
 	profiles := synth.Table2()
@@ -92,13 +93,13 @@ func runTable2(cfg Config, _, _ []uint64) (string, error) {
 
 // --- Table 3 ---
 
-func runTable3(cfg Config, rates, sizes []uint64) (string, error) {
+func runTable3(ctx context.Context, cfg Config, rates, sizes []uint64) (string, error) {
 	rates, sizes = defRates(rates), defSizes(sizes)
-	base, err := Sweep(cfg, BaselineDM, rates, sizes, false)
+	base, err := Sweep(ctx, cfg, BaselineDM, rates, sizes, false)
 	if err != nil {
 		return "", err
 	}
-	rp, err := Sweep(cfg, RAMpage, rates, sizes, false)
+	rp, err := Sweep(ctx, cfg, RAMpage, rates, sizes, false)
 	if err != nil {
 		return "", err
 	}
@@ -119,13 +120,13 @@ func runTable3(cfg Config, rates, sizes []uint64) (string, error) {
 
 // --- Table 4 ---
 
-func runTable4(cfg Config, rates, sizes []uint64) (string, error) {
+func runTable4(ctx context.Context, cfg Config, rates, sizes []uint64) (string, error) {
 	rates, sizes = defRates(rates), defSizes(sizes)
-	cs, err := Sweep(cfg, RAMpageCS, rates, sizes, true)
+	cs, err := Sweep(ctx, cfg, RAMpageCS, rates, sizes, true)
 	if err != nil {
 		return "", err
 	}
-	plain, err := Sweep(cfg, RAMpage, rates, sizes, false)
+	plain, err := Sweep(ctx, cfg, RAMpage, rates, sizes, false)
 	if err != nil {
 		return "", err
 	}
@@ -149,9 +150,9 @@ func runTable4(cfg Config, rates, sizes []uint64) (string, error) {
 
 // --- Table 5 ---
 
-func runTable5(cfg Config, rates, sizes []uint64) (string, error) {
+func runTable5(ctx context.Context, cfg Config, rates, sizes []uint64) (string, error) {
 	rates, sizes = defRates(rates), defSizes(sizes)
-	tw, err := Sweep(cfg, TwoWayL2, rates, sizes, true)
+	tw, err := Sweep(ctx, cfg, TwoWayL2, rates, sizes, true)
 	if err != nil {
 		return "", err
 	}
@@ -165,13 +166,13 @@ func runTable5(cfg Config, rates, sizes []uint64) (string, error) {
 
 // --- Figures 2 & 3 ---
 
-func runFigLevels(cfg Config, mhz uint64, sizes []uint64) (string, error) {
+func runFigLevels(ctx context.Context, cfg Config, mhz uint64, sizes []uint64) (string, error) {
 	sizes = defSizes(sizes)
-	base, err := Sweep(cfg, BaselineDM, []uint64{mhz}, sizes, false)
+	base, err := Sweep(ctx, cfg, BaselineDM, []uint64{mhz}, sizes, false)
 	if err != nil {
 		return "", err
 	}
-	rp, err := Sweep(cfg, RAMpage, []uint64{mhz}, sizes, false)
+	rp, err := Sweep(ctx, cfg, RAMpage, []uint64{mhz}, sizes, false)
 	if err != nil {
 		return "", err
 	}
@@ -209,18 +210,22 @@ func runFigLevels(cfg Config, mhz uint64, sizes []uint64) (string, error) {
 	return b.String(), nil
 }
 
-func runFig2(cfg Config, _, sizes []uint64) (string, error) { return runFigLevels(cfg, 200, sizes) }
-func runFig3(cfg Config, _, sizes []uint64) (string, error) { return runFigLevels(cfg, 4000, sizes) }
+func runFig2(ctx context.Context, cfg Config, _, sizes []uint64) (string, error) {
+	return runFigLevels(ctx, cfg, 200, sizes)
+}
+func runFig3(ctx context.Context, cfg Config, _, sizes []uint64) (string, error) {
+	return runFigLevels(ctx, cfg, 4000, sizes)
+}
 
 // --- Figure 4 ---
 
-func runFig4(cfg Config, _, sizes []uint64) (string, error) {
+func runFig4(ctx context.Context, cfg Config, _, sizes []uint64) (string, error) {
 	sizes = defSizes(sizes)
-	base, err := Sweep(cfg, BaselineDM, []uint64{1000}, sizes, false)
+	base, err := Sweep(ctx, cfg, BaselineDM, []uint64{1000}, sizes, false)
 	if err != nil {
 		return "", err
 	}
-	rp, err := Sweep(cfg, RAMpage, []uint64{1000}, sizes, false)
+	rp, err := Sweep(ctx, cfg, RAMpage, []uint64{1000}, sizes, false)
 	if err != nil {
 		return "", err
 	}
@@ -236,13 +241,13 @@ func runFig4(cfg Config, _, sizes []uint64) (string, error) {
 
 // --- Figure 5 ---
 
-func runFig5(cfg Config, rates, sizes []uint64) (string, error) {
+func runFig5(ctx context.Context, cfg Config, rates, sizes []uint64) (string, error) {
 	rates, sizes = defRates(rates), defSizes(sizes)
-	cs, err := Sweep(cfg, RAMpageCS, rates, sizes, true)
+	cs, err := Sweep(ctx, cfg, RAMpageCS, rates, sizes, true)
 	if err != nil {
 		return "", err
 	}
-	tw, err := Sweep(cfg, TwoWayL2, rates, sizes, true)
+	tw, err := Sweep(ctx, cfg, TwoWayL2, rates, sizes, true)
 	if err != nil {
 		return "", err
 	}
@@ -282,18 +287,18 @@ func relativeGrid(rates, sizes []uint64, cs, tw [][]*stats.Report, pickCS bool) 
 
 // --- Ablations ---
 
-func runBigTLB(cfg Config, rates, sizes []uint64) (string, error) {
+func runBigTLB(ctx context.Context, cfg Config, rates, sizes []uint64) (string, error) {
 	rates, sizes = defRates(rates), defSizes(sizes)
 	mhz := rates[len(rates)-1]
 	var b strings.Builder
 	b.WriteString("RAMpage run time (s) with the paper TLB (64 fully-assoc) vs a 1K-entry 2-way TLB (§6.3):\n")
 	fmt.Fprintf(&b, "%-10s %12s %12s\n", "page", "tlb-64", "tlb-1k")
 	for _, size := range sizes {
-		small, err := Run(cfg, RunSpec{System: RAMpage, IssueMHz: mhz, SizeBytes: size})
+		small, err := Run(ctx, cfg, RunSpec{System: RAMpage, IssueMHz: mhz, SizeBytes: size})
 		if err != nil {
 			return "", err
 		}
-		big, err := Run(cfg, RunSpec{System: RAMpage, IssueMHz: mhz, SizeBytes: size, TLBEntries: 1024, TLBAssoc: 2})
+		big, err := Run(ctx, cfg, RunSpec{System: RAMpage, IssueMHz: mhz, SizeBytes: size, TLBEntries: 1024, TLBAssoc: 2})
 		if err != nil {
 			return "", err
 		}
@@ -302,18 +307,18 @@ func runBigTLB(cfg Config, rates, sizes []uint64) (string, error) {
 	return b.String(), nil
 }
 
-func runPipelined(cfg Config, rates, sizes []uint64) (string, error) {
+func runPipelined(ctx context.Context, cfg Config, rates, sizes []uint64) (string, error) {
 	rates, sizes = defRates(rates), defSizes(sizes)
 	mhz := rates[len(rates)-1]
 	var b strings.Builder
 	b.WriteString("RAMpage-CS run time (s), unpipelined vs pipelined Direct Rambus (§6.3):\n")
 	fmt.Fprintf(&b, "%-10s %12s %12s\n", "page", "unpipelined", "pipelined")
 	for _, size := range sizes {
-		plain, err := Run(cfg, RunSpec{System: RAMpageCS, IssueMHz: mhz, SizeBytes: size, SwitchTrace: true})
+		plain, err := Run(ctx, cfg, RunSpec{System: RAMpageCS, IssueMHz: mhz, SizeBytes: size, SwitchTrace: true})
 		if err != nil {
 			return "", err
 		}
-		pipe, err := Run(cfg, RunSpec{System: RAMpageCS, IssueMHz: mhz, SizeBytes: size, SwitchTrace: true, PipelinedDRAM: true})
+		pipe, err := Run(ctx, cfg, RunSpec{System: RAMpageCS, IssueMHz: mhz, SizeBytes: size, SwitchTrace: true, PipelinedDRAM: true})
 		if err != nil {
 			return "", err
 		}
@@ -322,18 +327,18 @@ func runPipelined(cfg Config, rates, sizes []uint64) (string, error) {
 	return b.String(), nil
 }
 
-func runVictim(cfg Config, rates, sizes []uint64) (string, error) {
+func runVictim(ctx context.Context, cfg Config, rates, sizes []uint64) (string, error) {
 	rates, sizes = defRates(rates), defSizes(sizes)
 	mhz := rates[len(rates)-1]
 	var b strings.Builder
 	b.WriteString("Baseline direct-mapped L2 run time (s), with and without a 16-entry victim cache (§3.2):\n")
 	fmt.Fprintf(&b, "%-10s %12s %12s\n", "block", "plain", "victim")
 	for _, size := range sizes {
-		plain, err := Run(cfg, RunSpec{System: BaselineDM, IssueMHz: mhz, SizeBytes: size})
+		plain, err := Run(ctx, cfg, RunSpec{System: BaselineDM, IssueMHz: mhz, SizeBytes: size})
 		if err != nil {
 			return "", err
 		}
-		vc, err := Run(cfg, RunSpec{System: BaselineDM, IssueMHz: mhz, SizeBytes: size, VictimEntries: 16})
+		vc, err := Run(ctx, cfg, RunSpec{System: BaselineDM, IssueMHz: mhz, SizeBytes: size, VictimEntries: 16})
 		if err != nil {
 			return "", err
 		}
@@ -342,18 +347,18 @@ func runVictim(cfg Config, rates, sizes []uint64) (string, error) {
 	return b.String(), nil
 }
 
-func runBigL1(cfg Config, rates, sizes []uint64) (string, error) {
+func runBigL1(ctx context.Context, cfg Config, rates, sizes []uint64) (string, error) {
 	rates, sizes = defRates(rates), defSizes(sizes)
 	mhz := rates[len(rates)-1]
 	var b strings.Builder
 	b.WriteString("Run time (s) with the aggressive L1 of §6.3 (64KB each, 8-way):\n")
 	fmt.Fprintf(&b, "%-10s %14s %14s\n", "size", "2way-bigL1", "rampage-bigL1")
 	for _, size := range sizes {
-		tw, err := Run(cfg, RunSpec{System: TwoWayL2, IssueMHz: mhz, SizeBytes: size, SwitchTrace: true, L1Bytes: 64 << 10, L1Assoc: 8})
+		tw, err := Run(ctx, cfg, RunSpec{System: TwoWayL2, IssueMHz: mhz, SizeBytes: size, SwitchTrace: true, L1Bytes: 64 << 10, L1Assoc: 8})
 		if err != nil {
 			return "", err
 		}
-		rp, err := Run(cfg, RunSpec{System: RAMpageCS, IssueMHz: mhz, SizeBytes: size, SwitchTrace: true, L1Bytes: 64 << 10, L1Assoc: 8})
+		rp, err := Run(ctx, cfg, RunSpec{System: RAMpageCS, IssueMHz: mhz, SizeBytes: size, SwitchTrace: true, L1Bytes: 64 << 10, L1Assoc: 8})
 		if err != nil {
 			return "", err
 		}

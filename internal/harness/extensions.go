@@ -1,6 +1,7 @@
 package harness
 
 import (
+	"context"
 	"fmt"
 	"strings"
 
@@ -40,7 +41,7 @@ func extensionExperiments() []Experiment {
 // with page size to about 25-million references" (at 4 KB). The
 // absolute counts scale with the configuration; the ~2x ratio between
 // the ends of the sweep is the reproduction target.
-func runWarmup(cfg Config, rates, sizes []uint64) (string, error) {
+func runWarmup(ctx context.Context, cfg Config, rates, sizes []uint64) (string, error) {
 	sizes = defSizes(sizes)
 	var b strings.Builder
 	b.WriteString("References until every SRAM page frame is occupied (§4.2 warm-up):\n")
@@ -135,7 +136,7 @@ func PhasedTable2() []synth.Profile {
 	return profiles
 }
 
-func runPhased(cfg Config, rates, sizes []uint64) (string, error) {
+func runPhased(ctx context.Context, cfg Config, rates, sizes []uint64) (string, error) {
 	rates, sizes = defRates(rates), defSizes(sizes)
 	mhz := rates[len(rates)-1]
 	phasedCfg := cfg
@@ -146,7 +147,7 @@ func runPhased(cfg Config, rates, sizes []uint64) (string, error) {
 	fmt.Fprintf(&b, "%-14s %12s\n", "config", "seconds")
 	var best float64
 	for _, size := range sizes {
-		rep, err := Run(phasedCfg, RunSpec{System: RAMpage, IssueMHz: mhz, SizeBytes: size})
+		rep, err := Run(ctx, phasedCfg, RunSpec{System: RAMpage, IssueMHz: mhz, SizeBytes: size})
 		if err != nil {
 			return "", err
 		}
@@ -155,7 +156,7 @@ func runPhased(cfg Config, rates, sizes []uint64) (string, error) {
 		}
 		fmt.Fprintf(&b, "fixed %-8s %12.4f\n", mem.FormatSize(size), rep.Seconds())
 	}
-	adaptive, err := Run(phasedCfg, RunSpec{System: RAMpage, IssueMHz: mhz, SizeBytes: sizes[0], AdaptivePages: true})
+	adaptive, err := Run(ctx, phasedCfg, RunSpec{System: RAMpage, IssueMHz: mhz, SizeBytes: sizes[0], AdaptivePages: true})
 	if err != nil {
 		return "", err
 	}
@@ -164,7 +165,7 @@ func runPhased(cfg Config, rates, sizes []uint64) (string, error) {
 	return b.String(), nil
 }
 
-func runBanked(cfg Config, rates, sizes []uint64) (string, error) {
+func runBanked(ctx context.Context, cfg Config, rates, sizes []uint64) (string, error) {
 	rates, sizes = defRates(rates), defSizes(sizes)
 	mhz := rates[len(rates)-1]
 	var b strings.Builder
@@ -173,19 +174,19 @@ func runBanked(cfg Config, rates, sizes []uint64) (string, error) {
 	b.WriteString("with DRAM-page locality gain; transfers spanning rows pay per row.\n")
 	fmt.Fprintf(&b, "%-10s %12s %12s %12s %12s\n", "size", "base-flat", "base-banked", "rp-flat", "rp-banked")
 	for _, size := range sizes {
-		bf, err := Run(cfg, RunSpec{System: BaselineDM, IssueMHz: mhz, SizeBytes: size})
+		bf, err := Run(ctx, cfg, RunSpec{System: BaselineDM, IssueMHz: mhz, SizeBytes: size})
 		if err != nil {
 			return "", err
 		}
-		bb, err := Run(cfg, RunSpec{System: BaselineDM, IssueMHz: mhz, SizeBytes: size, BankedDRAM: true})
+		bb, err := Run(ctx, cfg, RunSpec{System: BaselineDM, IssueMHz: mhz, SizeBytes: size, BankedDRAM: true})
 		if err != nil {
 			return "", err
 		}
-		rf, err := Run(cfg, RunSpec{System: RAMpage, IssueMHz: mhz, SizeBytes: size})
+		rf, err := Run(ctx, cfg, RunSpec{System: RAMpage, IssueMHz: mhz, SizeBytes: size})
 		if err != nil {
 			return "", err
 		}
-		rb, err := Run(cfg, RunSpec{System: RAMpage, IssueMHz: mhz, SizeBytes: size, BankedDRAM: true})
+		rb, err := Run(ctx, cfg, RunSpec{System: RAMpage, IssueMHz: mhz, SizeBytes: size, BankedDRAM: true})
 		if err != nil {
 			return "", err
 		}
@@ -195,7 +196,7 @@ func runBanked(cfg Config, rates, sizes []uint64) (string, error) {
 	return b.String(), nil
 }
 
-func runChannels(cfg Config, rates, sizes []uint64) (string, error) {
+func runChannels(ctx context.Context, cfg Config, rates, sizes []uint64) (string, error) {
 	rates, sizes = defRates(rates), defSizes(sizes)
 	mhz := rates[len(rates)-1]
 	var b strings.Builder
@@ -206,7 +207,7 @@ func runChannels(cfg Config, rates, sizes []uint64) (string, error) {
 	for _, size := range sizes {
 		fmt.Fprintf(&b, "%-10s", mem.FormatSize(size))
 		for _, ch := range []int{1, 2, 4} {
-			rep, err := Run(cfg, RunSpec{System: RAMpage, IssueMHz: mhz, SizeBytes: size, DRAMChannels: ch})
+			rep, err := Run(ctx, cfg, RunSpec{System: RAMpage, IssueMHz: mhz, SizeBytes: size, DRAMChannels: ch})
 			if err != nil {
 				return "", err
 			}
@@ -217,7 +218,7 @@ func runChannels(cfg Config, rates, sizes []uint64) (string, error) {
 	return b.String(), nil
 }
 
-func runPrefetch(cfg Config, rates, sizes []uint64) (string, error) {
+func runPrefetch(ctx context.Context, cfg Config, rates, sizes []uint64) (string, error) {
 	rates, sizes = defRates(rates), defSizes(sizes)
 	mhz := rates[len(rates)-1]
 	var b strings.Builder
@@ -225,11 +226,11 @@ func runPrefetch(cfg Config, rates, sizes []uint64) (string, error) {
 	b.WriteString("\"Prefetch could be added to RAMpage\"). Hits/issued shows accuracy.\n")
 	fmt.Fprintf(&b, "%-10s %12s %12s %10s %14s\n", "page", "demand", "prefetch", "speedup", "hits/issued")
 	for _, size := range sizes {
-		plain, err := Run(cfg, RunSpec{System: RAMpage, IssueMHz: mhz, SizeBytes: size})
+		plain, err := Run(ctx, cfg, RunSpec{System: RAMpage, IssueMHz: mhz, SizeBytes: size})
 		if err != nil {
 			return "", err
 		}
-		pf, err := Run(cfg, RunSpec{System: RAMpage, IssueMHz: mhz, SizeBytes: size, PrefetchNext: true})
+		pf, err := Run(ctx, cfg, RunSpec{System: RAMpage, IssueMHz: mhz, SizeBytes: size, PrefetchNext: true})
 		if err != nil {
 			return "", err
 		}
@@ -243,7 +244,7 @@ func runPrefetch(cfg Config, rates, sizes []uint64) (string, error) {
 	return b.String(), nil
 }
 
-func runSDRAM(cfg Config, rates, sizes []uint64) (string, error) {
+func runSDRAM(ctx context.Context, cfg Config, rates, sizes []uint64) (string, error) {
 	rates, sizes = defRates(rates), defSizes(sizes)
 	mhz := rates[len(rates)-1]
 	var b strings.Builder
@@ -253,11 +254,11 @@ func runSDRAM(cfg Config, rates, sizes []uint64) (string, error) {
 	b.WriteString("claim that its Rambus model matches an SDRAM implementation.\n")
 	fmt.Fprintf(&b, "%-10s %12s %12s\n", "page", "rambus", "sdram")
 	for _, size := range sizes {
-		rambus, err := Run(cfg, RunSpec{System: RAMpage, IssueMHz: mhz, SizeBytes: size})
+		rambus, err := Run(ctx, cfg, RunSpec{System: RAMpage, IssueMHz: mhz, SizeBytes: size})
 		if err != nil {
 			return "", err
 		}
-		sdram, err := Run(cfg, RunSpec{System: RAMpage, IssueMHz: mhz, SizeBytes: size, SDRAM: true})
+		sdram, err := Run(ctx, cfg, RunSpec{System: RAMpage, IssueMHz: mhz, SizeBytes: size, SDRAM: true})
 		if err != nil {
 			return "", err
 		}
@@ -266,7 +267,7 @@ func runSDRAM(cfg Config, rates, sizes []uint64) (string, error) {
 	return b.String(), nil
 }
 
-func runThreads(cfg Config, rates, sizes []uint64) (string, error) {
+func runThreads(ctx context.Context, cfg Config, rates, sizes []uint64) (string, error) {
 	rates, sizes = defRates(rates), defSizes(sizes)
 	mhz := rates[len(rates)-1]
 	var b strings.Builder
@@ -276,11 +277,11 @@ func runThreads(cfg Config, rates, sizes []uint64) (string, error) {
 		synth.ThreadSwitchRefCount())
 	fmt.Fprintf(&b, "%-10s %12s %12s %10s\n", "page", "process", "thread", "speedup")
 	for _, size := range sizes {
-		proc, err := Run(cfg, RunSpec{System: RAMpageCS, IssueMHz: mhz, SizeBytes: size, SwitchTrace: true})
+		proc, err := Run(ctx, cfg, RunSpec{System: RAMpageCS, IssueMHz: mhz, SizeBytes: size, SwitchTrace: true})
 		if err != nil {
 			return "", err
 		}
-		thr, err := Run(cfg, RunSpec{System: RAMpageCS, IssueMHz: mhz, SizeBytes: size, SwitchTrace: true, LightweightThreads: true})
+		thr, err := Run(ctx, cfg, RunSpec{System: RAMpageCS, IssueMHz: mhz, SizeBytes: size, SwitchTrace: true, LightweightThreads: true})
 		if err != nil {
 			return "", err
 		}
@@ -290,7 +291,7 @@ func runThreads(cfg Config, rates, sizes []uint64) (string, error) {
 	return b.String(), nil
 }
 
-func runAdaptive(cfg Config, rates, sizes []uint64) (string, error) {
+func runAdaptive(ctx context.Context, cfg Config, rates, sizes []uint64) (string, error) {
 	rates, sizes = defRates(rates), defSizes(sizes)
 	var b strings.Builder
 	b.WriteString("Dynamic SRAM page sizing (§6.2): a hill-climbing controller\n")
@@ -298,13 +299,13 @@ func runAdaptive(cfg Config, rates, sizes []uint64) (string, error) {
 	b.WriteString("paying a full SRAM flush for every probe.\n")
 	fmt.Fprintf(&b, "%-8s %14s %14s %14s %9s\n", "issue", "fixed-128B", "fixed-best", "adaptive", "resizes")
 	for _, mhz := range rates {
-		worst, err := Run(cfg, RunSpec{System: RAMpage, IssueMHz: mhz, SizeBytes: sizes[0]})
+		worst, err := Run(ctx, cfg, RunSpec{System: RAMpage, IssueMHz: mhz, SizeBytes: sizes[0]})
 		if err != nil {
 			return "", err
 		}
 		var best *struct{ s float64 }
 		for _, size := range sizes {
-			r, err := Run(cfg, RunSpec{System: RAMpage, IssueMHz: mhz, SizeBytes: size})
+			r, err := Run(ctx, cfg, RunSpec{System: RAMpage, IssueMHz: mhz, SizeBytes: size})
 			if err != nil {
 				return "", err
 			}
@@ -312,7 +313,7 @@ func runAdaptive(cfg Config, rates, sizes []uint64) (string, error) {
 				best = &struct{ s float64 }{r.Seconds()}
 			}
 		}
-		adaptive, err := Run(cfg, RunSpec{System: RAMpage, IssueMHz: mhz, SizeBytes: sizes[0], AdaptivePages: true})
+		adaptive, err := Run(ctx, cfg, RunSpec{System: RAMpage, IssueMHz: mhz, SizeBytes: sizes[0], AdaptivePages: true})
 		if err != nil {
 			return "", err
 		}
@@ -322,7 +323,7 @@ func runAdaptive(cfg Config, rates, sizes []uint64) (string, error) {
 	return b.String(), nil
 }
 
-func runPerBench(cfg Config, rates, sizes []uint64) (string, error) {
+func runPerBench(ctx context.Context, cfg Config, rates, sizes []uint64) (string, error) {
 	sizes = defSizes(sizes)
 	var b strings.Builder
 	b.WriteString("Per-program optimal RAMpage page size at 1GHz (§6.3: \"variation can\n")
@@ -338,7 +339,7 @@ func runPerBench(cfg Config, rates, sizes []uint64) (string, error) {
 		fmt.Fprintf(&b, "%-12s", p.Name)
 		bestIdx, bestMS := 0, 0.0
 		for j, size := range sizes {
-			rep, err := Run(pcfg, RunSpec{System: RAMpage, IssueMHz: 1000, SizeBytes: size})
+			rep, err := Run(ctx, pcfg, RunSpec{System: RAMpage, IssueMHz: 1000, SizeBytes: size})
 			if err != nil {
 				return "", err
 			}

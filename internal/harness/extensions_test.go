@@ -1,13 +1,14 @@
 package harness
 
 import (
+	"context"
 	"strings"
 	"testing"
 )
 
 func TestRunSDRAMSpec(t *testing.T) {
 	cfg := tinyConfig()
-	rep, err := Run(cfg, RunSpec{System: RAMpage, IssueMHz: 1000, SizeBytes: 1024, SDRAM: true})
+	rep, err := Run(context.Background(), cfg, RunSpec{System: RAMpage, IssueMHz: 1000, SizeBytes: 1024, SDRAM: true})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -19,7 +20,7 @@ func TestRunSDRAMSpec(t *testing.T) {
 	// multiple transfers the two hierarchies are cycle-identical —
 	// which is exactly the paper's claim that its Rambus model "has
 	// similar characteristics to an SDRAM implementation".
-	rambus, err := Run(cfg, RunSpec{System: RAMpage, IssueMHz: 1000, SizeBytes: 1024})
+	rambus, err := Run(context.Background(), cfg, RunSpec{System: RAMpage, IssueMHz: 1000, SizeBytes: 1024})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -32,7 +33,7 @@ func TestRunSDRAMSpec(t *testing.T) {
 func TestRunAdaptiveSpec(t *testing.T) {
 	cfg := QuickScaled()
 	cfg.RefScale = 1.0 / 2000
-	rep, err := Run(cfg, RunSpec{System: RAMpage, IssueMHz: 1000, SizeBytes: 128, AdaptivePages: true})
+	rep, err := Run(context.Background(), cfg, RunSpec{System: RAMpage, IssueMHz: 1000, SizeBytes: 128, AdaptivePages: true})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -46,18 +47,18 @@ func TestRunAdaptiveSpec(t *testing.T) {
 
 func TestRunAdaptiveIncompatibleWithCS(t *testing.T) {
 	cfg := tinyConfig()
-	if _, err := Run(cfg, RunSpec{System: RAMpageCS, IssueMHz: 1000, SizeBytes: 128, AdaptivePages: true}); err == nil {
+	if _, err := Run(context.Background(), cfg, RunSpec{System: RAMpageCS, IssueMHz: 1000, SizeBytes: 128, AdaptivePages: true}); err == nil {
 		t.Error("adaptive + switch-on-miss accepted")
 	}
 }
 
 func TestRunLightweightThreads(t *testing.T) {
 	cfg := tinyConfig()
-	proc, err := Run(cfg, RunSpec{System: RAMpageCS, IssueMHz: 4000, SizeBytes: 1024, SwitchTrace: true})
+	proc, err := Run(context.Background(), cfg, RunSpec{System: RAMpageCS, IssueMHz: 4000, SizeBytes: 1024, SwitchTrace: true})
 	if err != nil {
 		t.Fatal(err)
 	}
-	thr, err := Run(cfg, RunSpec{System: RAMpageCS, IssueMHz: 4000, SizeBytes: 1024, SwitchTrace: true, LightweightThreads: true})
+	thr, err := Run(context.Background(), cfg, RunSpec{System: RAMpageCS, IssueMHz: 4000, SizeBytes: 1024, SwitchTrace: true, LightweightThreads: true})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -103,7 +104,7 @@ func TestExtensionExperimentsRunTiny(t *testing.T) {
 	sizes := []uint64{256, 2048}
 	for _, id := range []string{"sdram", "threads", "adaptive"} {
 		e, _ := FindExperiment(id)
-		out, err := e.Run(cfg, rates, sizes)
+		out, err := e.Run(context.Background(), cfg, rates, sizes)
 		if err != nil {
 			t.Errorf("%s: %v", id, err)
 			continue
@@ -117,7 +118,7 @@ func TestExtensionExperimentsRunTiny(t *testing.T) {
 	}
 	// perbench runs 18 programs x sizes; use one size to keep it quick.
 	e, _ := FindExperiment("perbench")
-	out, err := e.Run(cfg, nil, []uint64{1024})
+	out, err := e.Run(context.Background(), cfg, nil, []uint64{1024})
 	if err != nil {
 		t.Fatalf("perbench: %v", err)
 	}
@@ -138,7 +139,7 @@ func TestVerdictAllClaimsPass(t *testing.T) {
 	if !ok {
 		t.Fatal("verdict experiment missing")
 	}
-	out, err := e.Run(QuickScaled(), nil, nil)
+	out, err := e.Run(context.Background(), QuickScaled(), nil, nil)
 	if err != nil {
 		t.Fatal(err)
 	}

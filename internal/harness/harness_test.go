@@ -1,6 +1,7 @@
 package harness
 
 import (
+	"context"
 	"strings"
 	"testing"
 )
@@ -10,24 +11,6 @@ func tinyConfig() Config {
 	cfg := QuickScaled()
 	cfg.RefScale = 1.0 / 10000
 	return cfg
-}
-
-func TestConfigValidate(t *testing.T) {
-	for _, cfg := range []Config{DefaultScaled(), FullScale(), QuickScaled()} {
-		if err := cfg.Validate(); err != nil {
-			t.Errorf("stock config rejected: %v", err)
-		}
-	}
-	bad := DefaultScaled()
-	bad.RefScale = 0
-	if err := bad.Validate(); err == nil {
-		t.Error("zero RefScale accepted")
-	}
-	bad = DefaultScaled()
-	bad.L2Bytes = 3 << 10
-	if err := bad.Validate(); err == nil {
-		t.Error("non-power-of-two L2 accepted")
-	}
 }
 
 func TestSRAMBytes(t *testing.T) {
@@ -70,7 +53,7 @@ func TestReaders(t *testing.T) {
 func TestRunAllSystems(t *testing.T) {
 	cfg := tinyConfig()
 	for _, sys := range []SystemKind{BaselineDM, TwoWayL2, RAMpage, RAMpageCS} {
-		rep, err := Run(cfg, RunSpec{System: sys, IssueMHz: 1000, SizeBytes: 512, SwitchTrace: true})
+		rep, err := Run(context.Background(), cfg, RunSpec{System: sys, IssueMHz: 1000, SizeBytes: 512, SwitchTrace: true})
 		if err != nil {
 			t.Fatalf("%s: %v", sys, err)
 		}
@@ -83,11 +66,11 @@ func TestRunAllSystems(t *testing.T) {
 func TestRunDeterministic(t *testing.T) {
 	cfg := tinyConfig()
 	spec := RunSpec{System: RAMpageCS, IssueMHz: 2000, SizeBytes: 1024, SwitchTrace: true}
-	a, err := Run(cfg, spec)
+	a, err := Run(context.Background(), cfg, spec)
 	if err != nil {
 		t.Fatal(err)
 	}
-	b, err := Run(cfg, spec)
+	b, err := Run(context.Background(), cfg, spec)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -98,7 +81,7 @@ func TestRunDeterministic(t *testing.T) {
 
 func TestSweepAndBest(t *testing.T) {
 	cfg := tinyConfig()
-	grid, err := Sweep(cfg, BaselineDM, []uint64{200, 4000}, []uint64{256, 1024}, false)
+	grid, err := Sweep(context.Background(), cfg, BaselineDM, []uint64{200, 4000}, []uint64{256, 1024}, false)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -144,7 +127,7 @@ func TestExperimentRegistry(t *testing.T) {
 
 func TestTable1Experiment(t *testing.T) {
 	e, _ := FindExperiment("table1")
-	out, err := e.Run(tinyConfig(), nil, nil)
+	out, err := e.Run(context.Background(), tinyConfig(), nil, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -155,7 +138,7 @@ func TestTable1Experiment(t *testing.T) {
 
 func TestTable2Experiment(t *testing.T) {
 	e, _ := FindExperiment("table2")
-	out, err := e.Run(tinyConfig(), nil, nil)
+	out, err := e.Run(context.Background(), tinyConfig(), nil, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -174,7 +157,7 @@ func TestAllSimulationExperimentsRunTiny(t *testing.T) {
 	rates := []uint64{200, 4000}
 	sizes := []uint64{256, 2048}
 	for _, e := range Experiments() {
-		out, err := e.Run(cfg, rates, sizes)
+		out, err := e.Run(context.Background(), cfg, rates, sizes)
 		if err != nil {
 			t.Errorf("%s: %v", e.ID, err)
 			continue
@@ -197,11 +180,11 @@ func TestShapeRAMpageVsBaseline(t *testing.T) {
 	sizes := []uint64{128, 1024, 4096}
 	gains := map[uint64]float64{}
 	for _, mhz := range []uint64{200, 4000} {
-		base, err := Sweep(cfg, BaselineDM, []uint64{mhz}, sizes, false)
+		base, err := Sweep(context.Background(), cfg, BaselineDM, []uint64{mhz}, sizes, false)
 		if err != nil {
 			t.Fatal(err)
 		}
-		rp, err := Sweep(cfg, RAMpage, []uint64{mhz}, sizes, false)
+		rp, err := Sweep(context.Background(), cfg, RAMpage, []uint64{mhz}, sizes, false)
 		if err != nil {
 			t.Fatal(err)
 		}

@@ -1,6 +1,7 @@
 package harness
 
 import (
+	"context"
 	"encoding/json"
 	"fmt"
 	"io"
@@ -167,10 +168,37 @@ func HasJSONForm(id string) bool {
 	return ok
 }
 
+// normalizeExperimentGrid applies the experiment's sweep shape to a
+// requested grid: the paper defaults for empty slices and the figure
+// experiments' fixed issue rate. Unknown experiments pass through with
+// only the defaults applied.
+func normalizeExperimentGrid(id string, rates, sizes []uint64) ([]uint64, []uint64) {
+	if shape, ok := jsonExperiments[id]; ok && shape.fixedMHz != 0 {
+		rates = []uint64{shape.fixedMHz}
+	} else {
+		rates = defRates(rates)
+	}
+	return rates, defSizes(sizes)
+}
+
+// ExperimentCells returns the total number of simulation grid cells
+// BuildExperimentDoc will run for the experiment (systems × rates ×
+// sizes), for job-progress accounting. ok is false when the experiment
+// has no JSON form.
+func ExperimentCells(id string, rates, sizes []uint64) (int, bool) {
+	shape, ok := jsonExperiments[id]
+	if !ok {
+		return 0, false
+	}
+	rates, sizes = normalizeExperimentGrid(id, rates, sizes)
+	return len(shape.systems) * len(rates) * len(sizes), true
+}
+
 // BuildExperimentDoc runs an experiment's sweeps and returns the
 // versioned JSON document. It supports the sweep-structured experiments
 // (table3, table4, table5, fig2, fig3, fig4); others return an error.
-func BuildExperimentDoc(cfg Config, id string, rates, sizes []uint64) (ExperimentDoc, error) {
+// Cancelling ctx aborts the underlying sweeps and returns ctx.Err().
+func BuildExperimentDoc(ctx context.Context, cfg Config, id string, rates, sizes []uint64) (ExperimentDoc, error) {
 	shape, ok := jsonExperiments[id]
 	if !ok {
 		return ExperimentDoc{}, fmt.Errorf("harness: experiment %q has no JSON form", id)
@@ -179,12 +207,7 @@ func BuildExperimentDoc(cfg Config, id string, rates, sizes []uint64) (Experimen
 	if !ok {
 		return ExperimentDoc{}, fmt.Errorf("harness: unknown experiment %q", id)
 	}
-	if shape.fixedMHz != 0 {
-		rates = []uint64{shape.fixedMHz}
-	} else {
-		rates = defRates(rates)
-	}
-	sizes = defSizes(sizes)
+	rates, sizes = normalizeExperimentGrid(id, rates, sizes)
 	doc := ExperimentDoc{
 		Version:    ReportVersion,
 		Kind:       "experiment",
@@ -195,7 +218,7 @@ func BuildExperimentDoc(cfg Config, id string, rates, sizes []uint64) (Experimen
 	}
 	for i, system := range shape.systems {
 		st := shape.switchTrace[i]
-		grid, err := Sweep(cfg, system, rates, sizes, st)
+		grid, err := Sweep(ctx, cfg, system, rates, sizes, st)
 		if err != nil {
 			return ExperimentDoc{}, err
 		}

@@ -2,6 +2,7 @@ package harness
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
 	"reflect"
 	"testing"
@@ -16,13 +17,13 @@ import (
 func TestObserverRunEquivalence(t *testing.T) {
 	cfg := tinyConfig()
 	spec := RunSpec{System: RAMpageCS, IssueMHz: 1000, SizeBytes: 512, SwitchTrace: true}
-	plain, err := Run(cfg, spec)
+	plain, err := Run(context.Background(), cfg, spec)
 	if err != nil {
 		t.Fatal(err)
 	}
 	col := metrics.NewCollector(100_000)
 	cfg.Observer = col
-	observed, err := Run(cfg, spec)
+	observed, err := Run(context.Background(), cfg, spec)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -53,7 +54,7 @@ func TestRunDocJSON(t *testing.T) {
 	cfg := tinyConfig()
 	col := metrics.NewCollector(100_000)
 	cfg.Observer = col
-	rep, err := Run(cfg, RunSpec{System: RAMpage, IssueMHz: 1000, SizeBytes: 512})
+	rep, err := Run(context.Background(), cfg, RunSpec{System: RAMpage, IssueMHz: 1000, SizeBytes: 512})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -96,7 +97,7 @@ func TestBuildExperimentDoc(t *testing.T) {
 	cfg := tinyConfig()
 	rates := []uint64{1000}
 	sizes := []uint64{512, 1024}
-	doc, err := BuildExperimentDoc(cfg, "table3", rates, sizes)
+	doc, err := BuildExperimentDoc(context.Background(), cfg, "table3", rates, sizes)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -132,7 +133,7 @@ func TestBuildExperimentDoc(t *testing.T) {
 func TestBuildExperimentDocDeterministic(t *testing.T) {
 	cfg := tinyConfig()
 	encode := func() []byte {
-		doc, err := BuildExperimentDoc(cfg, "fig4", nil, []uint64{512, 1024})
+		doc, err := BuildExperimentDoc(context.Background(), cfg, "fig4", nil, []uint64{512, 1024})
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -154,7 +155,7 @@ func TestBuildExperimentDocUnsupported(t *testing.T) {
 		if HasJSONForm(id) {
 			t.Errorf("HasJSONForm(%q) = true", id)
 		}
-		if _, err := BuildExperimentDoc(tinyConfig(), id, nil, nil); err == nil {
+		if _, err := BuildExperimentDoc(context.Background(), tinyConfig(), id, nil, nil); err == nil {
 			t.Errorf("BuildExperimentDoc(%q) succeeded, want error", id)
 		}
 	}

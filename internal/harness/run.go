@@ -1,6 +1,8 @@
 package harness
 
 import (
+	"context"
+	"fmt"
 	"runtime"
 	"sync"
 	"sync/atomic"
@@ -87,21 +89,62 @@ type RunSpec struct {
 	BankedDRAM bool
 }
 
+// Validate checks a simulation point for configuration mistakes the
+// lower layers would otherwise turn into panics or silent defaults,
+// returning a descriptive error for each.
+func (s RunSpec) Validate() error {
+	if s.System > RAMpageCS {
+		return fmt.Errorf("harness: unknown system kind %d (want baseline-dm, l2-2way, rampage or rampage-cs)", s.System)
+	}
+	if _, err := mem.NewClock(s.IssueMHz); err != nil {
+		return fmt.Errorf("harness: bad issue rate %d MHz: %w", s.IssueMHz, err)
+	}
+	if s.SizeBytes == 0 || !mem.IsPow2(s.SizeBytes) {
+		return fmt.Errorf("harness: block/page size %d is not a positive power of two", s.SizeBytes)
+	}
+	if s.VictimEntries < 0 {
+		return fmt.Errorf("harness: negative victim-cache entries %d", s.VictimEntries)
+	}
+	if s.TLBEntries < 0 || s.TLBAssoc < 0 {
+		return fmt.Errorf("harness: negative TLB geometry %d entries / %d-way", s.TLBEntries, s.TLBAssoc)
+	}
+	if s.L1Bytes != 0 && !mem.IsPow2(s.L1Bytes) {
+		return fmt.Errorf("harness: L1 size %d is not a power of two", s.L1Bytes)
+	}
+	if s.L1Assoc < 0 {
+		return fmt.Errorf("harness: negative L1 associativity %d", s.L1Assoc)
+	}
+	if s.DRAMChannels < 0 {
+		return fmt.Errorf("harness: negative DRAM channel count %d", s.DRAMChannels)
+	}
+	if s.SDRAM && s.BankedDRAM {
+		return fmt.Errorf("harness: SDRAM and BankedDRAM both set; pick one DRAM model")
+	}
+	if s.AdaptivePages && s.System != RAMpage && s.System != RAMpageCS {
+		return fmt.Errorf("harness: adaptive pages require a RAMpage system, got %s", s.System)
+	}
+	return nil
+}
+
 // Run executes one simulation point under the given configuration and
-// returns its report.
-func Run(cfg Config, spec RunSpec) (*stats.Report, error) {
+// returns its report. Cancellation of ctx stops the simulation between
+// batches and returns ctx.Err().
+func Run(ctx context.Context, cfg Config, spec RunSpec) (*stats.Report, error) {
 	readers, err := cfg.Readers()
 	if err != nil {
 		return nil, err
 	}
-	return runWithReaders(cfg, spec, readers)
+	return runWithReaders(ctx, cfg, spec, readers)
 }
 
 // runWithReaders is Run with the workload streams supplied by the
 // caller — Sweep uses it to replay one materialized workload across
 // every grid cell instead of regenerating it per cell.
-func runWithReaders(cfg Config, spec RunSpec, readers []trace.Reader) (*stats.Report, error) {
+func runWithReaders(ctx context.Context, cfg Config, spec RunSpec, readers []trace.Reader) (*stats.Report, error) {
 	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if err := spec.Validate(); err != nil {
 		return nil, err
 	}
 	params := sim.DefaultParams(spec.IssueMHz)
@@ -211,7 +254,7 @@ func runWithReaders(cfg Config, spec RunSpec, readers []trace.Reader) (*stats.Re
 	if err != nil {
 		return nil, err
 	}
-	return sched.Run()
+	return sched.Run(ctx)
 }
 
 // preloadRefsCap bounds workload materialization in Sweep: streams
@@ -263,7 +306,13 @@ func preloadWorkload(cfg Config) [][]mem.Ref {
 // The workload is generated once and replayed in every cell (each cell
 // gets fresh SliceReaders over the shared, read-only backing slices),
 // since the streams are independent of the swept parameters.
-func Sweep(cfg Config, system SystemKind, rates, sizes []uint64, switchTrace bool) ([][]*stats.Report, error) {
+// Cancelling ctx abandons unstarted cells, stops in-flight ones at the
+// next batch boundary, and returns ctx.Err().
+func Sweep(ctx context.Context, cfg Config, system SystemKind, rates, sizes []uint64, switchTrace bool) ([][]*stats.Report, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	cellDone := cfg.CellDone
 	cfg.Observer = nil // collectors are not safe across parallel cells
 	out := make([][]*stats.Report, len(rates))
 	for i := range rates {
@@ -272,13 +321,13 @@ func Sweep(cfg Config, system SystemKind, rates, sizes []uint64, switchTrace boo
 	preloaded := preloadWorkload(cfg)
 	cellRun := func(spec RunSpec) (*stats.Report, error) {
 		if preloaded == nil {
-			return Run(cfg, spec)
+			return Run(ctx, cfg, spec)
 		}
 		readers := make([]trace.Reader, len(preloaded))
 		for i, refs := range preloaded {
 			readers[i] = trace.NewSliceReader(refs)
 		}
-		return runWithReaders(cfg, spec, readers)
+		return runWithReaders(ctx, cfg, spec, readers)
 	}
 	type cell struct{ i, j int }
 	cells := make(chan cell)
@@ -303,6 +352,11 @@ func Sweep(cfg Config, system SystemKind, rates, sizes []uint64, switchTrace boo
 				if failed.Load() {
 					continue // drain remaining cells after a failure
 				}
+				if err := ctx.Err(); err != nil {
+					errOnce.Do(func() { firstErr = err })
+					failed.Store(true)
+					continue
+				}
 				rep, err := cellRun(RunSpec{
 					System:      system,
 					IssueMHz:    rates[c.i],
@@ -315,6 +369,9 @@ func Sweep(cfg Config, system SystemKind, rates, sizes []uint64, switchTrace boo
 					continue
 				}
 				out[c.i][c.j] = rep
+				if cellDone != nil {
+					cellDone()
+				}
 			}
 		}()
 	}

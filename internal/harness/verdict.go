@@ -1,6 +1,7 @@
 package harness
 
 import (
+	"context"
 	"fmt"
 	"strings"
 
@@ -21,24 +22,24 @@ type claim struct {
 // the paper's claims one by one, printing PASS/FAIL per claim. It is
 // the repository's self-test of the reproduction (EXPERIMENTS.md is
 // the prose version).
-func runVerdict(cfg Config, rates, sizes []uint64) (string, error) {
+func runVerdict(ctx context.Context, cfg Config, rates, sizes []uint64) (string, error) {
 	rates, sizes = defRates(rates), defSizes(sizes)
 	lo, hi := rates[0], rates[len(rates)-1]
 	sweepRates := []uint64{lo, hi}
 
-	base, err := Sweep(cfg, BaselineDM, sweepRates, sizes, false)
+	base, err := Sweep(ctx, cfg, BaselineDM, sweepRates, sizes, false)
 	if err != nil {
 		return "", err
 	}
-	rp, err := Sweep(cfg, RAMpage, sweepRates, sizes, false)
+	rp, err := Sweep(ctx, cfg, RAMpage, sweepRates, sizes, false)
 	if err != nil {
 		return "", err
 	}
-	cs, err := Sweep(cfg, RAMpageCS, sweepRates, sizes, true)
+	cs, err := Sweep(ctx, cfg, RAMpageCS, sweepRates, sizes, true)
 	if err != nil {
 		return "", err
 	}
-	tw, err := Sweep(cfg, TwoWayL2, sweepRates, sizes, true)
+	tw, err := Sweep(ctx, cfg, TwoWayL2, sweepRates, sizes, true)
 	if err != nil {
 		return "", err
 	}

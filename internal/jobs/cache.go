@@ -1,0 +1,108 @@
+package jobs
+
+import (
+	"container/list"
+	"sync"
+
+	"rampage/internal/metrics"
+)
+
+// Cache is the content-addressed result store: serialized report
+// documents keyed by the canonical request hash (harness.RunKey /
+// harness.ExperimentKey). Because keys cover every result-affecting
+// field and the simulator is deterministic, a cached document is
+// byte-identical to what re-running the request would produce — so the
+// cache can answer requests forever, bounded only by the byte budget.
+// Recency-ordered (LRU) eviction keeps the hot experiments resident.
+//
+// All methods are safe for concurrent use.
+type Cache struct {
+	mu     sync.Mutex
+	budget int64 // <= 0 means unlimited
+	used   int64
+	ll     *list.List // front = most recently used
+	items  map[string]*list.Element
+	stats  *metrics.ServiceStats
+}
+
+type cacheEntry struct {
+	key string
+	val []byte
+}
+
+// NewCache returns a cache that evicts least-recently-used entries
+// once stored bytes exceed budgetBytes (<= 0 disables the budget).
+// stats may be nil; evictions are counted under SvcCacheEvict.
+func NewCache(budgetBytes int64, stats *metrics.ServiceStats) *Cache {
+	return &Cache{
+		budget: budgetBytes,
+		ll:     list.New(),
+		items:  make(map[string]*list.Element),
+		stats:  stats,
+	}
+}
+
+// Get returns the cached document for a key and marks it recently
+// used. The caller owns hit/miss accounting (the jobs manager counts a
+// miss only when it actually starts a computation).
+func (c *Cache) Get(key string) ([]byte, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.items[key]
+	if !ok {
+		return nil, false
+	}
+	c.ll.MoveToFront(el)
+	return el.Value.(*cacheEntry).val, true
+}
+
+// Put stores a document under its content hash. A value larger than
+// the whole budget is not stored (it would evict everything and still
+// break the bound). Callers must not mutate val after handing it over.
+func (c *Cache) Put(key string, val []byte) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	size := int64(len(val))
+	if c.budget > 0 && size > c.budget {
+		return
+	}
+	if el, ok := c.items[key]; ok {
+		// Same key means same content, but replace anyway so a
+		// re-serialized document refreshes recency.
+		c.used += size - int64(len(el.Value.(*cacheEntry).val))
+		el.Value.(*cacheEntry).val = val
+		c.ll.MoveToFront(el)
+	} else {
+		c.items[key] = c.ll.PushFront(&cacheEntry{key: key, val: val})
+		c.used += size
+	}
+	for c.budget > 0 && c.used > c.budget && c.ll.Len() > 1 {
+		c.evictOldest()
+	}
+}
+
+func (c *Cache) evictOldest() {
+	el := c.ll.Back()
+	if el == nil {
+		return
+	}
+	ent := el.Value.(*cacheEntry)
+	c.ll.Remove(el)
+	delete(c.items, ent.key)
+	c.used -= int64(len(ent.val))
+	c.stats.Add(metrics.SvcCacheEvict, 1)
+}
+
+// Len returns the number of resident entries.
+func (c *Cache) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.ll.Len()
+}
+
+// Bytes returns the resident byte total.
+func (c *Cache) Bytes() int64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.used
+}

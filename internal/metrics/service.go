@@ -1,0 +1,101 @@
+package metrics
+
+import "sync/atomic"
+
+// ServiceCounter identifies one counter in the experiment service's
+// vocabulary. Where the Event probes record *simulated* dynamics from
+// inside a single run, service counters record *real* serving
+// dynamics — cache behaviour, queue admission, job outcomes — across
+// concurrent requests, so their collector must be thread-safe.
+type ServiceCounter uint8
+
+const (
+	// SvcCacheHit is a request answered from the content-addressed
+	// result cache; SvcCacheMiss one whose result had to be computed;
+	// SvcCacheDedup one collapsed onto an identical in-flight job
+	// (singleflight); SvcCacheEvict an entry pushed out by the byte
+	// budget.
+	SvcCacheHit ServiceCounter = iota
+	SvcCacheMiss
+	SvcCacheDedup
+	SvcCacheEvict
+	// SvcSimRuns counts jobs whose simulation actually executed — the
+	// denominator the cache counters save against.
+	SvcSimRuns
+	// SvcJobsAccepted / SvcJobsRejected count queue admissions and
+	// backpressure rejections (HTTP 429); the remaining counters are
+	// job outcomes.
+	SvcJobsAccepted
+	SvcJobsRejected
+	SvcJobsDone
+	SvcJobsFailed
+	SvcJobsCanceled
+	// NumServiceCounters is the vocabulary size.
+	NumServiceCounters
+)
+
+// String names the counter for /metricsz documents.
+func (c ServiceCounter) String() string {
+	switch c {
+	case SvcCacheHit:
+		return "cache_hits"
+	case SvcCacheMiss:
+		return "cache_misses"
+	case SvcCacheDedup:
+		return "cache_inflight_dedups"
+	case SvcCacheEvict:
+		return "cache_evictions"
+	case SvcSimRuns:
+		return "sim_runs"
+	case SvcJobsAccepted:
+		return "jobs_accepted"
+	case SvcJobsRejected:
+		return "jobs_rejected"
+	case SvcJobsDone:
+		return "jobs_done"
+	case SvcJobsFailed:
+		return "jobs_failed"
+	case SvcJobsCanceled:
+		return "jobs_canceled"
+	default:
+		return "unknown"
+	}
+}
+
+// ServiceStats is a fixed, allocation-free set of atomic counters.
+// All methods are safe for concurrent use and safe on a nil receiver
+// (a nil ServiceStats silently discards counts), so the jobs layer can
+// run with metrics detached.
+type ServiceStats struct {
+	counts [NumServiceCounters]atomic.Uint64
+}
+
+// Add increments a counter by n.
+func (s *ServiceStats) Add(c ServiceCounter, n uint64) {
+	if s == nil {
+		return
+	}
+	s.counts[c].Add(n)
+}
+
+// Get returns one counter's current value.
+func (s *ServiceStats) Get(c ServiceCounter) uint64 {
+	if s == nil {
+		return 0
+	}
+	return s.counts[c].Load()
+}
+
+// Snapshot returns all counters keyed by name, including zeros so the
+// /metricsz document has a stable field set.
+func (s *ServiceStats) Snapshot() map[string]uint64 {
+	out := make(map[string]uint64, NumServiceCounters)
+	for c := ServiceCounter(0); c < NumServiceCounters; c++ {
+		if s == nil {
+			out[c.String()] = 0
+			continue
+		}
+		out[c.String()] = s.counts[c].Load()
+	}
+	return out
+}

@@ -1,0 +1,70 @@
+package metrics
+
+import (
+	"sync"
+	"testing"
+)
+
+func TestServiceStatsBasics(t *testing.T) {
+	var s ServiceStats
+	s.Add(SvcCacheHit, 3)
+	s.Add(SvcCacheHit, 2)
+	s.Add(SvcSimRuns, 1)
+	if got := s.Get(SvcCacheHit); got != 5 {
+		t.Errorf("cache hits = %d, want 5", got)
+	}
+	snap := s.Snapshot()
+	if len(snap) != int(NumServiceCounters) {
+		t.Errorf("snapshot has %d keys, want %d (zeros included)", len(snap), NumServiceCounters)
+	}
+	if snap["cache_hits"] != 5 || snap["sim_runs"] != 1 || snap["jobs_rejected"] != 0 {
+		t.Errorf("snapshot = %v", snap)
+	}
+}
+
+func TestServiceStatsNilReceiver(t *testing.T) {
+	var s *ServiceStats
+	s.Add(SvcCacheMiss, 1) // must not panic
+	if got := s.Get(SvcCacheMiss); got != 0 {
+		t.Errorf("nil Get = %d, want 0", got)
+	}
+	if snap := s.Snapshot(); snap["cache_misses"] != 0 || len(snap) != int(NumServiceCounters) {
+		t.Errorf("nil snapshot = %v", snap)
+	}
+}
+
+func TestServiceStatsConcurrent(t *testing.T) {
+	var s ServiceStats
+	var wg sync.WaitGroup
+	const workers, per = 8, 1000
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				s.Add(SvcJobsAccepted, 1)
+			}
+		}()
+	}
+	wg.Wait()
+	if got := s.Get(SvcJobsAccepted); got != workers*per {
+		t.Errorf("concurrent adds = %d, want %d", got, workers*per)
+	}
+}
+
+func TestServiceCounterNames(t *testing.T) {
+	seen := make(map[string]bool)
+	for c := ServiceCounter(0); c < NumServiceCounters; c++ {
+		name := c.String()
+		if name == "unknown" || name == "" {
+			t.Errorf("counter %d has no name", c)
+		}
+		if seen[name] {
+			t.Errorf("duplicate counter name %q", name)
+		}
+		seen[name] = true
+	}
+	if NumServiceCounters.String() != "unknown" {
+		t.Error("out-of-range counter should be unknown")
+	}
+}

@@ -1,0 +1,547 @@
+// Package server exposes the experiment harness over HTTP: the
+// RAMpage experiment service. Requests name experiments or single
+// simulation points in the same vocabulary as the CLIs (scales,
+// system names, issue-rate/size grids); responses are the exact
+// versioned JSON documents rampage-bench and rampage-sim emit, so a
+// served table3 is byte-comparable against the committed goldens.
+//
+// The service layers the jobs manager's guarantees onto HTTP:
+// content-addressed caching (a repeated request never re-simulates),
+// singleflight (identical concurrent requests share one simulation),
+// bounded-queue backpressure (429 + Retry-After instead of unbounded
+// latency), cancellation (client disconnect or DELETE aborts the
+// underlying sweep), and graceful drain for shutdown.
+package server
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"strconv"
+	"time"
+
+	"rampage/internal/harness"
+	"rampage/internal/jobs"
+	"rampage/internal/metrics"
+)
+
+// Config sizes the service.
+type Config struct {
+	// Scales maps scale names to harness configurations. Nil selects
+	// the standard harness scales (quick, default, full); tests inject
+	// smaller ones.
+	Scales map[string]harness.Config
+	// Workers bounds concurrently running jobs (min 1). Each sweep job
+	// additionally parallelizes across its grid cells, governed by
+	// SweepParallel.
+	Workers int
+	// QueueDepth bounds accepted-but-not-running jobs (min 1); beyond
+	// it submissions get 429.
+	QueueDepth int
+	// JobTimeout bounds one job's execution (0 = unlimited).
+	JobTimeout time.Duration
+	// CacheBytes budgets the result cache (<= 0 = unlimited).
+	CacheBytes int64
+	// SweepParallel is the per-job grid parallelism (harness
+	// Config.Workers; 0 = one per CPU).
+	SweepParallel int
+	// RetryAfter is the hint returned with 429 responses (default 5s).
+	RetryAfter time.Duration
+	// Stats receives the service counters; nil allocates a private set.
+	Stats *metrics.ServiceStats
+}
+
+// Server is the HTTP experiment service.
+type Server struct {
+	cfg   Config
+	mgr   *jobs.Manager
+	stats *metrics.ServiceStats
+	mux   *http.ServeMux
+}
+
+// New builds the service and starts its worker pool. Callers must
+// Drain it on shutdown.
+func New(cfg Config) *Server {
+	if cfg.Stats == nil {
+		cfg.Stats = &metrics.ServiceStats{}
+	}
+	if cfg.RetryAfter <= 0 {
+		cfg.RetryAfter = 5 * time.Second
+	}
+	s := &Server{
+		cfg:   cfg,
+		stats: cfg.Stats,
+		mgr: jobs.NewManager(jobs.Config{
+			Workers:    cfg.Workers,
+			QueueDepth: cfg.QueueDepth,
+			JobTimeout: cfg.JobTimeout,
+			CacheBytes: cfg.CacheBytes,
+			Stats:      cfg.Stats,
+		}),
+		mux: http.NewServeMux(),
+	}
+	s.routes()
+	return s
+}
+
+func (s *Server) routes() {
+	s.mux.HandleFunc("GET /v1/experiments", s.handleListExperiments)
+	s.mux.HandleFunc("GET /v1/experiments/{id}", s.handleExperiment)
+	s.mux.HandleFunc("POST /v1/runs", s.handleRun)
+	s.mux.HandleFunc("POST /v1/jobs", s.handleSubmitJob)
+	s.mux.HandleFunc("GET /v1/jobs/{id}", s.handleJobStatus)
+	s.mux.HandleFunc("GET /v1/jobs/{id}/result", s.handleJobResult)
+	s.mux.HandleFunc("DELETE /v1/jobs/{id}", s.handleJobCancel)
+	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
+	s.mux.HandleFunc("GET /metricsz", s.handleMetricsz)
+}
+
+// Handler returns the service's HTTP handler.
+func (s *Server) Handler() http.Handler { return s.mux }
+
+// Stats exposes the counter set (tests assert on it).
+func (s *Server) Stats() *metrics.ServiceStats { return s.stats }
+
+// Drain stops admitting work and waits for in-flight jobs; if ctx
+// expires first, remaining jobs are canceled.
+func (s *Server) Drain(ctx context.Context) error { return s.mgr.Drain(ctx) }
+
+// configFor resolves a scale name and optional seed override into a
+// validated harness configuration with the service's sweep
+// parallelism applied.
+func (s *Server) configFor(scale string, seed *uint64) (harness.Config, error) {
+	if scale == "" {
+		scale = "default"
+	}
+	var cfg harness.Config
+	if s.cfg.Scales != nil {
+		c, ok := s.cfg.Scales[scale]
+		if !ok {
+			return harness.Config{}, fmt.Errorf("unknown scale %q", scale)
+		}
+		cfg = c
+	} else {
+		c, err := harness.ConfigForScale(scale)
+		if err != nil {
+			return harness.Config{}, err
+		}
+		cfg = c
+	}
+	if seed != nil {
+		cfg.Seed = *seed
+	}
+	cfg.Workers = s.cfg.SweepParallel
+	if err := cfg.Validate(); err != nil {
+		return harness.Config{}, err
+	}
+	return cfg, nil
+}
+
+// experimentRequest names one experiment sweep. Zero grids select the
+// paper defaults; the figure experiments pin their own issue rate.
+type experimentRequest struct {
+	ID         string   `json:"id"`
+	Scale      string   `json:"scale,omitempty"`
+	Seed       *uint64  `json:"seed,omitempty"`
+	RatesMHz   []uint64 `json:"rates_mhz,omitempty"`
+	SizesBytes []uint64 `json:"sizes_bytes,omitempty"`
+}
+
+// runRequest names one simulation point. Metrics additionally
+// attaches an event-probe collector (the PR-2 observer layer) for the
+// run and includes its summary in the document — the summary is as
+// deterministic as the report, so the result stays cacheable.
+type runRequest struct {
+	Scale       string  `json:"scale,omitempty"`
+	Seed        *uint64 `json:"seed,omitempty"`
+	System      string  `json:"system"`
+	IssueMHz    uint64  `json:"issue_mhz"`
+	SizeBytes   uint64  `json:"size_bytes"`
+	SwitchTrace bool    `json:"switch_trace,omitempty"`
+	Metrics     bool    `json:"metrics,omitempty"`
+}
+
+// httpError carries a status code out of request-assembly helpers.
+type httpError struct {
+	code int
+	msg  string
+}
+
+func (e *httpError) Error() string { return e.msg }
+
+func errorf(code int, format string, args ...any) *httpError {
+	return &httpError{code: code, msg: fmt.Sprintf(format, args...)}
+}
+
+// experimentJob turns an experiment request into a jobs.Request whose
+// document is byte-identical to rampage-bench -format json output.
+func (s *Server) experimentJob(req experimentRequest) (jobs.Request, error) {
+	if !harness.HasJSONForm(req.ID) {
+		if _, ok := harness.FindExperiment(req.ID); !ok {
+			return jobs.Request{}, errorf(http.StatusNotFound, "unknown experiment %q", req.ID)
+		}
+		return jobs.Request{}, errorf(http.StatusBadRequest,
+			"experiment %q has no JSON form (the service serves tables 3-5 and figs 2-4)", req.ID)
+	}
+	cfg, err := s.configFor(req.Scale, req.Seed)
+	if err != nil {
+		return jobs.Request{}, errorf(http.StatusBadRequest, "%v", err)
+	}
+	cells, _ := harness.ExperimentCells(req.ID, req.RatesMHz, req.SizesBytes)
+	id, rates, sizes := req.ID, req.RatesMHz, req.SizesBytes
+	return jobs.Request{
+		Key:   harness.ExperimentKey(cfg, id, rates, sizes),
+		Label: "experiment:" + id,
+		Cells: cells,
+		Do: func(ctx context.Context, progress func()) ([]byte, error) {
+			c := cfg
+			c.CellDone = progress
+			doc, err := harness.BuildExperimentDoc(ctx, c, id, rates, sizes)
+			if err != nil {
+				return nil, err
+			}
+			var buf bytes.Buffer
+			if err := harness.WriteJSON(&buf, doc); err != nil {
+				return nil, err
+			}
+			return buf.Bytes(), nil
+		},
+	}, nil
+}
+
+// runJob turns a run request into a jobs.Request producing the
+// rampage-sim -format json document.
+func (s *Server) runJob(req runRequest) (jobs.Request, error) {
+	cfg, err := s.configFor(req.Scale, req.Seed)
+	if err != nil {
+		return jobs.Request{}, errorf(http.StatusBadRequest, "%v", err)
+	}
+	system, err := harness.ParseSystemKind(req.System)
+	if err != nil {
+		return jobs.Request{}, errorf(http.StatusBadRequest, "%v", err)
+	}
+	spec := harness.RunSpec{
+		System:      system,
+		IssueMHz:    req.IssueMHz,
+		SizeBytes:   req.SizeBytes,
+		SwitchTrace: req.SwitchTrace,
+	}
+	if err := spec.Validate(); err != nil {
+		return jobs.Request{}, errorf(http.StatusBadRequest, "%v", err)
+	}
+	key := harness.RunKey(cfg, spec)
+	if req.Metrics {
+		// The observer never changes the report, but the document gains
+		// a metrics section, so it is a distinct cache entry.
+		key += ":metrics"
+	}
+	withMetrics := req.Metrics
+	return jobs.Request{
+		Key:   key,
+		Label: fmt.Sprintf("run:%s@%dMHz/%dB", system, spec.IssueMHz, spec.SizeBytes),
+		Cells: 1,
+		Do: func(ctx context.Context, progress func()) ([]byte, error) {
+			c := cfg
+			var col *metrics.Collector
+			if withMetrics {
+				col = metrics.NewCollector(0)
+				c.Observer = col
+			}
+			rep, err := harness.Run(ctx, c, spec)
+			if err != nil {
+				return nil, err
+			}
+			progress()
+			var buf bytes.Buffer
+			if err := harness.WriteJSON(&buf, harness.NewRunDoc(rep, col)); err != nil {
+				return nil, err
+			}
+			return buf.Bytes(), nil
+		},
+	}, nil
+}
+
+// handleListExperiments inventories the experiments and marks which
+// have a JSON form the service can serve.
+func (s *Server) handleListExperiments(w http.ResponseWriter, r *http.Request) {
+	type item struct {
+		ID       string `json:"id"`
+		Title    string `json:"title"`
+		Servable bool   `json:"servable"`
+	}
+	var items []item
+	for _, e := range harness.Experiments() {
+		items = append(items, item{ID: e.ID, Title: e.Title, Servable: harness.HasJSONForm(e.ID)})
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"experiments": items, "scales": s.scaleNames()})
+}
+
+func (s *Server) scaleNames() []string {
+	if s.cfg.Scales == nil {
+		return harness.ScaleNames
+	}
+	names := make([]string, 0, len(s.cfg.Scales))
+	for name := range s.cfg.Scales {
+		names = append(names, name)
+	}
+	return names
+}
+
+// handleExperiment serves one experiment synchronously:
+// GET /v1/experiments/table3?scale=default&rates=200,400&sizes=4096.
+func (s *Server) handleExperiment(w http.ResponseWriter, r *http.Request) {
+	req := experimentRequest{ID: r.PathValue("id"), Scale: r.URL.Query().Get("scale")}
+	if v := r.URL.Query().Get("seed"); v != "" {
+		seed, err := strconv.ParseUint(v, 10, 64)
+		if err != nil {
+			writeError(w, http.StatusBadRequest, fmt.Sprintf("bad seed %q", v))
+			return
+		}
+		req.Seed = &seed
+	}
+	var err error
+	if req.RatesMHz, err = harness.ParseGridList(r.URL.Query().Get("rates")); err != nil {
+		writeError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	if req.SizesBytes, err = harness.ParseGridList(r.URL.Query().Get("sizes")); err != nil {
+		writeError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	jreq, err := s.experimentJob(req)
+	if err != nil {
+		writeRequestError(w, err)
+		return
+	}
+	s.serveSync(w, r, jreq)
+}
+
+// handleRun serves one simulation point synchronously: POST /v1/runs.
+func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
+	var req runRequest
+	if err := decodeBody(r, &req); err != nil {
+		writeError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	jreq, err := s.runJob(req)
+	if err != nil {
+		writeRequestError(w, err)
+		return
+	}
+	s.serveSync(w, r, jreq)
+}
+
+// serveSync answers a request from the cache when possible, otherwise
+// submits it and blocks until the shared job finishes. Backpressure
+// surfaces as 429 with a Retry-After hint; a draining service as 503.
+func (s *Server) serveSync(w http.ResponseWriter, r *http.Request, req jobs.Request) {
+	if data, ok := s.mgr.Lookup(req.Key); ok {
+		writeDocument(w, data)
+		return
+	}
+	j, err := s.mgr.Submit(req)
+	if err != nil {
+		writeSubmitError(w, err, s.cfg.RetryAfter)
+		return
+	}
+	data, err := s.mgr.Wait(r.Context(), j)
+	switch {
+	case err == nil:
+		writeDocument(w, data)
+	case errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded):
+		// The client went away or the job was canceled under it; the
+		// job itself keeps running for other waiters unless it too was
+		// canceled. 499-style: nothing useful to say.
+		writeError(w, http.StatusServiceUnavailable, err.Error())
+	default:
+		writeError(w, http.StatusInternalServerError, err.Error())
+	}
+}
+
+// jobRequest is the async submission body: kind "experiment" or "run"
+// plus that kind's fields (flattened — embedding the two request
+// structs would collide on the shared scale/seed tags).
+type jobRequest struct {
+	Kind        string   `json:"kind"`
+	ID          string   `json:"id,omitempty"`
+	Scale       string   `json:"scale,omitempty"`
+	Seed        *uint64  `json:"seed,omitempty"`
+	RatesMHz    []uint64 `json:"rates_mhz,omitempty"`
+	SizesBytes  []uint64 `json:"sizes_bytes,omitempty"`
+	System      string   `json:"system,omitempty"`
+	IssueMHz    uint64   `json:"issue_mhz,omitempty"`
+	SizeBytes   uint64   `json:"size_bytes,omitempty"`
+	SwitchTrace bool     `json:"switch_trace,omitempty"`
+	Metrics     bool     `json:"metrics,omitempty"`
+}
+
+// handleSubmitJob enqueues work asynchronously: POST /v1/jobs returns
+// 202 with the job status; poll GET /v1/jobs/{id} and fetch
+// GET /v1/jobs/{id}/result.
+func (s *Server) handleSubmitJob(w http.ResponseWriter, r *http.Request) {
+	var req jobRequest
+	if err := decodeBody(r, &req); err != nil {
+		writeError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	var (
+		jreq jobs.Request
+		err  error
+	)
+	switch req.Kind {
+	case "experiment":
+		jreq, err = s.experimentJob(experimentRequest{
+			ID: req.ID, Scale: req.Scale, Seed: req.Seed,
+			RatesMHz: req.RatesMHz, SizesBytes: req.SizesBytes,
+		})
+	case "run":
+		jreq, err = s.runJob(runRequest{
+			Scale: req.Scale, Seed: req.Seed, System: req.System,
+			IssueMHz: req.IssueMHz, SizeBytes: req.SizeBytes,
+			SwitchTrace: req.SwitchTrace, Metrics: req.Metrics,
+		})
+	default:
+		writeError(w, http.StatusBadRequest, fmt.Sprintf("unknown job kind %q (want experiment or run)", req.Kind))
+		return
+	}
+	if err != nil {
+		writeRequestError(w, err)
+		return
+	}
+	j, err := s.mgr.Submit(jreq)
+	if err != nil {
+		writeSubmitError(w, err, s.cfg.RetryAfter)
+		return
+	}
+	w.Header().Set("Location", "/v1/jobs/"+j.ID)
+	writeJSON(w, http.StatusAccepted, j.Status())
+}
+
+func (s *Server) handleJobStatus(w http.ResponseWriter, r *http.Request) {
+	j, ok := s.mgr.Get(r.PathValue("id"))
+	if !ok {
+		writeError(w, http.StatusNotFound, "unknown job")
+		return
+	}
+	writeJSON(w, http.StatusOK, j.Status())
+}
+
+func (s *Server) handleJobResult(w http.ResponseWriter, r *http.Request) {
+	j, ok := s.mgr.Get(r.PathValue("id"))
+	if !ok {
+		writeError(w, http.StatusNotFound, "unknown job")
+		return
+	}
+	st := j.Status()
+	switch st.State {
+	case jobs.StateDone:
+		data, err := j.Result()
+		if err != nil {
+			writeError(w, http.StatusInternalServerError, err.Error())
+			return
+		}
+		writeDocument(w, data)
+	case jobs.StateFailed:
+		writeError(w, http.StatusInternalServerError, st.Error)
+	case jobs.StateCanceled:
+		writeError(w, http.StatusConflict, "job was canceled")
+	default:
+		// Still queued or running: 202 tells the poller to come back.
+		writeJSON(w, http.StatusAccepted, st)
+	}
+}
+
+func (s *Server) handleJobCancel(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	if _, ok := s.mgr.Get(id); !ok {
+		writeError(w, http.StatusNotFound, "unknown job")
+		return
+	}
+	if !s.mgr.Cancel(id) {
+		writeError(w, http.StatusConflict, "job already finished")
+		return
+	}
+	w.WriteHeader(http.StatusNoContent)
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	length, capacity := s.mgr.QueueDepth()
+	writeJSON(w, http.StatusOK, map[string]any{
+		"status":         "ok",
+		"queue_length":   length,
+		"queue_capacity": capacity,
+	})
+}
+
+func (s *Server) handleMetricsz(w http.ResponseWriter, r *http.Request) {
+	length, capacity := s.mgr.QueueDepth()
+	writeJSON(w, http.StatusOK, map[string]any{
+		"counters": s.stats.Snapshot(),
+		"cache": map[string]any{
+			"entries": s.mgr.Cache().Len(),
+			"bytes":   s.mgr.Cache().Bytes(),
+		},
+		"queue": map[string]any{
+			"length":   length,
+			"capacity": capacity,
+		},
+	})
+}
+
+func decodeBody(r *http.Request, dst any) error {
+	dec := json.NewDecoder(http.MaxBytesReader(nil, r.Body, 1<<20))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(dst); err != nil {
+		return fmt.Errorf("bad request body: %w", err)
+	}
+	return nil
+}
+
+// writeDocument sends a cached/computed report document verbatim —
+// the bytes are already the stable WriteJSON rendering, so they pass
+// through untouched to stay golden-comparable.
+func writeDocument(w http.ResponseWriter, data []byte) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(http.StatusOK)
+	w.Write(data)
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(v)
+}
+
+func writeError(w http.ResponseWriter, code int, msg string) {
+	writeJSON(w, code, map[string]string{"error": msg})
+}
+
+// writeRequestError maps request-assembly errors (which carry their
+// own status) onto the response.
+func writeRequestError(w http.ResponseWriter, err error) {
+	var he *httpError
+	if errors.As(err, &he) {
+		writeError(w, he.code, he.msg)
+		return
+	}
+	writeError(w, http.StatusBadRequest, err.Error())
+}
+
+// writeSubmitError maps manager admission errors: a full queue is 429
+// with a Retry-After hint, a draining service 503.
+func writeSubmitError(w http.ResponseWriter, err error, retryAfter time.Duration) {
+	switch {
+	case errors.Is(err, jobs.ErrQueueFull):
+		w.Header().Set("Retry-After", strconv.Itoa(int(retryAfter.Seconds())))
+		writeError(w, http.StatusTooManyRequests, "queue full; retry later")
+	case errors.Is(err, jobs.ErrDraining):
+		writeError(w, http.StatusServiceUnavailable, "server is draining")
+	default:
+		writeError(w, http.StatusInternalServerError, err.Error())
+	}
+}

@@ -1,6 +1,7 @@
 package sim
 
 import (
+	"context"
 	"testing"
 
 	"rampage/internal/mem"
@@ -89,7 +90,7 @@ func TestAdaptiveGrowsUnderTLBPressure(t *testing.T) {
 		refs = append(refs, mem.Ref{Kind: mem.Load, Addr: mem.VAddr(0x100000 + uint64(i*64)%(256<<10))})
 	}
 	s, _ := NewScheduler(a, []trace.Reader{trace.NewSliceReader(refs)}, SchedulerConfig{Quantum: 50_000})
-	rep, err := s.Run()
+	rep, err := s.Run(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -122,7 +123,7 @@ func TestAdaptiveShrinksUnderDRAMPressure(t *testing.T) {
 		refs = append(refs, mem.Ref{Kind: mem.Load, Addr: mem.VAddr(addr)})
 	}
 	s, _ := NewScheduler(a, []trace.Reader{trace.NewSliceReader(refs)}, SchedulerConfig{Quantum: 50_000})
-	rep, err := s.Run()
+	rep, err := s.Run(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -152,7 +153,7 @@ func TestAdaptiveBeatsWorstFixedChoice(t *testing.T) {
 		t.Fatal(err)
 	}
 	sf, _ := NewScheduler(fixed, []trace.Reader{trace.NewSliceReader(mkRefs())}, SchedulerConfig{Quantum: 50_000})
-	repFixed, err := sf.Run()
+	repFixed, err := sf.Run(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -165,7 +166,7 @@ func TestAdaptiveBeatsWorstFixedChoice(t *testing.T) {
 		t.Fatal(err)
 	}
 	sa, _ := NewScheduler(a, []trace.Reader{trace.NewSliceReader(mkRefs())}, SchedulerConfig{Quantum: 50_000})
-	repA, err := sa.Run()
+	repA, err := sa.Run(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -196,7 +197,7 @@ func TestThreadSwitchCheaperThanProcessSwitch(t *testing.T) {
 		s, _ := NewScheduler(r, mkReaders(), SchedulerConfig{
 			Quantum: 4000, InsertSwitchTrace: true, LightweightThreads: threads,
 		})
-		rep, err := s.Run()
+		rep, err := s.Run(context.Background())
 		if err != nil {
 			t.Fatal(err)
 		}

@@ -1,6 +1,7 @@
 package sim
 
 import (
+	"context"
 	"testing"
 
 	"rampage/internal/mem"
@@ -157,7 +158,7 @@ func TestSchedulerResumeOnArrival(t *testing.T) {
 	run := func(switchOnMiss bool) *stats.Report {
 		r := testRAMpage(t, 4000, 1024, switchOnMiss)
 		s, _ := NewScheduler(r, mkReaders(), SchedulerConfig{Quantum: 4000, InsertSwitchTrace: true})
-		rep, err := s.Run()
+		rep, err := s.Run(context.Background())
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -179,7 +180,7 @@ func TestSchedulerQuantumRoundRobin(t *testing.T) {
 	b := testBaseline(t, 200, 128)
 	s, _ := NewScheduler(b, []trace.Reader{seqReader(1000, 0x400000), seqReader(1000, 0x400000)},
 		SchedulerConfig{Quantum: 250})
-	rep, err := s.Run()
+	rep, err := s.Run(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -202,7 +203,7 @@ func TestSchedulerSliceStatePreservedAcrossFaults(t *testing.T) {
 	s, _ := NewScheduler(r, []trace.Reader{
 		trace.NewSliceReader(refsA), trace.NewSliceReader(refsB),
 	}, SchedulerConfig{Quantum: 1000})
-	rep, err := s.Run()
+	rep, err := s.Run(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}

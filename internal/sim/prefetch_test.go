@@ -1,6 +1,7 @@
 package sim
 
 import (
+	"context"
 	"testing"
 
 	"rampage/internal/mem"
@@ -133,7 +134,7 @@ func TestPrefetchWithSwitchOnMiss(t *testing.T) {
 		trace.NewSliceReader(streamRefs(5000, 0x8000000)),
 	}
 	s, _ := NewScheduler(r, readers, SchedulerConfig{Quantum: 2000, InsertSwitchTrace: true})
-	rep, err := s.Run()
+	rep, err := s.Run(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}

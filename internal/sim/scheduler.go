@@ -1,6 +1,7 @@
 package sim
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"io"
@@ -164,27 +165,43 @@ func NewScheduler(m Machine, readers []trace.Reader, cfg SchedulerConfig) (*Sche
 	}, nil
 }
 
+// ctxCheckMask throttles context-cancellation polls in the
+// per-reference loop: ctx.Err takes a lock, so the hot loop only asks
+// every 1024 iterations. Cancellation latency stays far below any
+// human-visible delay while the steady-state cost is one counter
+// increment.
+const ctxCheckMask = 1<<10 - 1
+
 // Run executes the workload to completion and returns the machine's
-// report. The batched path and the per-reference path produce
-// bit-identical reports; see DESIGN.md's Performance section for the
-// invariant.
-func (s *Scheduler) Run() (*stats.Report, error) {
-	if s.cfg.DisableBatching {
-		return s.runPerRef()
+// report, stopping early with ctx.Err() when the context is canceled.
+// The batched path and the per-reference path produce bit-identical
+// reports; see DESIGN.md's Performance section for the invariant.
+func (s *Scheduler) Run(ctx context.Context) (*stats.Report, error) {
+	if ctx == nil {
+		ctx = context.Background()
 	}
-	return s.runBatched()
+	if s.cfg.DisableBatching {
+		return s.runPerRef(ctx)
+	}
+	return s.runBatched(ctx)
 }
 
 // runPerRef is the original reference-at-a-time loop, kept as the
 // semantic reference for the batched path.
-func (s *Scheduler) runPerRef() (*stats.Report, error) {
+func (s *Scheduler) runPerRef(ctx context.Context) (*stats.Report, error) {
 	rep := s.m.Report()
 	cur, ok := s.dispatch()
 	if !ok {
 		return rep, nil
 	}
-	var executed uint64
+	var executed, iter uint64
 	for {
+		if iter&ctxCheckMask == 0 {
+			if err := ctx.Err(); err != nil {
+				return rep, err
+			}
+		}
+		iter++
 		if s.cfg.Observer != nil {
 			s.cfg.Observer.Tick(uint64(s.m.Now()))
 		}
@@ -285,7 +302,7 @@ func (s *Scheduler) runPerRef() (*stats.Report, error) {
 //   - MaxRefs caps the window, and stream errors surface only after
 //     the references read before them have executed, exactly as a
 //     per-reference Next loop would.
-func (s *Scheduler) runBatched() (*stats.Report, error) {
+func (s *Scheduler) runBatched(ctx context.Context) (*stats.Report, error) {
 	rep := s.m.Report()
 	batchCap := s.cfg.BatchSize
 	if batchCap == 0 {
@@ -297,6 +314,12 @@ func (s *Scheduler) runBatched() (*stats.Report, error) {
 	}
 	var executed uint64
 	for {
+		// One poll per batch window (up to BatchSize references), so the
+		// cancellation check amortizes like the rest of the dispatch
+		// overhead.
+		if err := ctx.Err(); err != nil {
+			return rep, err
+		}
 		if s.cfg.Observer != nil {
 			s.cfg.Observer.Tick(uint64(s.m.Now()))
 		}

@@ -1,6 +1,7 @@
 package sim
 
 import (
+	"context"
 	"testing"
 
 	"rampage/internal/mem"
@@ -242,7 +243,7 @@ func TestSchedulerRunsAllRefs(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	rep, err := s.Run()
+	rep, err := s.Run(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -259,7 +260,7 @@ func TestSchedulerSwitchTrace(t *testing.T) {
 		b := testBaseline(t, 200, 128)
 		s, _ := NewScheduler(b, []trace.Reader{seqReader(500, 0x400000), seqReader(500, 0x400000)},
 			SchedulerConfig{Quantum: 100, InsertSwitchTrace: insert})
-		rep, err := s.Run()
+		rep, err := s.Run(context.Background())
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -280,7 +281,7 @@ func TestSchedulerSwitchTrace(t *testing.T) {
 func TestSchedulerMaxRefs(t *testing.T) {
 	b := testBaseline(t, 200, 128)
 	s, _ := NewScheduler(b, []trace.Reader{seqReader(100000, 0x400000)}, SchedulerConfig{MaxRefs: 500})
-	rep, err := s.Run()
+	rep, err := s.Run(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -304,7 +305,7 @@ func TestSchedulerSwitchOnMissBlocksAndResumes(t *testing.T) {
 	}
 	s, _ := NewScheduler(r, []trace.Reader{mkProc(0x1000000), mkProc(0x8000000)},
 		SchedulerConfig{Quantum: 1000, InsertSwitchTrace: true})
-	rep, err := s.Run()
+	rep, err := s.Run(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -342,7 +343,7 @@ func TestSwitchOnMissOverlapsDRAM(t *testing.T) {
 	run := func(switchOnMiss bool) mem.Cycles {
 		r := testRAMpage(t, 4000, 1024, switchOnMiss)
 		s, _ := NewScheduler(r, mkReaders(), SchedulerConfig{Quantum: 5000, InsertSwitchTrace: true})
-		rep, err := s.Run()
+		rep, err := s.Run(context.Background())
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -367,7 +368,7 @@ func TestSchedulerSingleProcessSwitchOnMiss(t *testing.T) {
 	}
 	s, _ := NewScheduler(r, []trace.Reader{trace.NewSliceReader(refs)},
 		SchedulerConfig{Quantum: 1000})
-	rep, err := s.Run()
+	rep, err := s.Run(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -384,7 +385,7 @@ func TestDeterminism(t *testing.T) {
 		r := testRAMpage(t, 800, 512, true)
 		readers := []trace.Reader{seqReader(3000, 0x400000), seqReader(3000, 0x500000)}
 		s, _ := NewScheduler(r, readers, SchedulerConfig{Quantum: 700, InsertSwitchTrace: true, Seed: 11})
-		rep, err := s.Run()
+		rep, err := s.Run(context.Background())
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -466,7 +467,7 @@ func TestIntegrationBaselineVsRAMpage(t *testing.T) {
 			t.Fatal(err)
 		}
 		s, _ := NewScheduler(b, table2Readers(t, refScale, sizeScale), SchedulerConfig{Quantum: quantum})
-		rep, err := s.Run()
+		rep, err := s.Run(context.Background())
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -482,7 +483,7 @@ func TestIntegrationBaselineVsRAMpage(t *testing.T) {
 			t.Fatal(err)
 		}
 		s, _ := NewScheduler(r, table2Readers(t, refScale, sizeScale), SchedulerConfig{Quantum: quantum})
-		rep, err := s.Run()
+		rep, err := s.Run(context.Background())
 		if err != nil {
 			t.Fatal(err)
 		}

@@ -19,7 +19,7 @@
 // rate and page size:
 //
 //	cfg := rampage.DefaultScaled()
-//	rep, err := rampage.Run(cfg, rampage.RunSpec{
+//	rep, err := rampage.Run(context.Background(), cfg, rampage.RunSpec{
 //		System:    rampage.SystemRAMpage,
 //		IssueMHz:  1000,
 //		SizeBytes: 1024,
@@ -30,7 +30,7 @@
 // Reproduce a paper artifact:
 //
 //	exp, _ := rampage.FindExperiment("table3")
-//	text, err := exp.Run(rampage.DefaultScaled(), nil, nil)
+//	text, err := exp.Run(context.Background(), rampage.DefaultScaled(), nil, nil)
 //
 // The facade re-exports the pieces most users need; the underlying
 // packages live in internal/ (core, sim, cache, tlb, dram, pagetable,
@@ -38,6 +38,8 @@
 package rampage
 
 import (
+	"context"
+
 	"rampage/internal/dram"
 	"rampage/internal/harness"
 	"rampage/internal/sim"
@@ -82,12 +84,17 @@ type RunSpec = harness.RunSpec
 // per-level time attribution, and event counts.
 type Report = stats.Report
 
-// Run executes one simulation point against the Table 2 workload.
-func Run(cfg Config, spec RunSpec) (*Report, error) { return harness.Run(cfg, spec) }
+// Run executes one simulation point against the Table 2 workload,
+// stopping early with ctx.Err() when the context is canceled.
+func Run(ctx context.Context, cfg Config, spec RunSpec) (*Report, error) {
+	return harness.Run(ctx, cfg, spec)
+}
 
-// Sweep runs a grid of points (issue rates × sizes) for one system.
-func Sweep(cfg Config, system SystemKind, rates, sizes []uint64, switchTrace bool) ([][]*Report, error) {
-	return harness.Sweep(cfg, system, rates, sizes, switchTrace)
+// Sweep runs a grid of points (issue rates × sizes) for one system,
+// in parallel across the available CPUs. Cancelling ctx abandons the
+// remaining cells.
+func Sweep(ctx context.Context, cfg Config, system SystemKind, rates, sizes []uint64, switchTrace bool) ([][]*Report, error) {
+	return harness.Sweep(ctx, cfg, system, rates, sizes, switchTrace)
 }
 
 // Experiment reproduces one paper artifact (a table or figure).

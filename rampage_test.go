@@ -3,6 +3,7 @@
 package rampage_test
 
 import (
+	"context"
 	"strings"
 	"testing"
 
@@ -17,7 +18,7 @@ func tinyConfig() rampage.Config {
 }
 
 func TestFacadeRun(t *testing.T) {
-	rep, err := rampage.Run(tinyConfig(), rampage.RunSpec{
+	rep, err := rampage.Run(context.Background(), tinyConfig(), rampage.RunSpec{
 		System:    rampage.SystemRAMpage,
 		IssueMHz:  1000,
 		SizeBytes: 1024,
@@ -31,7 +32,7 @@ func TestFacadeRun(t *testing.T) {
 }
 
 func TestFacadeSweep(t *testing.T) {
-	grid, err := rampage.Sweep(tinyConfig(), rampage.SystemBaselineDM,
+	grid, err := rampage.Sweep(context.Background(), tinyConfig(), rampage.SystemBaselineDM,
 		[]uint64{200}, []uint64{512, 4096}, false)
 	if err != nil {
 		t.Fatal(err)
@@ -50,7 +51,7 @@ func TestFacadeExperiments(t *testing.T) {
 	if !ok {
 		t.Fatal("table1 missing")
 	}
-	out, err := e.Run(tinyConfig(), nil, nil)
+	out, err := e.Run(context.Background(), tinyConfig(), nil, nil)
 	if err != nil || out == "" {
 		t.Errorf("table1 run failed: %v", err)
 	}
@@ -104,7 +105,7 @@ func TestFacadeMachineAPI(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	rep, err := sched.Run()
+	rep, err := sched.Run(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -128,7 +129,7 @@ func TestFacadeAdaptive(t *testing.T) {
 	p, _ := rampage.FindProfile("nasa7")
 	g, _ := rampage.NewGenerator(p, rampage.GenOptions{Seed: 1, RefScale: 0.001, SizeScale: 1.0 / 16})
 	sched, _ := rampage.NewScheduler(m, []rampage.TraceReader{g}, rampage.SchedulerConfig{Quantum: 50000})
-	rep, err := sched.Run()
+	rep, err := sched.Run(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
