@@ -6,7 +6,7 @@ GO ?= go
 GOLDEN_EXPS := table3 table4 table5 fig2 fig3 fig4
 GOLDEN_DIR  := testdata/golden
 
-.PHONY: all build test vet race bench bench-hot bench-snapshot bench-check golden regress clean
+.PHONY: all build test vet race verify verify-long bench bench-hot bench-snapshot bench-check golden regress clean
 
 all: build test vet
 
@@ -25,6 +25,17 @@ vet:
 race:
 	$(GO) test -race ./internal/harness/... ./internal/sim/...
 	$(GO) test -race -short ./internal/server/... ./internal/jobs/...
+
+# Reference-oracle differential suite: replay seeded traces through
+# the slow, obviously-correct oracle models and the production machines
+# in lockstep, requiring bit-identical reports (see "Verifying
+# correctness" in EXPERIMENTS.md). verify-long raises the traces to
+# multiple million references (the scheduled CI job).
+verify:
+	$(GO) test -race ./internal/oracle/
+
+verify-long:
+	$(GO) test ./internal/oracle/ -long -timeout 30m
 
 # Full artifact benchmark suite (one pass, quick feedback).
 bench:

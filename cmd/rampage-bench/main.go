@@ -43,6 +43,7 @@ func main() {
 		memProf  = flag.String("memprofile", "", "write a heap profile to this file on exit")
 		format   = flag.String("format", "text", "output format: text, json (versioned experiment documents; tables 3-5 and figs 2-4)")
 		outDir   = flag.String("outdir", "", "with -format json: write one <id>.json per experiment here instead of stdout")
+		verify   = flag.Bool("verify", false, "run under the oracle invariant checker: assert machine invariants online and fail on the first violation (results are unchanged, runs are slower)")
 	)
 	flag.Parse()
 
@@ -92,6 +93,7 @@ func main() {
 	}
 	cfg.Seed = *seed
 	cfg.Workers = *parallel
+	cfg.Verify = *verify
 
 	rateList, err := harness.ParseGridList(*rates)
 	if err != nil {

@@ -309,6 +309,22 @@ func (c *Cache) rebuild(set, tag uint64) mem.PAddr {
 	return mem.PAddr((tag<<c.setShift | set) << c.blockShift)
 }
 
+// ForEachValid invokes fn for every resident block with its
+// block-aligned address and dirtiness, without touching replacement
+// state or statistics. The invariant checker uses it to verify
+// inclusion and residency properties.
+func (c *Cache) ForEachValid(fn func(addr mem.PAddr, dirty bool)) {
+	sets := c.setMask + 1
+	for set := uint64(0); set < sets; set++ {
+		ways := c.setSlice(set)
+		for i := range ways {
+			if ways[i].valid {
+				fn(c.rebuild(set, ways[i].tag), ways[i].dirty)
+			}
+		}
+	}
+}
+
 // Invalidate removes the block containing addr if present, returning
 // whether it was present and whether it was dirty (the caller times the
 // write-back). Inclusion maintenance and RAMpage page replacement use

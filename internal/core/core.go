@@ -458,6 +458,25 @@ func (m *Memory) MarkDirty(pa mem.PAddr) {
 	}
 }
 
+// FrameInfo reports a frame's page-table mapping and state, for
+// invariant checking.
+func (m *Memory) FrameInfo(frame uint64) (pid mem.PID, vpn uint64, valid, dirty, pinned bool) {
+	return m.pt.FrameInfo(frame)
+}
+
+// ClockHand returns the replacement clock hand's position.
+func (m *Memory) ClockHand() uint64 { return m.pt.Hand() }
+
+// ForEachTLBEntry invokes fn for every resident TLB translation,
+// without touching statistics or replacement state.
+func (m *Memory) ForEachTLBEntry(fn func(pid mem.PID, vpn, frame uint64)) {
+	m.tlb.ForEachValid(fn)
+}
+
+// CheckTLBConsistency verifies the TLB's internal acceleration
+// structures against its authoritative entries.
+func (m *Memory) CheckTLBConsistency() error { return m.tlb.CheckConsistency() }
+
 // DirtyUserPages returns the number of resident user pages that would
 // need writing back to DRAM if the SRAM were flushed — the cost basis
 // for a dynamic page-size switch (§6.2).

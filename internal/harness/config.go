@@ -74,6 +74,13 @@ type Config struct {
 	// concurrent use. The experiment service uses it for job progress;
 	// it never influences results and is excluded from cache keys.
 	CellDone func()
+	// Verify attaches the oracle invariant checker (package oracle) to
+	// every run: machine-level invariants are asserted online and a
+	// violation fails the run with a descriptive error. Observation is
+	// read-only — reports stay bit-identical — so, like the execution
+	// knobs above, Verify is excluded from result cache keys. Each run
+	// gets its own checker, so verified sweeps remain parallel-safe.
+	Verify bool
 
 	// profiles, when non-nil, replaces the Table 2 profile set (used by
 	// the phased-workload experiment).
@@ -197,17 +204,29 @@ func ParseSystemKind(name string) (SystemKind, error) {
 
 // ParseGridList parses a comma-separated list of issue rates or sizes
 // ("200,400,800"); an empty string selects the paper default (nil).
+// Zero values and duplicates are rejected here, with the offending
+// entry named, instead of surfacing later as a confusing per-cell
+// simulation error (zero) or silently running the same cell twice
+// (duplicate).
 func ParseGridList(s string) ([]uint64, error) {
 	if s == "" {
 		return nil, nil
 	}
 	parts := strings.Split(s, ",")
 	out := make([]uint64, 0, len(parts))
+	seen := make(map[uint64]bool, len(parts))
 	for _, part := range parts {
 		v, err := strconv.ParseUint(strings.TrimSpace(part), 10, 64)
 		if err != nil {
 			return nil, fmt.Errorf("harness: bad grid value %q: %w", part, err)
 		}
+		if v == 0 {
+			return nil, fmt.Errorf("harness: zero grid value %q (rates and sizes must be positive)", part)
+		}
+		if seen[v] {
+			return nil, fmt.Errorf("harness: duplicate grid value %d", v)
+		}
+		seen[v] = true
 		out = append(out, v)
 	}
 	return out, nil

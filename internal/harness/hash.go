@@ -11,8 +11,8 @@ import (
 // the harness guarantees them bit-identical result documents: the key
 // covers every result-affecting field and deliberately excludes the
 // execution knobs (Workers, DisableBatching, BatchSize, Observer,
-// CellDone) that the batching-equivalence and observer-equivalence
-// tests pin as having no effect on reports.
+// CellDone, Verify) that the batching-equivalence and
+// observer-equivalence tests pin as having no effect on reports.
 
 // canonicalConfig is the result-affecting projection of a Config, in a
 // fixed field order so its JSON encoding is byte-stable.

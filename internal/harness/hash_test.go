@@ -59,6 +59,7 @@ func TestRunKeyIgnoresExecutionKnobs(t *testing.T) {
 		"disable batching": func(c *Config) { c.DisableBatching = true },
 		"batch size":       func(c *Config) { c.BatchSize = 64 },
 		"cell done":        func(c *Config) { c.CellDone = func() {} },
+		"verify":           func(c *Config) { c.Verify = true },
 	} {
 		c := cfg
 		mutate(&c)

@@ -1,0 +1,79 @@
+package harness
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+)
+
+// Error-path coverage for the parsers shared by the CLIs and the
+// experiment service. The happy paths are covered by the command tests;
+// these pin that every malformed input is rejected with a message
+// naming the offending piece, instead of leaking a zero value into a
+// sweep.
+
+func TestConfigForScaleErrors(t *testing.T) {
+	for _, name := range []string{"", "fast", "Default", "quick ", "FULL"} {
+		if _, err := ConfigForScale(name); err == nil {
+			t.Errorf("ConfigForScale(%q) accepted an unknown scale", name)
+		}
+	}
+	// Every advertised name must resolve.
+	for _, name := range ScaleNames {
+		if _, err := ConfigForScale(name); err != nil {
+			t.Errorf("ConfigForScale(%q): %v", name, err)
+		}
+	}
+}
+
+func TestParseSystemKindErrors(t *testing.T) {
+	for _, name := range []string{"", "rampagecs", "RAMPAGE", "4way", "baseline-dm ", "l2"} {
+		if _, err := ParseSystemKind(name); err == nil {
+			t.Errorf("ParseSystemKind(%q) accepted an unknown system", name)
+		}
+	}
+}
+
+func TestParseGridList(t *testing.T) {
+	cases := []struct {
+		name  string
+		in    string
+		want  []uint64
+		errIs string // substring of the expected error; "" = success
+	}{
+		{"empty selects default", "", nil, ""},
+		{"single", "200", []uint64{200}, ""},
+		{"list", "200,400,800", []uint64{200, 400, 800}, ""},
+		{"whitespace tolerated", " 200 , 400 ", []uint64{200, 400}, ""},
+		{"empty element", "200,,800", nil, "bad grid value"},
+		{"trailing comma", "200,400,", nil, "bad grid value"},
+		{"not a number", "200,fast", nil, "bad grid value"},
+		{"negative", "-200", nil, "bad grid value"},
+		{"fractional", "2.5", nil, "bad grid value"},
+		{"range syntax unsupported", "200-800", nil, "bad grid value"},
+		{"overflow", "18446744073709551616", nil, "bad grid value"},
+		{"zero rate", "0,400", nil, "zero grid value"},
+		{"duplicate rate", "200,400,200", nil, "duplicate grid value"},
+		{"duplicate after trim", "400, 400", nil, "duplicate grid value"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			got, err := ParseGridList(tc.in)
+			if tc.errIs == "" {
+				if err != nil {
+					t.Fatalf("ParseGridList(%q): %v", tc.in, err)
+				}
+				if !reflect.DeepEqual(got, tc.want) {
+					t.Errorf("ParseGridList(%q) = %v, want %v", tc.in, got, tc.want)
+				}
+				return
+			}
+			if err == nil {
+				t.Fatalf("ParseGridList(%q) = %v, want error mentioning %q", tc.in, got, tc.errIs)
+			}
+			if !strings.Contains(err.Error(), tc.errIs) {
+				t.Errorf("ParseGridList(%q) error %q does not mention %q", tc.in, err, tc.errIs)
+			}
+		})
+	}
+}

@@ -10,6 +10,7 @@ import (
 	"rampage/internal/cache"
 	"rampage/internal/dram"
 	"rampage/internal/mem"
+	"rampage/internal/oracle"
 	"rampage/internal/sim"
 	"rampage/internal/stats"
 	"rampage/internal/synth"
@@ -238,8 +239,14 @@ func runWithReaders(ctx context.Context, cfg Config, spec RunSpec, readers []tra
 		machine = r
 	}
 
-	if cfg.Observer != nil {
-		machine.SetObserver(cfg.Observer)
+	obs := cfg.Observer
+	var checker *oracle.InvariantChecker
+	if cfg.Verify {
+		checker = oracle.NewInvariantChecker(machine, obs)
+		obs = checker
+	}
+	if obs != nil {
+		machine.SetObserver(obs)
 	}
 	sched, err := sim.NewScheduler(machine, readers, sim.SchedulerConfig{
 		Quantum:            cfg.Quantum,
@@ -249,12 +256,21 @@ func runWithReaders(ctx context.Context, cfg Config, spec RunSpec, readers []tra
 		MaxRefs:            cfg.MaxRefs,
 		DisableBatching:    cfg.DisableBatching,
 		BatchSize:          cfg.BatchSize,
-		Observer:           cfg.Observer,
+		Observer:           obs,
 	})
 	if err != nil {
 		return nil, err
 	}
-	return sched.Run(ctx)
+	rep, err := sched.Run(ctx)
+	if err != nil {
+		return nil, err
+	}
+	if checker != nil {
+		if err := checker.Check(); err != nil {
+			return nil, fmt.Errorf("harness: %s @ %d MHz / %d B: %w", spec.System, spec.IssueMHz, spec.SizeBytes, err)
+		}
+	}
+	return rep, nil
 }
 
 // preloadRefsCap bounds workload materialization in Sweep: streams

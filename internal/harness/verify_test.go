@@ -1,0 +1,31 @@
+package harness
+
+import (
+	"context"
+	"testing"
+)
+
+// TestRunVerifyEquivalence pins the -verify contract: running a cell
+// under the invariant checker neither fails a healthy machine nor
+// perturbs its report — verified and unverified runs are bit-identical.
+func TestRunVerifyEquivalence(t *testing.T) {
+	cfg := QuickScaled()
+	cfg.MaxRefs = 60_000
+	for _, system := range []SystemKind{BaselineDM, TwoWayL2, RAMpage, RAMpageCS} {
+		spec := RunSpec{System: system, IssueMHz: 800, SizeBytes: 1024,
+			SwitchTrace: system == RAMpageCS}
+		plain, err := Run(context.Background(), cfg, spec)
+		if err != nil {
+			t.Fatalf("%s: %v", system, err)
+		}
+		vcfg := cfg
+		vcfg.Verify = true
+		verified, err := Run(context.Background(), vcfg, spec)
+		if err != nil {
+			t.Fatalf("%s verified: %v", system, err)
+		}
+		if *plain != *verified {
+			t.Errorf("%s: verified report differs from plain report", system)
+		}
+	}
+}

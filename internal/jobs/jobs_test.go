@@ -352,3 +352,75 @@ func TestGetAndFinishedRetention(t *testing.T) {
 		t.Error("unknown ID resolved")
 	}
 }
+
+// TestCancelQueuedJobDuringDrain pins the shutdown ordering when a
+// cancel races a drain: with the queue closed and a job still queued
+// behind a running one, Cancel must take effect (the queued job ends
+// canceled, never runs) and Drain must still return cleanly — the
+// worker drains the closed queue, observing the pre-canceled context,
+// rather than deadlocking or running canceled work. Run under -race.
+func TestCancelQueuedJobDuringDrain(t *testing.T) {
+	release := make(chan struct{})
+	started := make(chan struct{})
+	m := NewManager(Config{Workers: 1, QueueDepth: 4})
+	a, err := m.Submit(Request{Key: "a", Label: "test:a", Cells: 1,
+		Do: func(ctx context.Context, progress func()) ([]byte, error) {
+			close(started)
+			select {
+			case <-release:
+				progress()
+				return []byte("result-a"), nil
+			case <-ctx.Done():
+				return nil, ctx.Err()
+			}
+		}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	<-started // a occupies the sole worker
+	ranB := false
+	b, err := m.Submit(Request{Key: "b", Label: "test:b", Cells: 1,
+		Do: func(ctx context.Context, progress func()) ([]byte, error) {
+			ranB = true
+			return []byte("result-b"), nil
+		}})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	drained := make(chan error, 1)
+	go func() { drained <- m.Drain(waitCtx(t)) }()
+	// Wait until the drain has closed admissions, so the cancel below
+	// genuinely lands while Drain is in flight.
+	for {
+		m.mu.Lock()
+		draining := m.draining
+		m.mu.Unlock()
+		if draining {
+			break
+		}
+		time.Sleep(time.Millisecond)
+	}
+
+	if !m.Cancel(b.ID) {
+		t.Fatal("Cancel(b) = false for a queued job mid-drain")
+	}
+	close(release) // let a finish; the worker then drains b
+
+	if err := <-drained; err != nil {
+		t.Fatalf("drain: %v", err)
+	}
+	if data, err := a.Result(); err != nil || string(data) != "result-a" {
+		t.Errorf("running job a = (%q, %v), want it to finish during drain", data, err)
+	}
+	<-b.Done()
+	if st := b.Status(); st.State != StateCanceled {
+		t.Errorf("queued job b state = %s, want canceled", st.State)
+	}
+	if _, err := b.Result(); !errors.Is(err, context.Canceled) {
+		t.Errorf("b result err = %v, want context.Canceled", err)
+	}
+	if ranB {
+		t.Error("canceled queued job b still executed its Do")
+	}
+}

@@ -1,0 +1,177 @@
+package oracle
+
+import (
+	"fmt"
+
+	"rampage/internal/mem"
+	"rampage/internal/xrand"
+)
+
+// refCache is the reference N-way set-associative write-back,
+// write-allocate tag store: a plain scan over plain structs, one
+// Access entry point, no split hit path. Victim order within a set is
+// fixed by the spec: first invalid way, else way 0 when direct-mapped,
+// else a uniform random way (RandomRepl) or the least-recently-used
+// way. The replacement RNG is the seeded SplitMix64 stream the design
+// pins (seed ^ 0xCAC4E), consumed only when a full set is replaced
+// under random replacement.
+type refCache struct {
+	lines      []refLine // sets*assoc, set-major
+	assoc      int
+	blockBytes uint64
+	setMask    uint64
+	setShift   uint
+	blockShift uint
+	random     bool // random replacement (else LRU)
+	rng        *xrand.RNG
+	tick       uint64 // LRU timestamp, one increment per access
+}
+
+type refLine struct {
+	valid bool
+	dirty bool
+	tag   uint64
+	used  uint64
+}
+
+type refCacheResult struct {
+	hit           bool
+	evicted       bool
+	evictedDirty  bool
+	evictedAddr   mem.PAddr
+	writebackAddr mem.PAddr
+}
+
+func newRefCache(sizeBytes, blockBytes uint64, assoc int, random bool, seed uint64) (*refCache, error) {
+	if blockBytes == 0 || !mem.IsPow2(blockBytes) {
+		return nil, fmt.Errorf("oracle: cache block size %d is not a power of two", blockBytes)
+	}
+	if sizeBytes == 0 || !mem.IsPow2(sizeBytes) {
+		return nil, fmt.Errorf("oracle: cache size %d is not a power of two", sizeBytes)
+	}
+	if assoc < 1 {
+		return nil, fmt.Errorf("oracle: cache associativity %d < 1", assoc)
+	}
+	blocks := sizeBytes / blockBytes
+	if blocks == 0 || uint64(assoc) > blocks {
+		return nil, fmt.Errorf("oracle: %d ways exceed %d blocks", assoc, blocks)
+	}
+	sets := blocks / uint64(assoc)
+	if !mem.IsPow2(sets) {
+		return nil, fmt.Errorf("oracle: cache set count %d is not a power of two", sets)
+	}
+	return &refCache{
+		lines:      make([]refLine, sets*uint64(assoc)),
+		assoc:      assoc,
+		blockBytes: blockBytes,
+		setMask:    sets - 1,
+		setShift:   mem.Log2(sets),
+		blockShift: mem.Log2(blockBytes),
+		random:     random,
+		rng:        xrand.New(seed ^ 0xCAC4E),
+	}, nil
+}
+
+func (c *refCache) index(addr mem.PAddr) (set, tag uint64) {
+	block := uint64(addr) >> c.blockShift
+	return block & c.setMask, block >> c.setShift
+}
+
+func (c *refCache) set(setIdx uint64) []refLine {
+	base := setIdx * uint64(c.assoc)
+	return c.lines[base : base+uint64(c.assoc)]
+}
+
+func (c *refCache) rebuild(set, tag uint64) mem.PAddr {
+	return mem.PAddr((tag<<c.setShift | set) << c.blockShift)
+}
+
+// access looks up addr, allocating on a miss (write-allocate) and
+// marking dirty on a write, reporting any displacement.
+func (c *refCache) access(addr mem.PAddr, write bool) refCacheResult {
+	set, tag := c.index(addr)
+	ways := c.set(set)
+	c.tick++
+	for i := range ways {
+		if ways[i].valid && ways[i].tag == tag {
+			ways[i].used = c.tick
+			if write {
+				ways[i].dirty = true
+			}
+			return refCacheResult{hit: true}
+		}
+	}
+	victim := c.pickVictim(ways)
+	var res refCacheResult
+	if ways[victim].valid {
+		res.evicted = true
+		res.evictedAddr = c.rebuild(set, ways[victim].tag)
+		if ways[victim].dirty {
+			res.evictedDirty = true
+			res.writebackAddr = res.evictedAddr
+		}
+	}
+	ways[victim] = refLine{valid: true, dirty: write, tag: tag, used: c.tick}
+	return res
+}
+
+func (c *refCache) pickVictim(ways []refLine) int {
+	for i := range ways {
+		if !ways[i].valid {
+			return i
+		}
+	}
+	if c.assoc == 1 {
+		return 0
+	}
+	if c.random {
+		return c.rng.Intn(c.assoc)
+	}
+	best := 0
+	for i := 1; i < c.assoc; i++ {
+		if ways[i].used < ways[best].used {
+			best = i
+		}
+	}
+	return best
+}
+
+// invalidate removes the block containing addr if present.
+func (c *refCache) invalidate(addr mem.PAddr) (present, dirty bool) {
+	set, tag := c.index(addr)
+	ways := c.set(set)
+	for i := range ways {
+		if ways[i].valid && ways[i].tag == tag {
+			dirty = ways[i].dirty
+			ways[i] = refLine{}
+			return true, dirty
+		}
+	}
+	return false, false
+}
+
+// invalidateRange removes every block overlapping [addr, addr+size),
+// invoking fn for each block that was present.
+func (c *refCache) invalidateRange(addr mem.PAddr, size uint64, fn func(block mem.PAddr, dirty bool)) {
+	start := uint64(addr) &^ (c.blockBytes - 1)
+	end := uint64(addr) + size
+	for b := start; b < end; b += c.blockBytes {
+		if present, dirty := c.invalidate(mem.PAddr(b)); present && fn != nil {
+			fn(mem.PAddr(b), dirty)
+		}
+	}
+}
+
+// countValid reports resident and dirty line counts, for state
+// summaries in divergence reports.
+func (c *refCache) countValid() (valid, dirty int) {
+	for i := range c.lines {
+		if c.lines[i].valid {
+			valid++
+			if c.lines[i].dirty {
+				dirty++
+			}
+		}
+	}
+	return valid, dirty
+}

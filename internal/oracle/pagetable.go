@@ -1,0 +1,214 @@
+package oracle
+
+import (
+	"fmt"
+
+	"rampage/internal/mem"
+	"rampage/internal/xrand"
+)
+
+// refPageTable is the reference inverted page table of §2.2: a hash
+// anchor table whose buckets chain frame entries, with the §4.5 clock
+// replacement ("a clock hand advances through the page table, marking
+// each page that has previously been marked as 'in use' as 'unused',
+// until an 'unused' page is found"). The hash and the free-list
+// scramble are the deterministic streams the design pins (SplitMix64
+// finalizer; Fisher–Yates over the tail beyond the first 1/32 of
+// frames, seeded scrambleSeed ^ 0x5C4A3B1E).
+type refPageTable struct {
+	frames    uint64
+	pageBytes uint64
+	tableBase uint64
+	entries   []refPTEntry
+	hat       []int32 // bucket -> first frame, -1 = empty
+	hatMask   uint64
+	freeHead  int32
+	freeNext  []int32
+	hand      uint64
+
+	// skewHand is a test-only seeded fault: when set, every victim
+	// selection pre-advances the clock hand by one entry — the
+	// off-by-one the differential engine must catch.
+	skewHand bool
+}
+
+type refPTEntry struct {
+	valid  bool
+	pid    mem.PID
+	vpn    uint64
+	used   bool
+	dirty  bool
+	pinned bool
+	next   int32 // next frame in hash chain, -1 = end
+}
+
+// Entry sizes, from the design: 16 bytes per frame entry, 4 bytes per
+// hash-anchor slot.
+const (
+	refEntryBytes    = 16
+	refHATEntryBytes = 4
+)
+
+func newRefPageTable(frames, pageBytes, tableBase uint64, scramble bool, scrambleSeed uint64) (*refPageTable, error) {
+	if frames == 0 {
+		return nil, fmt.Errorf("oracle: page table with zero frames")
+	}
+	if pageBytes == 0 || !mem.IsPow2(pageBytes) {
+		return nil, fmt.Errorf("oracle: page size %d is not a power of two", pageBytes)
+	}
+	hatSize := uint64(1)
+	for hatSize < frames {
+		hatSize <<= 1
+	}
+	pt := &refPageTable{
+		frames:    frames,
+		pageBytes: pageBytes,
+		tableBase: tableBase,
+		entries:   make([]refPTEntry, frames),
+		hat:       make([]int32, hatSize),
+		hatMask:   hatSize - 1,
+		freeNext:  make([]int32, frames),
+	}
+	for i := range pt.hat {
+		pt.hat[i] = -1
+	}
+	order := make([]int32, frames)
+	for i := range order {
+		order[i] = int32(i)
+	}
+	if scramble {
+		rng := xrand.New(scrambleSeed ^ 0x5C4A3B1E)
+		fixed := int(frames / 32)
+		for i := len(order) - 1; i > fixed; i-- {
+			j := fixed + 1 + rng.Intn(i-fixed)
+			order[i], order[j] = order[j], order[i]
+		}
+	}
+	pt.freeHead = order[0]
+	for i := 0; i < len(order)-1; i++ {
+		pt.freeNext[order[i]] = order[i+1]
+	}
+	pt.freeNext[order[len(order)-1]] = -1
+	return pt, nil
+}
+
+func (pt *refPageTable) hash(pid mem.PID, vpn uint64) uint64 {
+	return xrand.Mix(uint64(pid)<<48^vpn) & pt.hatMask
+}
+
+func (pt *refPageTable) hatAddr(bucket uint64) uint64 {
+	return pt.tableBase + bucket*refHATEntryBytes
+}
+
+func (pt *refPageTable) entryAddr(frame uint64) uint64 {
+	return pt.tableBase + uint64(len(pt.hat))*refHATEntryBytes + frame*refEntryBytes
+}
+
+func (pt *refPageTable) tableBytes() uint64 {
+	return uint64(len(pt.hat))*refHATEntryBytes + pt.frames*refEntryBytes
+}
+
+// lookup walks the hash chain for (pid, vpn), appending every table
+// address touched (the anchor slot and each chain entry) to probes and
+// marking the found frame's use bit.
+func (pt *refPageTable) lookup(pid mem.PID, vpn uint64, probes []uint64) (uint64, []uint64, bool) {
+	bucket := pt.hash(pid, vpn)
+	probes = append(probes, pt.hatAddr(bucket))
+	for idx := pt.hat[bucket]; idx >= 0; idx = pt.entries[idx].next {
+		probes = append(probes, pt.entryAddr(uint64(idx)))
+		e := &pt.entries[idx]
+		if e.valid && e.pid == pid && e.vpn == vpn {
+			e.used = true
+			return uint64(idx), probes, true
+		}
+	}
+	return 0, probes, false
+}
+
+func (pt *refPageTable) allocFree() (uint64, bool) {
+	if pt.freeHead < 0 {
+		return 0, false
+	}
+	f := uint64(pt.freeHead)
+	pt.freeHead = pt.freeNext[f]
+	return f, true
+}
+
+func (pt *refPageTable) mapFrame(pid mem.PID, vpn, frame uint64) error {
+	if frame >= pt.frames {
+		return fmt.Errorf("oracle: frame %d out of range", frame)
+	}
+	e := &pt.entries[frame]
+	if e.valid {
+		return fmt.Errorf("oracle: frame %d already maps (pid %d, vpn %#x)", frame, e.pid, e.vpn)
+	}
+	bucket := pt.hash(pid, vpn)
+	*e = refPTEntry{valid: true, pid: pid, vpn: vpn, used: true, next: pt.hat[bucket]}
+	pt.hat[bucket] = int32(frame)
+	return nil
+}
+
+func (pt *refPageTable) unmap(frame uint64) (pid mem.PID, vpn uint64, dirty bool, err error) {
+	if frame >= pt.frames || !pt.entries[frame].valid {
+		return 0, 0, false, fmt.Errorf("oracle: frame %d not mapped", frame)
+	}
+	e := pt.entries[frame]
+	bucket := pt.hash(e.pid, e.vpn)
+	if pt.hat[bucket] == int32(frame) {
+		pt.hat[bucket] = e.next
+	} else {
+		for idx := pt.hat[bucket]; idx >= 0; idx = pt.entries[idx].next {
+			if pt.entries[idx].next == int32(frame) {
+				pt.entries[idx].next = e.next
+				break
+			}
+		}
+	}
+	pt.entries[frame] = refPTEntry{}
+	return e.pid, e.vpn, e.dirty, nil
+}
+
+func (pt *refPageTable) setDirty(frame uint64) { pt.entries[frame].dirty = true }
+func (pt *refPageTable) pin(frame uint64)      { pt.entries[frame].pinned = true }
+func (pt *refPageTable) unpin(frame uint64)    { pt.entries[frame].pinned = false }
+
+// clockSelect runs the clock hand: clear use bits on referenced pages,
+// stop at the first unreferenced, unpinned, valid frame. Two full
+// sweeps suffice; exhausting them means everything is pinned or
+// invalid. scanAddrs accumulates the entry address of every frame the
+// hand examined.
+func (pt *refPageTable) clockSelect(scanAddrs []uint64) (uint64, []uint64, bool) {
+	n := pt.frames
+	if pt.skewHand {
+		pt.hand = (pt.hand + 1) % n
+	}
+	for i := uint64(0); i < 2*n; i++ {
+		f := pt.hand
+		pt.hand = (pt.hand + 1) % n
+		e := &pt.entries[f]
+		scanAddrs = append(scanAddrs, pt.entryAddr(f))
+		if !e.valid || e.pinned {
+			continue
+		}
+		if e.used {
+			e.used = false
+			continue
+		}
+		return f, scanAddrs, true
+	}
+	return 0, scanAddrs, false
+}
+
+// countValid reports mapped and pinned frame counts, for state
+// summaries in divergence reports.
+func (pt *refPageTable) countValid() (valid, pinned int) {
+	for i := range pt.entries {
+		if pt.entries[i].valid {
+			valid++
+		}
+		if pt.entries[i].pinned {
+			pinned++
+		}
+	}
+	return valid, pinned
+}

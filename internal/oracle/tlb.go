@@ -1,0 +1,123 @@
+package oracle
+
+import (
+	"fmt"
+
+	"rampage/internal/mem"
+	"rampage/internal/xrand"
+)
+
+// refTLB is the reference translation buffer of §4.3: process-tagged
+// entries, set-associative (fully associative when assoc is 0), random
+// replacement of a full set. It is a plain struct scan — none of the
+// production TLB's packed-key mirror or hit filter. The replacement
+// RNG is the seeded SplitMix64 stream the design pins (seed ^ 0x71B),
+// consumed only when an insert finds neither an existing translation
+// nor an invalid slot.
+type refTLB struct {
+	entries   []refTLBEntry // sets*assoc, set-major
+	assoc     int
+	setMask   uint64
+	pageShift uint
+	pageBytes uint64
+	rng       *xrand.RNG
+}
+
+type refTLBEntry struct {
+	valid bool
+	pid   mem.PID
+	vpn   uint64
+	frame uint64
+}
+
+func newRefTLB(entries, assoc int, pageBytes, seed uint64) (*refTLB, error) {
+	if entries <= 0 || !mem.IsPow2(uint64(entries)) {
+		return nil, fmt.Errorf("oracle: TLB entry count %d is not a positive power of two", entries)
+	}
+	if assoc < 0 || assoc > entries {
+		return nil, fmt.Errorf("oracle: TLB associativity %d out of range", assoc)
+	}
+	if assoc == 0 {
+		assoc = entries
+	}
+	sets := entries / assoc
+	if sets*assoc != entries || !mem.IsPow2(uint64(sets)) {
+		return nil, fmt.Errorf("oracle: %d TLB entries not divisible into %d-way sets", entries, assoc)
+	}
+	if pageBytes == 0 || !mem.IsPow2(pageBytes) {
+		return nil, fmt.Errorf("oracle: TLB page size %d is not a power of two", pageBytes)
+	}
+	return &refTLB{
+		entries:   make([]refTLBEntry, entries),
+		assoc:     assoc,
+		setMask:   uint64(sets - 1),
+		pageShift: mem.Log2(pageBytes),
+		pageBytes: pageBytes,
+		rng:       xrand.New(seed ^ 0x71B),
+	}, nil
+}
+
+func (t *refTLB) set(vpn uint64) []refTLBEntry {
+	base := (vpn & t.setMask) * uint64(t.assoc)
+	return t.entries[base : base+uint64(t.assoc)]
+}
+
+// lookup translates (pid, addr), returning the physical address on a
+// hit. It keeps no statistics — the machines count hits and misses.
+func (t *refTLB) lookup(pid mem.PID, addr mem.VAddr) (mem.PAddr, bool) {
+	vpn := uint64(addr) >> t.pageShift
+	for _, e := range t.set(vpn) {
+		if e.valid && e.pid == pid && e.vpn == vpn {
+			off := uint64(addr) & (t.pageBytes - 1)
+			return mem.PAddr(e.frame<<t.pageShift | off), true
+		}
+	}
+	return 0, false
+}
+
+// insert installs (pid, vpn of addr) -> frame: an existing translation
+// is updated in place, an invalid slot is filled first, and only a
+// full set consumes one random draw to pick the victim.
+func (t *refTLB) insert(pid mem.PID, addr mem.VAddr, frame uint64) {
+	vpn := uint64(addr) >> t.pageShift
+	set := t.set(vpn)
+	victim := -1
+	for i := range set {
+		if set[i].valid && set[i].pid == pid && set[i].vpn == vpn {
+			set[i].frame = frame
+			return
+		}
+		if !set[i].valid && victim < 0 {
+			victim = i
+		}
+	}
+	if victim < 0 {
+		victim = t.rng.Intn(t.assoc)
+	}
+	set[victim] = refTLBEntry{valid: true, pid: pid, vpn: vpn, frame: frame}
+}
+
+// invalidate removes the translation for (pid, vpn of addr) if
+// present, reporting whether it was (§2.3 page-replacement shootdown).
+func (t *refTLB) invalidate(pid mem.PID, addr mem.VAddr) bool {
+	vpn := uint64(addr) >> t.pageShift
+	set := t.set(vpn)
+	for i := range set {
+		if set[i].valid && set[i].pid == pid && set[i].vpn == vpn {
+			set[i] = refTLBEntry{}
+			return true
+		}
+	}
+	return false
+}
+
+// countValid reports resident translations, for state summaries.
+func (t *refTLB) countValid() int {
+	n := 0
+	for i := range t.entries {
+		if t.entries[i].valid {
+			n++
+		}
+	}
+	return n
+}

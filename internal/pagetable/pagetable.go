@@ -320,6 +320,10 @@ func (pt *Inverted) FrameInfo(frame uint64) (pid mem.PID, vpn uint64, valid, dir
 	return e.pid, e.vpn, e.valid, e.dirty, e.pinned
 }
 
+// Hand returns the clock hand's current position, for invariant
+// checking (the hand must always index a valid frame).
+func (pt *Inverted) Hand() uint64 { return pt.hand }
+
 // ClockSelect runs the clock hand to choose a victim frame: it clears
 // use bits on referenced pages and stops at the first unreferenced,
 // unpinned, valid frame. scanAddrs lists the entry addresses the hand

@@ -516,3 +516,52 @@ func TestServeTable3GoldenE2E(t *testing.T) {
 		t.Errorf("sim_runs grew %d -> %d on a cached request", runsBefore, runs)
 	}
 }
+
+// TestServeFigsGoldenE2E extends the served-equivalence gate to the
+// breakdown figures: figs 2-4 at the default scale must come back
+// byte-identical to the committed goldens, with repeats served from
+// cache. Like the table3 gate it runs full default-scale sweeps, so it
+// is skipped under -short and run explicitly by the CI golden job.
+func TestServeFigsGoldenE2E(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full default-scale sweeps; run without -short (CI golden job)")
+	}
+	var stats metrics.ServiceStats
+	svc := server.New(server.Config{Workers: 1, QueueDepth: 4, Stats: &stats})
+	ts := httptest.NewServer(svc.Handler())
+	t.Cleanup(func() {
+		ts.Close()
+		drainCtx, cancel := contextWithTimeout(time.Minute)
+		defer cancel()
+		svc.Drain(drainCtx)
+	})
+
+	var wantHits uint64
+	for _, id := range []string{"fig2", "fig3", "fig4"} {
+		golden, err := os.ReadFile(filepath.Join("..", "..", "testdata", "golden", id+".json"))
+		if err != nil {
+			t.Fatal(err)
+		}
+		url := ts.URL + "/v1/experiments/" + id + "?scale=default"
+		code, body, _ := get(t, url)
+		if code != http.StatusOK {
+			t.Fatalf("%s: status %d: %.200s", id, code, body)
+		}
+		if !bytes.Equal(body, golden) {
+			t.Fatalf("served %s differs from testdata/golden/%s.json (%d vs %d bytes)", id, id, len(body), len(golden))
+		}
+		runsBefore := stats.Get(metrics.SvcSimRuns)
+
+		code, body2, _ := get(t, url)
+		if code != http.StatusOK || !bytes.Equal(body2, golden) {
+			t.Fatalf("cached %s differs from golden (status %d)", id, code)
+		}
+		wantHits++
+		if hits := stats.Get(metrics.SvcCacheHit); hits != wantHits {
+			t.Errorf("%s: cache_hits = %d, want %d", id, hits, wantHits)
+		}
+		if runs := stats.Get(metrics.SvcSimRuns); runs != runsBefore {
+			t.Errorf("%s: sim_runs grew %d -> %d on a cached request", id, runsBefore, runs)
+		}
+	}
+}

@@ -1,0 +1,183 @@
+package sim
+
+import (
+	"fmt"
+
+	"rampage/internal/mem"
+	"rampage/internal/stats"
+)
+
+// This file implements machine-level invariant checks for the two
+// production hierarchies. The checks run only from the invariant
+// observer (package oracle) at scheduling points and at run end — never
+// inside an Exec — so they see the machines between references, where
+// every invariant must hold.
+
+// checkTimeAttribution verifies that total simulated time equals the
+// per-level attribution: every cycle is charged through Report.Charge,
+// which updates both, so a mismatch means someone advanced time outside
+// the accounting.
+func checkTimeAttribution(rep *stats.Report) error {
+	var sum mem.Cycles
+	for l := stats.Level(0); l < stats.NumLevels; l++ {
+		sum += rep.LevelTime[l]
+	}
+	if rep.Cycles != sum {
+		return fmt.Errorf("sim: %d total cycles but %d attributed to levels", rep.Cycles, sum)
+	}
+	return nil
+}
+
+// checkDRAMAccounting verifies transfer/byte bookkeeping: every real
+// Rambus transfer moves exactly one unit (an L2 block in the baseline,
+// an SRAM page in RAMpage).
+func checkDRAMAccounting(rep *stats.Report, unitBytes uint64) error {
+	if rep.DRAMBytes != rep.DRAMTransfers*unitBytes {
+		return fmt.Errorf("sim: %d DRAM transfers of %d bytes should move %d bytes, report says %d",
+			rep.DRAMTransfers, unitBytes, rep.DRAMTransfers*unitBytes, rep.DRAMBytes)
+	}
+	return nil
+}
+
+// CheckInvariants verifies the baseline machine's structural
+// invariants: time attribution, DRAM transfer accounting, L1⊆L2
+// inclusion, TLB–page-table coherence, clock-hand bounds and the pinned
+// kernel reservation. It is intended to run between references (from
+// the invariant observer), where all of these must hold.
+func (b *Baseline) CheckInvariants() error {
+	if err := checkTimeAttribution(&b.rep); err != nil {
+		return err
+	}
+	if err := checkDRAMAccounting(&b.rep, b.cfg.L2Block); err != nil {
+		return err
+	}
+	// Inclusion: every valid L1 block's parent L2 block is resident.
+	// With a victim cache attached, evicted L2 blocks survive in the
+	// victim buffer and strict inclusion no longer holds.
+	if b.victim == nil {
+		var incErr error
+		check := func(side string) func(addr mem.PAddr, dirty bool) {
+			return func(addr mem.PAddr, dirty bool) {
+				if incErr == nil && !b.l2.Probe(addr) {
+					incErr = fmt.Errorf("sim: %s block %#x resident without its L2 parent (inclusion violated)", side, uint64(addr))
+				}
+			}
+		}
+		b.l1.inst.ForEachValid(check("L1i"))
+		b.l1.data.ForEachValid(check("L1d"))
+		if incErr != nil {
+			return incErr
+		}
+	}
+	// TLB coherence: every cached translation must agree with the page
+	// table.
+	frames := b.cfg.DRAMBytes / dramPageBytes
+	var tlbErr error
+	b.tlb.ForEachValid(func(pid mem.PID, vpn, frame uint64) {
+		if tlbErr != nil {
+			return
+		}
+		if frame >= frames {
+			tlbErr = fmt.Errorf("sim: TLB maps (pid %d, vpn %#x) to out-of-range frame %d", pid, vpn, frame)
+			return
+		}
+		epid, evpn, valid, _, _ := b.pt.FrameInfo(frame)
+		if !valid || epid != pid || evpn != vpn {
+			tlbErr = fmt.Errorf("sim: TLB maps (pid %d, vpn %#x) to frame %d, page table has (pid %d, vpn %#x, valid %t)",
+				pid, vpn, frame, epid, evpn, valid)
+		}
+	})
+	if tlbErr != nil {
+		return tlbErr
+	}
+	if err := b.tlb.CheckConsistency(); err != nil {
+		return err
+	}
+	if hand := b.pt.Hand(); hand >= frames {
+		return fmt.Errorf("sim: clock hand %d out of range (%d frames)", hand, frames)
+	}
+	// The kernel reservation stays identity-mapped and pinned.
+	kpages := (b.kernelBytes + dramPageBytes - 1) / dramPageBytes
+	for f := uint64(0); f < kpages; f++ {
+		pid, _, valid, _, pinned := b.pt.FrameInfo(f)
+		if !valid || !pinned || pid != mem.KernelPID {
+			return fmt.Errorf("sim: kernel frame %d no longer pinned (pid %d, valid %t, pinned %t)", f, pid, valid, pinned)
+		}
+	}
+	return nil
+}
+
+// CheckInvariants verifies the RAMpage machine's structural invariants:
+// time attribution, DRAM page-transfer accounting, L1⊆SRAM residency,
+// TLB–page-table coherence, clock-hand bounds and the pinned OS
+// reservation. It is intended to run between references (from the
+// invariant observer), where all of these must hold.
+func (r *RAMpage) CheckInvariants() error {
+	if err := checkTimeAttribution(&r.rep); err != nil {
+		return err
+	}
+	// After a Resize, transfers have happened at more than one page
+	// size and the fixed-unit identity no longer holds.
+	if r.rep.Resizes == 0 {
+		if err := checkDRAMAccounting(&r.rep, r.cfg.PageBytes); err != nil {
+			return err
+		}
+	}
+	frames := r.mm.Frames()
+	pageShift := mem.Log2(r.cfg.PageBytes)
+	// Residency: every valid L1 block must belong to a mapped SRAM page
+	// (§2.3 inclusion: replaced pages purge their blocks from L1).
+	var resErr error
+	check := func(side string) func(addr mem.PAddr, dirty bool) {
+		return func(addr mem.PAddr, dirty bool) {
+			if resErr != nil {
+				return
+			}
+			frame := uint64(addr) >> pageShift
+			if frame >= frames {
+				resErr = fmt.Errorf("sim: %s block %#x beyond SRAM (%d frames)", side, uint64(addr), frames)
+				return
+			}
+			if _, _, valid, _, _ := r.mm.FrameInfo(frame); !valid {
+				resErr = fmt.Errorf("sim: %s block %#x resident in unmapped SRAM frame %d (inclusion violated)", side, uint64(addr), frame)
+			}
+		}
+	}
+	r.l1.inst.ForEachValid(check("L1i"))
+	r.l1.data.ForEachValid(check("L1d"))
+	if resErr != nil {
+		return resErr
+	}
+	var tlbErr error
+	r.mm.ForEachTLBEntry(func(pid mem.PID, vpn, frame uint64) {
+		if tlbErr != nil {
+			return
+		}
+		if frame >= frames {
+			tlbErr = fmt.Errorf("sim: TLB maps (pid %d, vpn %#x) to out-of-range frame %d", pid, vpn, frame)
+			return
+		}
+		epid, evpn, valid, _, _ := r.mm.FrameInfo(frame)
+		if !valid || epid != pid || evpn != vpn {
+			tlbErr = fmt.Errorf("sim: TLB maps (pid %d, vpn %#x) to frame %d, page table has (pid %d, vpn %#x, valid %t)",
+				pid, vpn, frame, epid, evpn, valid)
+		}
+	})
+	if tlbErr != nil {
+		return tlbErr
+	}
+	if err := r.mm.CheckTLBConsistency(); err != nil {
+		return err
+	}
+	if hand := r.mm.ClockHand(); hand >= frames {
+		return fmt.Errorf("sim: clock hand %d out of range (%d frames)", hand, frames)
+	}
+	// The OS reservation stays pinned in the lowest frames.
+	for f := uint64(0); f < r.mm.OSPages(); f++ {
+		pid, _, valid, _, pinned := r.mm.FrameInfo(f)
+		if !valid || !pinned || pid != mem.KernelPID {
+			return fmt.Errorf("sim: OS frame %d no longer pinned (pid %d, valid %t, pinned %t)", f, pid, valid, pinned)
+		}
+	}
+	return nil
+}

@@ -320,6 +320,41 @@ func (t *TLB) FlushAll() {
 	}
 }
 
+// ForEachValid invokes fn for every resident translation, without
+// touching statistics or replacement state. The invariant checker uses
+// it to verify TLB–page-table coherence.
+func (t *TLB) ForEachValid(fn func(pid mem.PID, vpn, frame uint64)) {
+	for i := range t.entries {
+		if t.entries[i].valid {
+			fn(t.entries[i].pid, t.entries[i].vpn, t.entries[i].frame)
+		}
+	}
+}
+
+// CheckConsistency verifies the TLB's internal acceleration structures
+// against the authoritative entry array: every valid entry's packed key
+// must mirror it, every invalid slot must hold keyInvalid, and every
+// filter slot must index a real entry. A violation here means the fast
+// lookup path could disagree with the slow one.
+func (t *TLB) CheckConsistency() error {
+	for i := range t.entries {
+		e := &t.entries[i]
+		if e.valid {
+			if want := packKey(e.pid, e.vpn); t.keys[i] != want {
+				return fmt.Errorf("tlb: entry %d key %#x does not mirror (pid %d, vpn %#x)", i, t.keys[i], e.pid, e.vpn)
+			}
+		} else if t.keys[i] != keyInvalid {
+			return fmt.Errorf("tlb: invalid entry %d has live key %#x", i, t.keys[i])
+		}
+	}
+	for i, fi := range t.filter {
+		if fi < 0 || int(fi) >= len(t.entries) {
+			return fmt.Errorf("tlb: filter slot %d indexes out-of-range entry %d", i, fi)
+		}
+	}
+	return nil
+}
+
 // Reach returns the bytes of address space the TLB can map when full —
 // the quantity that collapses for small RAMpage pages (Figure 4).
 func (t *TLB) Reach() uint64 {
