@@ -6,7 +6,7 @@ GO ?= go
 GOLDEN_EXPS := table3 table4 table5 fig2 fig3 fig4
 GOLDEN_DIR  := testdata/golden
 
-.PHONY: all build test vet race verify verify-long bench bench-hot bench-snapshot bench-check golden regress clean
+.PHONY: all build test vet race verify verify-long bench bench-hot bench-snapshot bench-check profile golden regress clean
 
 all: build test vet
 
@@ -46,24 +46,43 @@ bench-hot:
 	$(GO) test -bench='Table3|Fig4|Throughput' -benchmem -run='^$$' .
 
 # Machine-readable benchmark snapshot: three repetitions of every
-# artifact benchmark, converted to JSON for regression tracking. The
-# raw transcript goes to a temp file first so a failed bench run leaves
-# the committed snapshot untouched.
+# artifact benchmark, converted to JSON for regression tracking.
+# Snapshots are named by tag (BENCH_<tag>.json) so each optimization
+# round commits its own baseline instead of overwriting history:
+# BENCH_batch.json is the pre-columnar batching round, BENCH_hotloop2.json
+# the columnar/arena/fused-fast-path round. The raw transcript goes to
+# a temp file first so a failed bench run leaves the committed snapshot
+# untouched.
+BENCH_TAG ?= hotloop2
+BENCH_SNAPSHOT := BENCH_$(BENCH_TAG).json
 bench-snapshot:
 	$(GO) test -bench=. -benchmem -run='^$$' -count=3 . | tee bench_raw.tmp
-	$(GO) run ./tools/benchjson < bench_raw.tmp > BENCH_batch.json.tmp
-	mv BENCH_batch.json.tmp BENCH_batch.json
+	$(GO) run ./tools/benchjson < bench_raw.tmp > $(BENCH_SNAPSHOT).tmp
+	mv $(BENCH_SNAPSHOT).tmp $(BENCH_SNAPSHOT)
 	rm -f bench_raw.tmp
 
 # Compare a fresh hot-loop bench pass against the committed snapshot
-# (minimum ns/op per benchmark, 5% regression budget by default).
+# for $(BENCH_TAG) (minimum ns/op per benchmark, 5% regression budget
+# by default; CI gates at 10% to ride out shared-runner noise).
 BENCH_TOL ?= 0.05
 bench-check:
 	$(GO) test -bench='Table3|Fig4|Throughput' -benchmem -run='^$$' -count=3 . | tee bench_raw.tmp
 	$(GO) run ./tools/benchjson < bench_raw.tmp > bench_got.tmp.json
 	rm -f bench_raw.tmp
-	$(GO) run ./tools/regress -mode bench -subset -tol $(BENCH_TOL) BENCH_batch.json bench_got.tmp.json
+	$(GO) run ./tools/regress -mode bench -subset -tol $(BENCH_TOL) $(BENCH_SNAPSHOT) bench_got.tmp.json
 	rm -f bench_got.tmp.json
+
+# Profile the heaviest hot-loop benchmark (the Table 3 baseline-vs-
+# RAMpage sweep) and print the top-10 flat CPU and allocation sites.
+# Profiles land under profiles/ for interactive follow-up with
+# `go tool pprof -http`.
+PROFILE_DIR ?= profiles
+profile:
+	mkdir -p $(PROFILE_DIR)
+	$(GO) test -bench 'Table3BaselineVsRAMpage' -benchmem -run='^$$' -benchtime 3x \
+		-cpuprofile $(PROFILE_DIR)/cpu.out -memprofile $(PROFILE_DIR)/mem.out -o $(PROFILE_DIR)/bench.test .
+	$(GO) tool pprof -top -nodecount=10 $(PROFILE_DIR)/bench.test $(PROFILE_DIR)/cpu.out
+	$(GO) tool pprof -top -nodecount=10 -sample_index=alloc_space $(PROFILE_DIR)/bench.test $(PROFILE_DIR)/mem.out
 
 # Regenerate the committed golden JSON reports (default scaled
 # configuration, seed 42). Only needed when the simulator's behaviour
@@ -84,4 +103,5 @@ regress:
 
 clean:
 	$(GO) clean ./...
-	rm -f bench_raw.tmp bench_got.tmp.json BENCH_batch.json.tmp
+	rm -f bench_raw.tmp bench_got.tmp.json BENCH_*.json.tmp
+	rm -rf $(PROFILE_DIR)

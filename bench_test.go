@@ -29,7 +29,12 @@ var (
 
 func benchConfig() rampage.Config { return rampage.QuickScaled() }
 
-// runExperiment drives one registry experiment per iteration.
+// runExperiment drives one registry experiment per iteration. One
+// untimed warm-up run precedes the measurement: it populates the
+// harness's cross-sweep workload cache (and the page-table arena), so
+// timed iterations measure steady-state simulation rather than a mix
+// of one cold cell and N-1 warm ones — the cold/warm split is what
+// made the ablation benches swing by 2x between runs.
 func runExperiment(b *testing.B, id string, rates, sizes []uint64) {
 	b.Helper()
 	exp, ok := rampage.FindExperiment(id)
@@ -37,6 +42,9 @@ func runExperiment(b *testing.B, id string, rates, sizes []uint64) {
 		b.Fatalf("experiment %q missing", id)
 	}
 	cfg := benchConfig()
+	if _, err := exp.Run(context.Background(), cfg, rates, sizes); err != nil {
+		b.Fatal(err)
+	}
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {

@@ -8,7 +8,10 @@
 //
 // The cache stores no data — it is a tag store. Timing lives in the
 // simulator; this package answers only "hit or miss, and what was
-// displaced".
+// displaced". The tag store is columnar (parallel tags/valid/dirty/
+// used arrays rather than an array of line structs) so the simulator's
+// fused direct-mapped fast path (see DMHot) resolves a hit with a
+// single tag-word load.
 package cache
 
 import (
@@ -92,14 +95,6 @@ func (c Config) TagBits() uint {
 	return physBits - mem.Log2(c.Sets()) - mem.Log2(c.BlockBytes)
 }
 
-// line is one tag-store entry.
-type line struct {
-	valid bool
-	dirty bool
-	tag   uint64
-	used  uint64 // LRU timestamp
-}
-
 // Stats counts cache events since construction.
 type Stats struct {
 	Hits       uint64
@@ -133,11 +128,23 @@ type Result struct {
 	EvictedDirty bool
 }
 
+// TagInvalid fills the tag column of invalid lines so the direct-
+// mapped fast path (DMHot) can test presence with one comparison. The
+// valid column stays authoritative: a real block whose tag happens to
+// equal TagInvalid (only possible when tag+set+block bits fill all 64
+// address bits) is still tracked exactly by the full paths, and the
+// fast path explicitly rejects sentinel-valued probe tags.
+const TagInvalid = ^uint64(0)
+
 // Cache is an N-way set-associative tag store. It is not safe for
-// concurrent use.
+// concurrent use. Lines are stored columnar, set-major within each
+// column: way w of set s is index s*assoc+w.
 type Cache struct {
 	cfg        Config
-	sets       []line // sets*assoc lines, set-major
+	tags       []uint64 // TagInvalid when the line is invalid
+	valid      []bool
+	dirty      []bool
+	used       []uint64 // LRU timestamps
 	assoc      int
 	setMask    uint64
 	setShift   uint // log2(set count), for tag extraction
@@ -153,9 +160,17 @@ func New(cfg Config) (*Cache, error) {
 		return nil, err
 	}
 	sets := cfg.Sets()
+	lines := sets * uint64(cfg.Assoc)
+	tags := make([]uint64, lines)
+	for i := range tags {
+		tags[i] = TagInvalid
+	}
 	return &Cache{
 		cfg:        cfg,
-		sets:       make([]line, sets*uint64(cfg.Assoc)),
+		tags:       tags,
+		valid:      make([]bool, lines),
+		dirty:      make([]bool, lines),
+		used:       make([]uint64, lines),
 		assoc:      cfg.Assoc,
 		setMask:    sets - 1,
 		setShift:   mem.Log2(sets),
@@ -185,14 +200,48 @@ func (c *Cache) BlockAddr(addr mem.PAddr) mem.PAddr {
 	return addr &^ mem.PAddr(c.cfg.BlockBytes-1)
 }
 
+// DMHot is a flattened view of a direct-mapped cache for the
+// simulator's fused TLB→L1 fast path. The slices alias the cache's
+// live columns — never reallocated after New — so a view captured once
+// stays current. A fast-path probe is
+//
+//	block := pa >> BlockShift
+//	set, tag := block&SetMask, block>>SetShift
+//	hit := Tags[set] == tag && tag != TagInvalid
+//
+// On a hit the caller sets Dirty[set] for a write and accumulates
+// Stats.Hits batch-locally; replacement clock/LRU state is skipped,
+// which is invisible for a direct-mapped cache (the victim choice
+// never consults it). On a miss — or a sentinel-valued probe tag — the
+// caller falls back to Hit/Access, which handle every case exactly.
+type DMHot struct {
+	Tags       []uint64
+	Dirty      []bool
+	SetMask    uint64
+	SetShift   uint
+	BlockShift uint
+	Stats      *Stats
+}
+
+// DirectHot returns the fast-path view, or ok == false when the cache
+// is not direct-mapped.
+func (c *Cache) DirectHot() (DMHot, bool) {
+	if c.assoc != 1 {
+		return DMHot{}, false
+	}
+	return DMHot{
+		Tags:       c.tags,
+		Dirty:      c.dirty,
+		SetMask:    c.setMask,
+		SetShift:   c.setShift,
+		BlockShift: c.blockShift,
+		Stats:      &c.stats,
+	}, true
+}
+
 func (c *Cache) index(addr mem.PAddr) (set uint64, tag uint64) {
 	block := uint64(addr) >> c.blockShift
 	return block & c.setMask, block >> c.setShift
-}
-
-func (c *Cache) setSlice(set uint64) []line {
-	base := set * uint64(c.assoc)
-	return c.sets[base : base+uint64(c.assoc)]
 }
 
 // Access looks up addr, allocating the block on a miss (write-allocate)
@@ -201,32 +250,35 @@ func (c *Cache) setSlice(set uint64) []line {
 // inclusion with upper levels.
 func (c *Cache) Access(addr mem.PAddr, write bool) Result {
 	set, tag := c.index(addr)
-	ways := c.setSlice(set)
+	base := set * uint64(c.assoc)
 	c.clock++
-	for i := range ways {
-		if ways[i].valid && ways[i].tag == tag {
+	for i := base; i < base+uint64(c.assoc); i++ {
+		if c.valid[i] && c.tags[i] == tag {
 			c.stats.Hits++
-			ways[i].used = c.clock
+			c.used[i] = c.clock
 			if write {
-				ways[i].dirty = true
+				c.dirty[i] = true
 			}
 			return Result{Hit: true}
 		}
 	}
 	c.stats.Misses++
-	victim := c.pickVictim(ways)
+	victim := base + uint64(c.pickVictim(base))
 	res := Result{}
-	if ways[victim].valid {
+	if c.valid[victim] {
 		c.stats.Evictions++
 		res.Evicted = true
-		res.EvictedAddr = c.rebuild(set, ways[victim].tag)
-		if ways[victim].dirty {
+		res.EvictedAddr = c.rebuild(set, c.tags[victim])
+		if c.dirty[victim] {
 			c.stats.Writebacks++
 			res.EvictedDirty = true
 			res.WritebackAddr = res.EvictedAddr
 		}
 	}
-	ways[victim] = line{valid: true, dirty: write, tag: tag, used: c.clock}
+	c.valid[victim] = true
+	c.dirty[victim] = write
+	c.tags[victim] = tag
+	c.used[victim] = c.clock
 	return res
 }
 
@@ -239,27 +291,25 @@ func (c *Cache) Hit(addr mem.PAddr, write bool) bool {
 	block := uint64(addr) >> c.blockShift
 	set, tag := block&c.setMask, block>>c.setShift
 	if c.assoc == 1 { // direct-mapped: one candidate line
-		w := &c.sets[set]
-		if w.valid && w.tag == tag {
+		if c.valid[set] && c.tags[set] == tag {
 			c.clock++
 			c.stats.Hits++
-			w.used = c.clock
+			c.used[set] = c.clock
 			if write {
-				w.dirty = true
+				c.dirty[set] = true
 			}
 			return true
 		}
 		return false
 	}
 	base := set * uint64(c.assoc)
-	ways := c.sets[base : base+uint64(c.assoc)]
-	for i := range ways {
-		if ways[i].valid && ways[i].tag == tag {
+	for i := base; i < base+uint64(c.assoc); i++ {
+		if c.valid[i] && c.tags[i] == tag {
 			c.clock++
 			c.stats.Hits++
-			ways[i].used = c.clock
+			c.used[i] = c.clock
 			if write {
-				ways[i].dirty = true
+				c.dirty[i] = true
 			}
 			return true
 		}
@@ -271,20 +321,21 @@ func (c *Cache) Hit(addr mem.PAddr, write bool) bool {
 // state or statistics.
 func (c *Cache) Probe(addr mem.PAddr) bool {
 	set, tag := c.index(addr)
-	for _, w := range c.setSlice(set) {
-		if w.valid && w.tag == tag {
+	base := set * uint64(c.assoc)
+	for i := base; i < base+uint64(c.assoc); i++ {
+		if c.valid[i] && c.tags[i] == tag {
 			return true
 		}
 	}
 	return false
 }
 
-// pickVictim chooses the way to replace in a full set, or the first
-// invalid way if one exists.
-func (c *Cache) pickVictim(ways []line) int {
-	for i := range ways {
-		if !ways[i].valid {
-			return i
+// pickVictim chooses the way to replace in a full set (given the set's
+// base line index), or the first invalid way if one exists.
+func (c *Cache) pickVictim(base uint64) int {
+	for w := 0; w < c.assoc; w++ {
+		if !c.valid[base+uint64(w)] {
+			return w
 		}
 	}
 	if c.assoc == 1 {
@@ -295,9 +346,9 @@ func (c *Cache) pickVictim(ways []line) int {
 		return c.rng.Intn(c.assoc)
 	default: // LRU
 		best := 0
-		for i := 1; i < c.assoc; i++ {
-			if ways[i].used < ways[best].used {
-				best = i
+		for w := 1; w < c.assoc; w++ {
+			if c.used[base+uint64(w)] < c.used[base+uint64(best)] {
+				best = w
 			}
 		}
 		return best
@@ -309,6 +360,15 @@ func (c *Cache) rebuild(set, tag uint64) mem.PAddr {
 	return mem.PAddr((tag<<c.setShift | set) << c.blockShift)
 }
 
+// clearLine invalidates one line, restoring the tag sentinel the
+// direct-mapped fast path relies on.
+func (c *Cache) clearLine(i uint64) {
+	c.valid[i] = false
+	c.dirty[i] = false
+	c.tags[i] = TagInvalid
+	c.used[i] = 0
+}
+
 // ForEachValid invokes fn for every resident block with its
 // block-aligned address and dirtiness, without touching replacement
 // state or statistics. The invariant checker uses it to verify
@@ -316,10 +376,10 @@ func (c *Cache) rebuild(set, tag uint64) mem.PAddr {
 func (c *Cache) ForEachValid(fn func(addr mem.PAddr, dirty bool)) {
 	sets := c.setMask + 1
 	for set := uint64(0); set < sets; set++ {
-		ways := c.setSlice(set)
-		for i := range ways {
-			if ways[i].valid {
-				fn(c.rebuild(set, ways[i].tag), ways[i].dirty)
+		base := set * uint64(c.assoc)
+		for i := base; i < base+uint64(c.assoc); i++ {
+			if c.valid[i] {
+				fn(c.rebuild(set, c.tags[i]), c.dirty[i])
 			}
 		}
 	}
@@ -331,14 +391,14 @@ func (c *Cache) ForEachValid(fn func(addr mem.PAddr, dirty bool)) {
 // this.
 func (c *Cache) Invalidate(addr mem.PAddr) (present, dirty bool) {
 	set, tag := c.index(addr)
-	ways := c.setSlice(set)
-	for i := range ways {
-		if ways[i].valid && ways[i].tag == tag {
-			dirty = ways[i].dirty
+	base := set * uint64(c.assoc)
+	for i := base; i < base+uint64(c.assoc); i++ {
+		if c.valid[i] && c.tags[i] == tag {
+			dirty = c.dirty[i]
 			if dirty {
 				c.stats.Writebacks++
 			}
-			ways[i] = line{}
+			c.clearLine(i)
 			return true, dirty
 		}
 	}
@@ -362,15 +422,15 @@ func (c *Cache) InvalidateRange(addr mem.PAddr, size uint64, fn func(block mem.P
 func (c *Cache) Flush(fn func(block mem.PAddr, dirty bool)) {
 	sets := c.setMask + 1
 	for set := uint64(0); set < sets; set++ {
-		ways := c.setSlice(set)
-		for i := range ways {
-			if ways[i].valid {
-				addr := c.rebuild(set, ways[i].tag)
-				dirty := ways[i].dirty
+		base := set * uint64(c.assoc)
+		for i := base; i < base+uint64(c.assoc); i++ {
+			if c.valid[i] {
+				addr := c.rebuild(set, c.tags[i])
+				dirty := c.dirty[i]
 				if dirty {
 					c.stats.Writebacks++
 				}
-				ways[i] = line{}
+				c.clearLine(i)
 				if fn != nil {
 					fn(addr, dirty)
 				}

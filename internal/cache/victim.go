@@ -84,10 +84,10 @@ func (vc *VictimCache) Access(addr mem.PAddr, write bool) VictimResult {
 // is recovered from the victim buffer by a read).
 func (vc *VictimCache) redirty(blk mem.PAddr) {
 	set, tag := vc.main.index(blk)
-	ways := vc.main.setSlice(set)
-	for i := range ways {
-		if ways[i].valid && ways[i].tag == tag {
-			ways[i].dirty = true
+	base := set * uint64(vc.main.assoc)
+	for i := base; i < base+uint64(vc.main.assoc); i++ {
+		if vc.main.valid[i] && vc.main.tags[i] == tag {
+			vc.main.dirty[i] = true
 			return
 		}
 	}

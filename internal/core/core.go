@@ -350,6 +350,34 @@ func (m *Memory) TranslateHit(pid mem.PID, va mem.VAddr, write bool) (mem.PAddr,
 	return pa, true
 }
 
+// Hot is a flattened view of the memory's translation state for the
+// simulator's fused TLB→L1 fast path (package sim). A fast-path hit
+// replicates TranslateHit exactly: probe TLB.Filter, and on a match
+// count a translation and — for a store — set FlagDirty on the frame's
+// flags. All slices alias live state; see tlb.Hot and
+// pagetable.DirtyHot for the aliasing contracts.
+type Hot struct {
+	TLB       tlb.Hot
+	PTFlags   []uint8
+	PageShift uint
+	Stats     *Stats
+}
+
+// Hot returns the fast-path view. It must be re-captured after the
+// machine swaps its Memory (the adaptive resize path builds a new one).
+func (m *Memory) Hot() Hot {
+	return Hot{
+		TLB:       m.tlb.Hot(),
+		PTFlags:   m.pt.DirtyHot(),
+		PageShift: m.pageShift,
+		Stats:     &m.stats,
+	}
+}
+
+// Recycle returns the memory's page-table slabs to the pagetable arena.
+// The Memory must not be used afterwards.
+func (m *Memory) Recycle() { m.pt.Recycle() }
+
 // pageFault brings (pid, vpn) into a frame, replacing if necessary,
 // and fills m.fault with the event description.
 func (m *Memory) pageFault(pid mem.PID, vpn uint64) (uint64, error) {

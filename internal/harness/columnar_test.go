@@ -1,0 +1,53 @@
+package harness
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"testing"
+)
+
+// TestGoldenExperimentsColumnarEquivalence proves the columnar feed is
+// behavior-invisible end to end: for every experiment with a committed
+// golden, the JSON document produced by the default path — columnar
+// workload preload, zero-copy column windows into the machines' fused
+// batch loops — is byte-identical to the one produced with batching
+// disabled, where every reference flows through the per-reference
+// trace.Reader interface and Machine.Exec. The runs use a reduced
+// scale; the full-scale equivalent is the golden regression gate
+// (`make regress`), whose goldens predate the columnar path.
+func TestGoldenExperimentsColumnarEquivalence(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs six experiments twice")
+	}
+	goldenIDs := []string{"table3", "table4", "table5", "fig2", "fig3", "fig4"}
+	rates := []uint64{200, 4000}
+	sizes := []uint64{256, 2048}
+	for _, id := range goldenIDs {
+		t.Run(id, func(t *testing.T) {
+			columnar := tinyConfig()
+			perRef := tinyConfig()
+			perRef.DisableBatching = true
+
+			colDoc, err := BuildExperimentDoc(context.Background(), columnar, id, rates, sizes)
+			if err != nil {
+				t.Fatalf("columnar run: %v", err)
+			}
+			refDoc, err := BuildExperimentDoc(context.Background(), perRef, id, rates, sizes)
+			if err != nil {
+				t.Fatalf("per-reference run: %v", err)
+			}
+			colJSON, err := json.Marshal(colDoc)
+			if err != nil {
+				t.Fatal(err)
+			}
+			refJSON, err := json.Marshal(refDoc)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !bytes.Equal(colJSON, refJSON) {
+				t.Errorf("columnar-fed report diverges from interface-fed report\ncolumnar: %s\nper-ref:  %s", colJSON, refJSON)
+			}
+		})
+	}
+}

@@ -17,10 +17,18 @@
 // advances through the page table, marking each page that has
 // previously been marked as 'in use' as 'unused', until an 'unused'
 // page is found."
+//
+// Storage is columnar (parallel vpn/pid/flag/link columns) and arena-
+// backed: every table's columns are carved from a pair of slabs sized
+// by the configuration, and Recycle returns the slabs to a per-size
+// pool so the sweep harness, which builds one table per grid cell (and
+// the adaptive machine, one per resize epoch), reaches a steady state
+// with no per-cell table allocation at all.
 package pagetable
 
 import (
 	"fmt"
+	"sync"
 
 	"rampage/internal/mem"
 	"rampage/internal/metrics"
@@ -79,22 +87,23 @@ type Stats struct {
 	Unmaps     uint64
 }
 
-// entry is one frame's mapping.
-type entry struct {
-	valid  bool
-	pid    mem.PID
-	vpn    uint64
-	used   bool // clock reference bit
-	dirty  bool
-	pinned bool
-	next   int32 // next frame in hash chain, -1 = end
-}
+// Entry flag bits in the flags column.
+const (
+	flagValid  = 1 << iota // frame maps a page
+	flagUsed               // clock reference bit
+	FlagDirty              // page must be written back on replacement
+	flagPinned             // excluded from clock replacement
+)
 
 // Inverted is the inverted page table. It is not safe for concurrent
-// use.
+// use. Per-frame state is columnar: vpns, pids, flags, and the hash-
+// chain links live in parallel arrays carved from pooled slabs.
 type Inverted struct {
 	cfg      Config
-	entries  []entry
+	vpns     []uint64
+	pids     []mem.PID
+	flags    []uint8
+	next     []int32 // next frame in hash chain, -1 = end
 	hat      []int32 // bucket -> first frame, -1 = empty
 	hatMask  uint64
 	freeHead int32
@@ -102,6 +111,76 @@ type Inverted struct {
 	hand     uint64  // clock hand
 	stats    Stats
 	obs      metrics.Observer // nil unless probing is attached
+	slab     *slab            // backing storage, returned to the arena by Recycle
+}
+
+// slab bundles the backing arrays of one table so Recycle can hand
+// them back to the arena as a unit.
+type slab struct {
+	i32  []int32 // hat | next | freeNext
+	vpns []uint64
+	pids []mem.PID
+	u8   []uint8
+}
+
+type arenaKey struct{ frames, hatSize uint64 }
+
+// arena pools table slabs by geometry. New draws from it and Recycle
+// returns to it, so repeated table construction at the same
+// configuration — one per sweep cell, one per adaptive resize —
+// allocates only on first use.
+var (
+	arenaMu sync.Mutex
+	arenas  = make(map[arenaKey]*sync.Pool)
+)
+
+func arenaFor(k arenaKey) *sync.Pool {
+	arenaMu.Lock()
+	p, ok := arenas[k]
+	if !ok {
+		p = &sync.Pool{}
+		arenas[k] = p
+	}
+	arenaMu.Unlock()
+	return p
+}
+
+// getSlab obtains a zeroed slab of the given geometry, reusing a
+// recycled one when available.
+func getSlab(frames, hatSize uint64) *slab {
+	pool := arenaFor(arenaKey{frames, hatSize})
+	s, _ := pool.Get().(*slab)
+	if s == nil {
+		return &slab{
+			i32:  make([]int32, hatSize+2*frames),
+			vpns: make([]uint64, frames),
+			pids: make([]mem.PID, frames),
+			u8:   make([]uint8, frames),
+		}
+	}
+	for i := range s.i32 {
+		s.i32[i] = 0
+	}
+	for i := range s.vpns {
+		s.vpns[i] = 0
+	}
+	for i := range s.pids {
+		s.pids[i] = 0
+	}
+	for i := range s.u8 {
+		s.u8[i] = 0
+	}
+	return s
+}
+
+// hatSizeFor rounds the frame count up to a power of two — the hash
+// anchor table size that keeps chains short.
+func hatSizeFor(frames uint64) uint64 {
+	hatSize := uint64(1)
+	for hatSize < frames {
+		hatSize <<= 1
+	}
+	return hatSize
 }
 
 // New builds an inverted page table with all frames free.
@@ -109,23 +188,26 @@ func New(cfg Config) (*Inverted, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
-	// Size the hash anchor table to at least the frame count, rounded
-	// to a power of two, to keep chains short.
-	hatSize := uint64(1)
-	for hatSize < cfg.Frames {
-		hatSize <<= 1
-	}
+	hatSize := hatSizeFor(cfg.Frames)
+	s := getSlab(cfg.Frames, hatSize)
 	pt := &Inverted{
 		cfg:      cfg,
-		entries:  make([]entry, cfg.Frames),
-		hat:      make([]int32, hatSize),
+		vpns:     s.vpns,
+		pids:     s.pids,
+		flags:    s.u8,
+		hat:      s.i32[:hatSize:hatSize],
+		next:     s.i32[hatSize : hatSize+cfg.Frames : hatSize+cfg.Frames],
+		freeNext: s.i32[hatSize+cfg.Frames:],
 		hatMask:  hatSize - 1,
-		freeNext: make([]int32, cfg.Frames),
+		slab:     s,
 	}
 	for i := range pt.hat {
 		pt.hat[i] = -1
 	}
-	order := make([]int32, cfg.Frames)
+	// Build the initial free list. The next column is dead until Map
+	// links a frame into a chain, so it doubles as the permutation
+	// scratch: no separate order array, no extra allocation.
+	order := pt.next
 	for i := range order {
 		order[i] = int32(i)
 	}
@@ -158,6 +240,22 @@ func MustNew(cfg Config) *Inverted {
 	return pt
 }
 
+// Recycle returns the table's backing slabs to the arena for reuse by
+// a future New with the same geometry. The table must not be used
+// afterwards — its columns are gone, and any access will panic rather
+// than corrupt a successor table. Recycling is optional (an
+// un-recycled table is simply garbage collected) and idempotent.
+func (pt *Inverted) Recycle() {
+	if pt == nil || pt.slab == nil {
+		return
+	}
+	s := pt.slab
+	pt.slab = nil
+	pt.vpns, pt.pids, pt.flags = nil, nil, nil
+	pt.hat, pt.next, pt.freeNext = nil, nil, nil
+	arenaFor(arenaKey{pt.cfg.Frames, uint64(cap(s.i32)) - 2*pt.cfg.Frames}).Put(s)
+}
+
 // Config returns the table's configuration.
 func (pt *Inverted) Config() Config { return pt.cfg }
 
@@ -168,6 +266,12 @@ func (pt *Inverted) Stats() Stats { return pt.stats }
 // sees walk chain lengths and clock-sweep lengths; it never influences
 // table behaviour.
 func (pt *Inverted) SetObserver(obs metrics.Observer) { pt.obs = obs }
+
+// DirtyHot exposes the flags column for the simulator's fused TLB→L1
+// fast path: a store to a translated address marks its frame dirty
+// with Flags[frame] |= FlagDirty, exactly what SetDirty does. The
+// slice aliases the live column; it is never reallocated.
+func (pt *Inverted) DirtyHot() []uint8 { return pt.flags }
 
 // TableBytes returns the memory footprint of the table structures
 // (hash anchor table plus frame entries) — the part of the §4.5
@@ -210,14 +314,13 @@ func (pt *Inverted) lookup(pid mem.PID, vpn uint64, probes []uint64) (uint64, []
 	bucket := pt.hash(pid, vpn)
 	probes = append(probes, pt.HATAddr(bucket))
 	var chain uint64
-	for idx := pt.hat[bucket]; idx >= 0; idx = pt.entries[idx].next {
+	for idx := pt.hat[bucket]; idx >= 0; idx = pt.next[idx] {
 		pt.stats.Probes++
 		chain++
 		probes = append(probes, pt.EntryAddr(uint64(idx)))
-		e := &pt.entries[idx]
-		if e.valid && e.pid == pid && e.vpn == vpn {
+		if pt.flags[idx]&flagValid != 0 && pt.pids[idx] == pid && pt.vpns[idx] == vpn {
 			pt.stats.Hits++
-			e.used = true
+			pt.flags[idx] |= flagUsed
 			if pt.obs != nil {
 				pt.obs.Observe(metrics.EvPTProbes, chain)
 			}
@@ -255,12 +358,14 @@ func (pt *Inverted) Map(pid mem.PID, vpn, frame uint64) error {
 	if frame >= pt.cfg.Frames {
 		return fmt.Errorf("pagetable: frame %d out of range", frame)
 	}
-	e := &pt.entries[frame]
-	if e.valid {
-		return fmt.Errorf("pagetable: frame %d already maps (pid %d, vpn %#x)", frame, e.pid, e.vpn)
+	if pt.flags[frame]&flagValid != 0 {
+		return fmt.Errorf("pagetable: frame %d already maps (pid %d, vpn %#x)", frame, pt.pids[frame], pt.vpns[frame])
 	}
 	bucket := pt.hash(pid, vpn)
-	*e = entry{valid: true, pid: pid, vpn: vpn, used: true, next: pt.hat[bucket]}
+	pt.vpns[frame] = vpn
+	pt.pids[frame] = pid
+	pt.flags[frame] = flagValid | flagUsed
+	pt.next[frame] = pt.hat[bucket]
 	pt.hat[bucket] = int32(frame)
 	pt.stats.Maps++
 	return nil
@@ -270,25 +375,29 @@ func (pt *Inverted) Map(pid mem.PID, vpn, frame uint64) error {
 // returned to the free list — the caller immediately remaps it (page
 // replacement) or calls Release.
 func (pt *Inverted) Unmap(frame uint64) (pid mem.PID, vpn uint64, dirty bool, err error) {
-	if frame >= pt.cfg.Frames || !pt.entries[frame].valid {
+	if frame >= pt.cfg.Frames || pt.flags[frame]&flagValid == 0 {
 		return 0, 0, false, fmt.Errorf("pagetable: frame %d not mapped", frame)
 	}
-	e := pt.entries[frame]
-	bucket := pt.hash(e.pid, e.vpn)
+	pid, vpn = pt.pids[frame], pt.vpns[frame]
+	dirty = pt.flags[frame]&FlagDirty != 0
+	bucket := pt.hash(pid, vpn)
 	// Unlink from the chain.
 	if pt.hat[bucket] == int32(frame) {
-		pt.hat[bucket] = e.next
+		pt.hat[bucket] = pt.next[frame]
 	} else {
-		for idx := pt.hat[bucket]; idx >= 0; idx = pt.entries[idx].next {
-			if pt.entries[idx].next == int32(frame) {
-				pt.entries[idx].next = e.next
+		for idx := pt.hat[bucket]; idx >= 0; idx = pt.next[idx] {
+			if pt.next[idx] == int32(frame) {
+				pt.next[idx] = pt.next[frame]
 				break
 			}
 		}
 	}
-	pt.entries[frame] = entry{}
+	pt.vpns[frame] = 0
+	pt.pids[frame] = 0
+	pt.flags[frame] = 0
+	pt.next[frame] = 0
 	pt.stats.Unmaps++
-	return e.pid, e.vpn, e.dirty, nil
+	return pid, vpn, dirty, nil
 }
 
 // Release returns an unmapped frame to the free list.
@@ -298,26 +407,26 @@ func (pt *Inverted) Release(frame uint64) {
 }
 
 // Touch sets the frame's clock reference bit.
-func (pt *Inverted) Touch(frame uint64) { pt.entries[frame].used = true }
+func (pt *Inverted) Touch(frame uint64) { pt.flags[frame] |= flagUsed }
 
 // SetDirty marks the frame's page dirty (it must be written back on
 // replacement).
-func (pt *Inverted) SetDirty(frame uint64) { pt.entries[frame].dirty = true }
+func (pt *Inverted) SetDirty(frame uint64) { pt.flags[frame] |= FlagDirty }
 
 // Pin excludes the frame from clock replacement — the §4.5/§2.3
 // mechanism that keeps the page table, handler code and context-switch
 // structures resident in SRAM. It is also used transiently to protect
 // a frame whose page transfer is still in flight (switch-on-miss).
-func (pt *Inverted) Pin(frame uint64) { pt.entries[frame].pinned = true }
+func (pt *Inverted) Pin(frame uint64) { pt.flags[frame] |= flagPinned }
 
 // Unpin makes the frame replaceable again (the transfer that pinned it
 // has completed).
-func (pt *Inverted) Unpin(frame uint64) { pt.entries[frame].pinned = false }
+func (pt *Inverted) Unpin(frame uint64) { pt.flags[frame] &^= flagPinned }
 
 // FrameInfo reports a frame's mapping and state.
 func (pt *Inverted) FrameInfo(frame uint64) (pid mem.PID, vpn uint64, valid, dirty, pinned bool) {
-	e := pt.entries[frame]
-	return e.pid, e.vpn, e.valid, e.dirty, e.pinned
+	f := pt.flags[frame]
+	return pt.pids[frame], pt.vpns[frame], f&flagValid != 0, f&FlagDirty != 0, f&flagPinned != 0
 }
 
 // Hand returns the clock hand's current position, for invariant
@@ -337,14 +446,14 @@ func (pt *Inverted) ClockSelect(scanAddrs []uint64) (victim uint64, _ []uint64, 
 	for i := uint64(0); i < 2*n; i++ {
 		f := pt.hand
 		pt.hand = (pt.hand + 1) % n
-		e := &pt.entries[f]
 		pt.stats.ClockScans++
 		scanAddrs = append(scanAddrs, pt.EntryAddr(f))
-		if !e.valid || e.pinned {
+		fl := pt.flags[f]
+		if fl&flagValid == 0 || fl&flagPinned != 0 {
 			continue
 		}
-		if e.used {
-			e.used = false
+		if fl&flagUsed != 0 {
+			pt.flags[f] = fl &^ flagUsed
 			continue
 		}
 		if pt.obs != nil {

@@ -331,3 +331,49 @@ func TestMapLookupUnmapProperty(t *testing.T) {
 		t.Error(err)
 	}
 }
+
+// TestRecycleReturnsSlabsToArena pins the arena contract: a recycled
+// table's slabs back the next same-geometry table, construction in a
+// recycle loop stops allocating backing arrays, and a fresh table never
+// sees a predecessor's entries.
+func TestRecycleReusesSlabs(t *testing.T) {
+	cfg := Config{Frames: 64, PageBytes: 4096, TableBase: 0xF010_0000}
+	pt, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	frame, _ := pt.AllocFree()
+	if err := pt.Map(3, 77, frame); err != nil {
+		t.Fatal(err)
+	}
+	pt.SetDirty(frame)
+	pt.Recycle()
+	pt.Recycle() // idempotent
+
+	pt2, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, ok := pt2.Lookup(3, 77); ok {
+		t.Error("recycled slab leaked a mapping into the next table")
+	}
+	for i, f := range pt2.DirtyHot() {
+		if f != 0 {
+			t.Errorf("frame %d: stale flags %#x after recycle", i, f)
+		}
+	}
+	pt2.Recycle()
+
+	// Steady state: with the arena warm, New+Recycle allocates only the
+	// table header, never the backing columns (which would be 4+ more).
+	allocs := testing.AllocsPerRun(20, func() {
+		pt, err := New(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		pt.Recycle()
+	})
+	if allocs > 2 {
+		t.Errorf("New+Recycle allocates %.1f times in steady state; arena is not reusing slabs", allocs)
+	}
+}

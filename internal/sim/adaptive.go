@@ -58,7 +58,10 @@ func (r *RAMpage) Resize(pageBytes, sramBytes uint64) error {
 	}
 	r.cfg.PageBytes = pageBytes
 	r.cfg.SRAMBytes = sramBytes
+	r.mm.Recycle() // the old memory's page-table slabs return to the arena
 	r.mm = mm
+	r.mmHot = mm.Hot() // refresh the cached fast-path view
+	r.kernelLimit = mm.OSPages() * mm.PageBytes()
 	r.mm.SetObserver(r.obs) // the rebuilt memory inherits the probes
 	r.rep.Resizes++
 	return nil
@@ -187,6 +190,38 @@ func (a *AdaptiveRAMpage) ExecBatch(refs []mem.Ref) (int, mem.Cycles, error) {
 			left = 1
 		}
 		n, block, err := a.RAMpage.ExecBatch(refs[consumed : consumed+int(left)])
+		consumed += n
+		if err != nil {
+			return consumed, 0, err
+		}
+		if a.rep.BenchRefs-a.epochStart >= a.cfg.EpochRefs {
+			if err := a.evaluate(); err != nil {
+				return consumed, 0, err
+			}
+		}
+		if block != 0 {
+			return consumed, block, nil
+		}
+	}
+	return consumed, 0, nil
+}
+
+// ExecBatchColumnar implements ColumnarMachine with the same epoch
+// chunking as ExecBatch; without this override the promoted RAMpage
+// method would run whole windows past epoch boundaries.
+func (a *AdaptiveRAMpage) ExecBatchColumnar(pid mem.PID, kinds []mem.RefKind, addrs []mem.VAddr) (int, mem.Cycles, error) {
+	consumed := 0
+	for consumed < len(kinds) {
+		left := uint64(len(kinds) - consumed)
+		if done := a.rep.BenchRefs - a.epochStart; done < a.cfg.EpochRefs {
+			if until := a.cfg.EpochRefs - done; until < left {
+				left = until
+			}
+		} else {
+			left = 1
+		}
+		end := consumed + int(left)
+		n, block, err := a.RAMpage.ExecBatchColumnar(pid, kinds[consumed:end], addrs[consumed:end])
 		consumed += n
 		if err != nil {
 			return consumed, 0, err

@@ -57,6 +57,10 @@ type Baseline struct {
 	trcBuf      []mem.Ref
 	updBuf      []uint64
 	obs         metrics.Observer // nil unless probing is attached
+
+	// Fused fast-path views (fastpath.go), captured at construction.
+	fast    fastL1
+	fastTLB tlb.Hot
 }
 
 // NewBaseline builds the machine.
@@ -144,6 +148,8 @@ func NewBaseline(cfg BaselineConfig) (*Baseline, error) {
 		name += "+victim"
 	}
 	b.rep = stats.Report{Name: name, Clock: cfg.Clock, BlockBytes: cfg.L2Block}
+	b.fast = newFastL1(l1)
+	b.fastTLB = tb.Hot()
 	return b, nil
 }
 
@@ -188,6 +194,9 @@ func (b *Baseline) Exec(ref mem.Ref) (mem.Cycles, error) {
 // reference path. The baseline never blocks, so consumed is always
 // len(refs) unless an error occurs.
 func (b *Baseline) ExecBatch(refs []mem.Ref) (int, mem.Cycles, error) {
+	if b.obs == nil && b.fast.ok {
+		return b.execBatchFast(refs)
+	}
 	for i := range refs {
 		ref := refs[i]
 		if ref.PID != mem.KernelPID {
@@ -207,6 +216,9 @@ func (b *Baseline) ExecBatch(refs []mem.Ref) (int, mem.Cycles, error) {
 
 // ExecTrace implements Machine.
 func (b *Baseline) ExecTrace(refs []mem.Ref, class RefClass) error {
+	if b.obs == nil && b.fast.ok {
+		return b.execTraceFast(refs, class)
+	}
 	for _, r := range refs {
 		if err := b.execOne(r, class); err != nil {
 			return err

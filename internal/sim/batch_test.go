@@ -127,3 +127,76 @@ func TestExecBatchZeroAllocSteadyState(t *testing.T) {
 	t.Run("baseline", func(t *testing.T) { run(t, newBatchBaseline(t)) })
 	t.Run("rampage", func(t *testing.T) { run(t, newBatchRAMpage(t)) })
 }
+
+// colsOf splits rows into the single-PID columnar form that
+// ExecBatchColumnar consumes.
+func colsOf(t *testing.T, refs []mem.Ref) (mem.PID, []mem.RefKind, []mem.VAddr) {
+	t.Helper()
+	kinds := make([]mem.RefKind, len(refs))
+	addrs := make([]mem.VAddr, len(refs))
+	for i, r := range refs {
+		if r.PID != refs[0].PID {
+			t.Fatal("colsOf needs a single-PID stream")
+		}
+		kinds[i], addrs[i] = r.Kind, r.Addr
+	}
+	return refs[0].PID, kinds, addrs
+}
+
+// TestExecBatchColumnarMatchesExecBatch requires the columnar entry
+// point to produce a bit-identical report to row ExecBatch over the
+// same stream, including across deliberately unaligned windows.
+func TestExecBatchColumnarMatchesExecBatch(t *testing.T) {
+	refs := batchWorkload(4096)
+	pid, kinds, addrs := colsOf(t, refs)
+	run := func(t *testing.T, rows, cols Machine) {
+		t.Helper()
+		cm, ok := cols.(ColumnarMachine)
+		if !ok {
+			t.Fatal("machine does not implement ColumnarMachine")
+		}
+		for off := 0; off < len(refs); off += 129 { // deliberately unaligned windows
+			end := off + 129
+			if end > len(refs) {
+				end = len(refs)
+			}
+			if n, block, err := rows.ExecBatch(refs[off:end]); err != nil || block != 0 || n != end-off {
+				t.Fatalf("ExecBatch = %d, %d, %v", n, block, err)
+			}
+			if n, block, err := cm.ExecBatchColumnar(pid, kinds[off:end], addrs[off:end]); err != nil || block != 0 || n != end-off {
+				t.Fatalf("ExecBatchColumnar = %d, %d, %v", n, block, err)
+			}
+		}
+		if !reflect.DeepEqual(rows.Report(), cols.Report()) {
+			t.Errorf("reports diverge:\nrows: %+v\ncols: %+v", rows.Report(), cols.Report())
+		}
+	}
+	t.Run("baseline", func(t *testing.T) { run(t, newBatchBaseline(t), newBatchBaseline(t)) })
+	t.Run("rampage", func(t *testing.T) { run(t, newBatchRAMpage(t), newBatchRAMpage(t)) })
+}
+
+// TestExecBatchColumnarZeroAllocSteadyState pins the columnar hot
+// path like TestExecBatchZeroAllocSteadyState pins the row path.
+func TestExecBatchColumnarZeroAllocSteadyState(t *testing.T) {
+	refs := batchWorkload(2048)
+	pid, kinds, addrs := colsOf(t, refs)
+	run := func(t *testing.T, m Machine) {
+		t.Helper()
+		cm := m.(ColumnarMachine)
+		for i := 0; i < 4; i++ {
+			if n, block, err := cm.ExecBatchColumnar(pid, kinds, addrs); err != nil || block != 0 || n != len(kinds) {
+				t.Fatalf("warm-up ExecBatchColumnar = %d, %d, %v", n, block, err)
+			}
+		}
+		allocs := testing.AllocsPerRun(20, func() {
+			if _, _, err := cm.ExecBatchColumnar(pid, kinds, addrs); err != nil {
+				t.Fatal(err)
+			}
+		})
+		if allocs != 0 {
+			t.Errorf("steady-state ExecBatchColumnar allocates %.1f times per batch", allocs)
+		}
+	}
+	t.Run("baseline", func(t *testing.T) { run(t, newBatchBaseline(t)) })
+	t.Run("rampage", func(t *testing.T) { run(t, newBatchRAMpage(t)) })
+}

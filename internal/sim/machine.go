@@ -46,6 +46,17 @@ type Machine interface {
 	SetObserver(obs metrics.Observer)
 }
 
+// ColumnarMachine is implemented by machines that can execute a batch
+// straight from a columnar stream window: one PID for the whole window
+// plus parallel kind and address columns. Semantics are exactly those
+// of ExecBatch over the equivalent []mem.Ref — same consumed/block/
+// error contract, bit-identical reports — minus the row
+// materialization. The scheduler uses it whenever a process's stream
+// is columnar.
+type ColumnarMachine interface {
+	ExecBatchColumnar(pid mem.PID, kinds []mem.RefKind, addrs []mem.VAddr) (consumed int, blockUntil mem.Cycles, err error)
+}
+
 // observeDRAM forwards an observer to DRAM devices that expose probes
 // (the banked RDRAM's row-buffer events); flat devices are stateless
 // and have nothing to report.

@@ -46,6 +46,14 @@ type RAMpage struct {
 	inFlight   []inFlightPage           // pages pinned while their transfer runs
 	pending    map[mem.PAddr]mem.Cycles // in-flight prefetched pages: base -> arrival
 	obs        metrics.Observer         // nil unless probing is attached
+
+	// Fused fast-path views (fastpath.go). mmHot caches r.mm.Hot() —
+	// capturing it per batch costs a large struct copy on every handler
+	// trace — and is refreshed by Resize, the only place r.mm swaps.
+	// kernelLimit caches the pinned OS region size likewise.
+	fast        fastL1
+	mmHot       core.Hot
+	kernelLimit uint64
 }
 
 // inFlightPage tracks a pinned page whose DRAM transfer completes at
@@ -83,12 +91,15 @@ func NewRAMpage(cfg RAMpageConfig) (*RAMpage, error) {
 		name = "rampage-cs"
 	}
 	return &RAMpage{
-		cfg:     cfg,
-		l1:      l1,
-		mm:      mm,
-		kernel:  synth.NewKernel(cfg.Seed + 7),
-		rep:     stats.Report{Name: name, Clock: cfg.Clock, BlockBytes: cfg.PageBytes},
-		pending: make(map[mem.PAddr]mem.Cycles),
+		cfg:         cfg,
+		l1:          l1,
+		mm:          mm,
+		kernel:      synth.NewKernel(cfg.Seed + 7),
+		rep:         stats.Report{Name: name, Clock: cfg.Clock, BlockBytes: cfg.PageBytes},
+		pending:     make(map[mem.PAddr]mem.Cycles),
+		fast:        newFastL1(l1),
+		mmHot:       mm.Hot(),
+		kernelLimit: mm.OSPages() * mm.PageBytes(),
 	}, nil
 }
 
@@ -134,13 +145,28 @@ func (r *RAMpage) Exec(ref mem.Ref) (mem.Cycles, error) {
 // in-flight-page bookkeeping fall back to the per-reference path. A
 // blocking reference stops the batch unconsumed, exactly like Exec.
 func (r *RAMpage) ExecBatch(refs []mem.Ref) (int, mem.Cycles, error) {
-	for i := range refs {
+	i := 0
+	for i < len(refs) {
+		if r.fast.ok && r.obs == nil && len(r.inFlight) == 0 && len(r.pending) == 0 {
+			// Fused loop; it consumes until a blocking fault, an error,
+			// or a fallback that put transfers in flight.
+			n, block, err := r.execBatchFast(refs[i:])
+			i += n
+			if err != nil {
+				return i, 0, err
+			}
+			if block != 0 {
+				return i, block, nil
+			}
+			continue
+		}
 		ref := refs[i]
 		if len(r.inFlight) == 0 && len(r.pending) == 0 {
 			if pa, ok := r.mm.TranslateHit(ref.PID, ref.Addr, ref.Kind == mem.Store); ok {
 				r.rep.TLBHits++
 				r.rep.BenchRefs++
 				r.accessL1(ref.Kind, pa)
+				i++
 				continue
 			}
 		}
@@ -151,6 +177,7 @@ func (r *RAMpage) ExecBatch(refs []mem.Ref) (int, mem.Cycles, error) {
 		if block != 0 {
 			return i, block, nil
 		}
+		i++
 	}
 	return len(refs), 0, nil
 }
@@ -158,8 +185,16 @@ func (r *RAMpage) ExecBatch(refs []mem.Ref) (int, mem.Cycles, error) {
 // ExecTrace implements Machine. Operating-system references are pinned
 // in SRAM (§4.6) and can never fault.
 func (r *RAMpage) ExecTrace(refs []mem.Ref, class RefClass) error {
-	for _, ref := range refs {
-		if block, err := r.execOne(ref, class); err != nil {
+	i := 0
+	if r.fast.ok && r.obs == nil && len(r.inFlight) == 0 && len(r.pending) == 0 {
+		n, err := r.execTraceFast(refs, class)
+		if err != nil {
+			return err
+		}
+		i = n
+	}
+	for ; i < len(refs); i++ {
+		if block, err := r.execOne(refs[i], class); err != nil {
 			return err
 		} else if block != 0 {
 			return fmt.Errorf("sim: pinned OS reference faulted")

@@ -41,6 +41,11 @@ type proc struct {
 	bufPos int
 	bufN   int
 	rdErr  error
+
+	// col is set when the process's stream is columnar: the batched
+	// path then feeds the machine column windows directly (zero-copy)
+	// instead of materializing rows into buf.
+	col *trace.ColumnarReader
 }
 
 // DefaultBatchSize is the per-process read-ahead window of the batched
@@ -154,6 +159,11 @@ func NewScheduler(m Machine, readers []trace.Reader, cfg SchedulerConfig) (*Sche
 	queue := newReadyRing(len(readers))
 	for i, r := range readers {
 		procs[i] = &proc{pid: mem.PID(i), r: trace.NewRetag(r, mem.PID(i)), sliceLeft: cfg.Quantum}
+		if cr, _, ok := trace.ColumnarView(procs[i].r); ok {
+			// The retag PID is the process PID, so the columns plus
+			// p.pid reproduce p.r's stream exactly.
+			procs[i].col = cr
+		}
 		queue.pushBack(i)
 	}
 	return &Scheduler{
@@ -308,6 +318,10 @@ func (s *Scheduler) runBatched(ctx context.Context) (*stats.Report, error) {
 	if batchCap == 0 {
 		batchCap = DefaultBatchSize
 	}
+	// Columnar handoff: when the machine executes columns and a
+	// process's stream is columnar, windows go straight from the
+	// capture buffer to the machine with no row materialization.
+	colExec, _ := s.m.(ColumnarMachine)
 	cur, ok := s.dispatch()
 	if !ok {
 		return rep, nil
@@ -339,6 +353,67 @@ func (s *Scheduler) runBatched(ctx context.Context) (*stats.Report, error) {
 			s.recomputeWake()
 		}
 		p := s.procs[cur]
+		if colExec != nil && p.col != nil {
+			// Columnar window: identical control flow to the row path
+			// below, with Tail/Skip standing in for the buffer cursor.
+			// The batch-size cap is irrelevant here — the window is
+			// bounded by the same slice/wake/MaxRefs limits.
+			kinds, addrs := p.col.Tail()
+			if len(kinds) == 0 {
+				p.state = procDone
+				next, ok := s.dispatch()
+				if !ok {
+					return rep, nil // all done
+				}
+				if err := s.switchTrace(rep, cur, next, false); err != nil {
+					return rep, err
+				}
+				cur = next
+				continue
+			}
+			window := uint64(len(kinds))
+			if window > p.sliceLeft {
+				window = p.sliceLeft
+			}
+			if s.wakeAt != 0 {
+				window = 1 // per-reference checks while transfers are in flight
+			}
+			if s.cfg.MaxRefs > 0 {
+				if left := s.cfg.MaxRefs - executed; window > left {
+					window = left
+				}
+			}
+			consumed, blockUntil, err := colExec.ExecBatchColumnar(p.pid, kinds[:window], addrs[:window])
+			p.col.Skip(consumed)
+			executed += uint64(consumed)
+			p.sliceLeft -= uint64(consumed)
+			if err != nil {
+				return rep, err
+			}
+			if blockUntil != 0 {
+				// The reference at the column cursor faulted and must
+				// retry after blockUntil.
+				if s.wakeAt != 0 {
+					s.m.AdvanceTo(blockUntil)
+					continue
+				}
+				s.blockProc(rep, cur, blockUntil)
+				next, err := s.resumeAfterBlock(rep, cur)
+				if err != nil {
+					return rep, err
+				}
+				cur = next
+				continue
+			}
+			if p.sliceLeft == 0 {
+				next, err := s.quantumBoundary(rep, cur)
+				if err != nil {
+					return rep, err
+				}
+				cur = next
+			}
+			continue
+		}
 		if p.bufPos == p.bufN {
 			if p.rdErr == nil {
 				if p.buf == nil {
