@@ -6,7 +6,7 @@ GO ?= go
 GOLDEN_EXPS := table3 table4 table5 fig2 fig3 fig4
 GOLDEN_DIR  := testdata/golden
 
-.PHONY: all build test vet race verify verify-long bench bench-hot bench-snapshot bench-check profile golden regress clean
+.PHONY: all build test vet race verify verify-long bench bench-hot bench-snapshot bench-check bench-checkpoint profile golden regress clean
 
 all: build test vet
 
@@ -71,6 +71,17 @@ bench-check:
 	rm -f bench_raw.tmp
 	$(GO) run ./tools/regress -mode bench -subset -tol $(BENCH_TOL) $(BENCH_SNAPSHOT) bench_got.tmp.json
 	rm -f bench_got.tmp.json
+
+# Warm-state checkpoint benchmarks: the cold sweep (simulate + capture)
+# against the warm sweep (every cell restored from its final
+# checkpoint) plus the half-budget resume. Regenerates the committed
+# BENCH_checkpoint.json snapshot, whose cold/warm ratio demonstrates
+# the >= 3x warm-sweep speedup this round claims.
+bench-checkpoint:
+	$(GO) test -bench='Checkpoint' -benchmem -run='^$$' -count=3 . | tee bench_raw.tmp
+	$(GO) run ./tools/benchjson < bench_raw.tmp > BENCH_checkpoint.json.tmp
+	mv BENCH_checkpoint.json.tmp BENCH_checkpoint.json
+	rm -f bench_raw.tmp
 
 # Profile the heaviest hot-loop benchmark (the Table 3 baseline-vs-
 # RAMpage sweep) and print the top-10 flat CPU and allocation sites.

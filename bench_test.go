@@ -14,6 +14,7 @@ import (
 	"testing"
 
 	"rampage"
+	"rampage/internal/checkpoint"
 	"rampage/internal/harness"
 	"rampage/internal/mem"
 	"rampage/internal/synth"
@@ -239,6 +240,82 @@ func BenchmarkExtensionPrefetch(b *testing.B) {
 		b.ReportMetric(float64(plain.Cycles)/float64(pf.Cycles), "prefetch-speedup")
 		if pf.Prefetches > 0 {
 			b.ReportMetric(float64(pf.PrefetchHits)/float64(pf.Prefetches), "prefetch-accuracy")
+		}
+	}
+}
+
+// --- Warm-state checkpoint benchmarks (make bench-checkpoint) ---
+
+// checkpointBenchSweep is the sweep the cold/warm pair shares: the
+// RAMpage artifact grid at the benchmark scale.
+func checkpointBenchSweep(b *testing.B, cfg rampage.Config) {
+	b.Helper()
+	if _, err := rampage.Sweep(context.Background(), cfg, rampage.SystemRAMpage, benchRates, benchSizes, false); err != nil {
+		b.Fatal(err)
+	}
+}
+
+// BenchmarkSweepCheckpointCold times the sweep with a fresh checkpoint
+// store every iteration: each cell simulates from scratch and captures
+// its final state, so the delta over the storeless sweep benchmarks is
+// the capture-and-store overhead.
+func BenchmarkSweepCheckpointCold(b *testing.B) {
+	cfg := benchConfig()
+	cfg.Checkpoints = checkpoint.NewStore(0, "", nil)
+	checkpointBenchSweep(b, cfg) // warm the workload cache, as runExperiment does
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		cfg.Checkpoints = checkpoint.NewStore(0, "", nil)
+		checkpointBenchSweep(b, cfg)
+	}
+}
+
+// BenchmarkSweepCheckpointWarm times the same sweep against a store
+// populated by one untimed cold pass: every cell restores a final
+// checkpoint and skips simulation entirely. The committed
+// BENCH_checkpoint.json snapshot pins this at well over 3x faster than
+// BenchmarkSweepCheckpointCold.
+func BenchmarkSweepCheckpointWarm(b *testing.B) {
+	cfg := benchConfig()
+	cfg.Checkpoints = checkpoint.NewStore(0, "", nil)
+	checkpointBenchSweep(b, cfg) // cold pass: populates the store
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		checkpointBenchSweep(b, cfg)
+	}
+}
+
+// BenchmarkRunCheckpointResume times an incremental extension: an
+// untimed half-budget run stores its state, and each iteration reaches
+// the full budget by restoring and simulating only the second half —
+// the single-run analogue of the service's "extend" jobs.
+func BenchmarkRunCheckpointResume(b *testing.B) {
+	spec := rampage.RunSpec{System: rampage.SystemRAMpage, IssueMHz: 1000, SizeBytes: 1024}
+	cfg := benchConfig()
+	cfg.MaxRefs = 1_000_000
+	half := cfg
+	half.Checkpoints = checkpoint.NewStore(0, "", nil)
+	half.MaxRefs = cfg.MaxRefs / 2
+	if _, err := rampage.Run(context.Background(), half, spec); err != nil {
+		b.Fatal(err)
+	}
+	halfCk, _, ok := half.Checkpoints.Nearest(harness.CheckpointPrefixKey(cfg, spec), cfg.MaxRefs)
+	if !ok {
+		b.Fatal("half-budget run stored no checkpoint")
+	}
+	warm := cfg
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		// A fresh store holding only the half checkpoint: every iteration
+		// resumes (the full-budget capture of the previous iteration would
+		// otherwise turn the rest into complete restores).
+		warm.Checkpoints = checkpoint.NewStore(0, "", nil)
+		warm.Checkpoints.Put(halfCk)
+		if _, err := rampage.Run(context.Background(), warm, spec); err != nil {
+			b.Fatal(err)
 		}
 	}
 }

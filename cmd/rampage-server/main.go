@@ -40,15 +40,19 @@ func main() {
 		cacheMB      = flag.Int64("cache-mb", 256, "result cache budget in MiB (0 = unlimited)")
 		sweepWorkers = flag.Int("sweep-parallel", 0, "per-job grid-cell parallelism (0 = one per CPU)")
 		drainTimeout = flag.Duration("drain-timeout", 2*time.Minute, "how long shutdown waits for in-flight jobs before canceling them")
+		ckptMB       = flag.Int64("checkpoint-mb", 64, "warm-state checkpoint store resident budget in MiB (0 = unlimited)")
+		ckptDir      = flag.String("checkpoint-dir", "", "checkpoint spill directory (empty = evictions are dropped)")
 	)
 	flag.Parse()
 
 	svc := server.New(server.Config{
-		Workers:       *workers,
-		QueueDepth:    *queue,
-		JobTimeout:    *jobTimeout,
-		CacheBytes:    *cacheMB << 20,
-		SweepParallel: *sweepWorkers,
+		Workers:         *workers,
+		QueueDepth:      *queue,
+		JobTimeout:      *jobTimeout,
+		CacheBytes:      *cacheMB << 20,
+		SweepParallel:   *sweepWorkers,
+		CheckpointBytes: *ckptMB << 20,
+		CheckpointDir:   *ckptDir,
 	})
 
 	httpSrv := &http.Server{

@@ -1,0 +1,47 @@
+package dram
+
+import "rampage/internal/checkpoint"
+
+// EncodeDeviceState serializes a DRAM device's mutable state. Only the
+// banked *RDRAM carries state (open-row registers and row-buffer
+// counters); every other device — flat Direct Rambus, SDRAM, disk and
+// the MultiChannel wrapper, which never routes Addressed calls to its
+// inner devices — is a pure timing function. A presence byte
+// distinguishes the cases so encode and decode agree on the device's
+// statefulness.
+func EncodeDeviceState(e *checkpoint.Enc, d Device) {
+	e.Marker(checkpoint.MarkDRAM)
+	r, ok := d.(*RDRAM)
+	if !ok {
+		e.Bool(false)
+		return
+	}
+	e.Bool(true)
+	if r.openRows == nil {
+		r.reset() // materialize the lazy registers so geometry is fixed
+	}
+	e.I64s(r.openRows)
+	e.U64(r.stats.RowHits)
+	e.U64(r.stats.RowMisses)
+}
+
+// DecodeDeviceState restores state captured by EncodeDeviceState into
+// the same kind of device.
+func DecodeDeviceState(d *checkpoint.Dec, dev Device) {
+	d.Marker(checkpoint.MarkDRAM)
+	stateful := d.Bool()
+	r, ok := dev.(*RDRAM)
+	if stateful != ok {
+		d.Fail("dram: checkpoint statefulness %t does not match device %T", stateful, dev)
+		return
+	}
+	if !stateful {
+		return
+	}
+	if r.openRows == nil {
+		r.reset()
+	}
+	d.I64sInto(r.openRows)
+	r.stats.RowHits = d.U64()
+	r.stats.RowMisses = d.U64()
+}

@@ -11,6 +11,7 @@ import (
 	"strconv"
 	"strings"
 
+	"rampage/internal/checkpoint"
 	"rampage/internal/core"
 	"rampage/internal/mem"
 	"rampage/internal/metrics"
@@ -74,6 +75,14 @@ type Config struct {
 	// concurrent use. The experiment service uses it for job progress;
 	// it never influences results and is excluded from cache keys.
 	CellDone func()
+	// Checkpoints, when non-nil, attaches a warm-state checkpoint store:
+	// runs capture their final machine+scheduler state and later runs of
+	// the same warm-up prefix restore the newest dominating checkpoint
+	// instead of re-simulating it. Restored runs are bit-identical to
+	// from-scratch runs, so — like Verify and the execution knobs — the
+	// store is excluded from result cache keys. The store is safe for
+	// concurrent use and may be shared across sweeps.
+	Checkpoints *checkpoint.Store
 	// Verify attaches the oracle invariant checker (package oracle) to
 	// every run: machine-level invariants are asserted online and a
 	// violation fails the run with a descriptive error. Observation is

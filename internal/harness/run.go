@@ -8,6 +8,7 @@ import (
 	"sync/atomic"
 
 	"rampage/internal/cache"
+	"rampage/internal/checkpoint"
 	"rampage/internal/dram"
 	"rampage/internal/mem"
 	"rampage/internal/oracle"
@@ -261,13 +262,59 @@ func runWithReaders(ctx context.Context, cfg Config, spec RunSpec, readers []tra
 	if err != nil {
 		return nil, err
 	}
-	rep, err := sched.Run(ctx)
-	if err != nil {
-		return nil, err
+
+	// Warm start: restore the newest dominating checkpoint of this
+	// run's prefix. A complete checkpoint IS the finished run; a
+	// resumable one fast-forwards the shared warm-up and Run continues
+	// from its capture point, bit-identically to a cold run. Runs with
+	// a user observer attached never restore: the observer's event
+	// summary describes the execution, and a warm start would leave it
+	// blind to the restored prefix. They still capture below — the
+	// checkpoint bytes are execution-path-independent.
+	var prefix string
+	if cfg.Checkpoints != nil {
+		prefix = CheckpointPrefixKey(cfg, spec)
+	}
+	restoredComplete := false
+	if prefix != "" && cfg.Observer == nil {
+		if ck, complete, ok := cfg.Checkpoints.Nearest(prefix, cfg.MaxRefs); ok {
+			if err := sim.RestoreState(machine, sched, ck.Payload); err != nil {
+				return nil, fmt.Errorf("harness: restoring checkpoint %s@%d: %w", ck.System, ck.Meta.Refs, err)
+			}
+			if checker != nil {
+				// The captured run's transfers were observed by *its*
+				// checker; prime this one so its accounting reconciles.
+				checker.Resume(machine.Report())
+			}
+			restoredComplete = complete
+		}
+	}
+
+	rep := machine.Report()
+	if !restoredComplete {
+		rep, err = sched.Run(ctx)
+		if err != nil {
+			return nil, err
+		}
 	}
 	if checker != nil {
 		if err := checker.Check(); err != nil {
 			return nil, fmt.Errorf("harness: %s @ %d MHz / %d B: %w", spec.System, spec.IssueMHz, spec.SizeBytes, err)
+		}
+	}
+	// Capture before Release recycles the page-table slabs. A run
+	// answered entirely by a complete checkpoint has nothing new to
+	// store; Put dedups re-captures of an existing (prefix, refs,
+	// final) address anyway.
+	if prefix != "" && !restoredComplete {
+		refs := sched.Executed()
+		final := !(cfg.MaxRefs > 0 && refs >= cfg.MaxRefs)
+		if payload, err := sim.CaptureState(machine, sched); err == nil {
+			cfg.Checkpoints.Put(&checkpoint.Checkpoint{
+				Meta:    checkpoint.Meta{Prefix: prefix, Refs: refs, Final: final},
+				System:  spec.System.String(),
+				Payload: payload,
+			})
 		}
 	}
 	// The run is complete and verified: return the machine's pooled
@@ -382,6 +429,29 @@ func Sweep(ctx context.Context, cfg Config, system SystemKind, rates, sizes []ui
 		return runWithReaders(ctx, cfg, spec, readers)
 	}
 	type cell struct{ i, j int }
+	// Dispatch order: grid order when cold; warmest-first per the
+	// checkpoint planner when a store is attached, so complete restores
+	// return immediately and workers spend the sweep on the cold cells.
+	order := make([]cell, 0, len(rates)*len(sizes))
+	if cfg.Checkpoints != nil {
+		rateIdx := make(map[uint64]int, len(rates))
+		for i, r := range rates {
+			rateIdx[r] = i
+		}
+		sizeIdx := make(map[uint64]int, len(sizes))
+		for j, s := range sizes {
+			sizeIdx[s] = j
+		}
+		for _, pc := range PlanSweep(cfg, system, rates, sizes, switchTrace).Cells {
+			order = append(order, cell{rateIdx[pc.Spec.IssueMHz], sizeIdx[pc.Spec.SizeBytes]})
+		}
+	} else {
+		for i := range rates {
+			for j := range sizes {
+				order = append(order, cell{i, j})
+			}
+		}
+	}
 	cells := make(chan cell)
 	var (
 		wg       sync.WaitGroup
@@ -427,10 +497,8 @@ func Sweep(ctx context.Context, cfg Config, system SystemKind, rates, sizes []ui
 			}
 		}()
 	}
-	for i := range rates {
-		for j := range sizes {
-			cells <- cell{i, j}
-		}
+	for _, c := range order {
+		cells <- c
 	}
 	close(cells)
 	wg.Wait()

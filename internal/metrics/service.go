@@ -30,6 +30,14 @@ const (
 	SvcJobsDone
 	SvcJobsFailed
 	SvcJobsCanceled
+	// SvcCkptHit is a run warm-started from a stored checkpoint;
+	// SvcCkptMiss one that had to start cold; SvcCkptEvict a checkpoint
+	// spilled or dropped by the store's resident-byte budget. Together
+	// with the store's byte gauge they make the fleet's warm ratio
+	// observable on /metricsz.
+	SvcCkptHit
+	SvcCkptMiss
+	SvcCkptEvict
 	// NumServiceCounters is the vocabulary size.
 	NumServiceCounters
 )
@@ -57,6 +65,12 @@ func (c ServiceCounter) String() string {
 		return "jobs_failed"
 	case SvcJobsCanceled:
 		return "jobs_canceled"
+	case SvcCkptHit:
+		return "checkpoint_hits"
+	case SvcCkptMiss:
+		return "checkpoint_misses"
+	case SvcCkptEvict:
+		return "checkpoint_evictions"
 	default:
 		return "unknown"
 	}

@@ -5,6 +5,7 @@ import (
 
 	"rampage/internal/metrics"
 	"rampage/internal/sim"
+	"rampage/internal/stats"
 )
 
 // deepChecker is implemented by machines that expose structural
@@ -99,6 +100,16 @@ func (c *InvariantChecker) Tick(now uint64) {
 	if c.next != nil {
 		c.next.Tick(now)
 	}
+}
+
+// Resume primes the checker's observed-transfer accounting from a
+// report restored from a checkpoint: the transfers the captured run
+// performed were observed by *its* checker, so a checker attached to
+// the resumed run must start from the restored totals or Check's
+// report-vs-observation reconciliation would flag every warm start.
+func (c *InvariantChecker) Resume(rep *stats.Report) {
+	c.obsDRAMCount = rep.DRAMTransfers
+	c.obsDRAMBytes = rep.DRAMBytes
 }
 
 // Check runs the final deep checks and returns the first violation

@@ -1,0 +1,58 @@
+package pagetable
+
+import (
+	"rampage/internal/checkpoint"
+	"rampage/internal/mem"
+)
+
+// EncodeState serializes the table's complete mutable state: the
+// columnar frame entries, hash anchors, free list, clock hand and
+// counters. Geometry (frame count, HAT size) is implied by the
+// configuration and is validated, not serialized.
+func (pt *Inverted) EncodeState(e *checkpoint.Enc) {
+	e.Marker(checkpoint.MarkPageTable)
+	e.U64s(pt.vpns)
+	pids := make([]uint64, len(pt.pids))
+	for i, p := range pt.pids {
+		pids[i] = uint64(p)
+	}
+	e.U64s(pids)
+	e.U8s(pt.flags)
+	e.I32s(pt.next)
+	e.I32s(pt.hat)
+	e.I32(pt.freeHead)
+	e.I32s(pt.freeNext)
+	e.U64(pt.hand)
+	e.U64(pt.stats.Lookups)
+	e.U64(pt.stats.Hits)
+	e.U64(pt.stats.Probes)
+	e.U64(pt.stats.ClockScans)
+	e.U64(pt.stats.Maps)
+	e.U64(pt.stats.Unmaps)
+}
+
+// DecodeState restores state captured by EncodeState into the live
+// columns. Geometry mismatches are decode errors.
+func (pt *Inverted) DecodeState(d *checkpoint.Dec) {
+	d.Marker(checkpoint.MarkPageTable)
+	d.U64sInto(pt.vpns)
+	pids := make([]uint64, len(pt.pids))
+	d.U64sInto(pids)
+	if d.Err() == nil {
+		for i, p := range pids {
+			pt.pids[i] = mem.PID(p)
+		}
+	}
+	d.U8sInto(pt.flags)
+	d.I32sInto(pt.next)
+	d.I32sInto(pt.hat)
+	pt.freeHead = d.I32()
+	d.I32sInto(pt.freeNext)
+	pt.hand = d.U64()
+	pt.stats.Lookups = d.U64()
+	pt.stats.Hits = d.U64()
+	pt.stats.Probes = d.U64()
+	pt.stats.ClockScans = d.U64()
+	pt.stats.Maps = d.U64()
+	pt.stats.Unmaps = d.U64()
+}

@@ -23,6 +23,7 @@ import (
 	"strconv"
 	"time"
 
+	"rampage/internal/checkpoint"
 	"rampage/internal/harness"
 	"rampage/internal/jobs"
 	"rampage/internal/metrics"
@@ -52,6 +53,13 @@ type Config struct {
 	RetryAfter time.Duration
 	// Stats receives the service counters; nil allocates a private set.
 	Stats *metrics.ServiceStats
+	// CheckpointBytes budgets the warm-state checkpoint store's
+	// resident bytes (<= 0 = unlimited); CheckpointDir is its disk
+	// spill directory ("" = evictions are dropped). Every job's runs
+	// share the store, so repeated and extended requests warm-start
+	// from the newest dominating checkpoint.
+	CheckpointBytes int64
+	CheckpointDir   string
 }
 
 // Server is the HTTP experiment service.
@@ -59,6 +67,7 @@ type Server struct {
 	cfg   Config
 	mgr   *jobs.Manager
 	stats *metrics.ServiceStats
+	ckpts *checkpoint.Store
 	mux   *http.ServeMux
 }
 
@@ -74,6 +83,7 @@ func New(cfg Config) *Server {
 	s := &Server{
 		cfg:   cfg,
 		stats: cfg.Stats,
+		ckpts: checkpoint.NewStore(cfg.CheckpointBytes, cfg.CheckpointDir, cfg.Stats),
 		mgr: jobs.NewManager(jobs.Config{
 			Workers:    cfg.Workers,
 			QueueDepth: cfg.QueueDepth,
@@ -154,6 +164,11 @@ type experimentRequest struct {
 // attaches an event-probe collector (the PR-2 observer layer) for the
 // run and includes its summary in the document — the summary is as
 // deterministic as the report, so the result stays cacheable.
+// MaxRefs overrides the scale's reference budget, and ExtendRefs asks
+// for that budget plus K more references: because the budget is part
+// of the cache key but not the checkpoint prefix, an extended run is a
+// distinct cached document that warm-starts from the shorter run's
+// stored state instead of re-simulating the shared prefix.
 type runRequest struct {
 	Scale       string  `json:"scale,omitempty"`
 	Seed        *uint64 `json:"seed,omitempty"`
@@ -162,6 +177,8 @@ type runRequest struct {
 	SizeBytes   uint64  `json:"size_bytes"`
 	SwitchTrace bool    `json:"switch_trace,omitempty"`
 	Metrics     bool    `json:"metrics,omitempty"`
+	MaxRefs     uint64  `json:"max_refs,omitempty"`
+	ExtendRefs  uint64  `json:"extend_refs,omitempty"`
 }
 
 // httpError carries a status code out of request-assembly helpers.
@@ -190,6 +207,7 @@ func (s *Server) experimentJob(req experimentRequest) (jobs.Request, error) {
 	if err != nil {
 		return jobs.Request{}, errorf(http.StatusBadRequest, "%v", err)
 	}
+	cfg.Checkpoints = s.ckpts
 	cells, _ := harness.ExperimentCells(req.ID, req.RatesMHz, req.SizesBytes)
 	id, rates, sizes := req.ID, req.RatesMHz, req.SizesBytes
 	return jobs.Request{
@@ -232,6 +250,17 @@ func (s *Server) runJob(req runRequest) (jobs.Request, error) {
 	if err := spec.Validate(); err != nil {
 		return jobs.Request{}, errorf(http.StatusBadRequest, "%v", err)
 	}
+	if req.MaxRefs > 0 {
+		cfg.MaxRefs = req.MaxRefs
+	}
+	if req.ExtendRefs > 0 {
+		if cfg.MaxRefs == 0 {
+			return jobs.Request{}, errorf(http.StatusBadRequest,
+				"extend_refs needs a base budget (set max_refs or use a budgeted scale)")
+		}
+		cfg.MaxRefs += req.ExtendRefs
+	}
+	cfg.Checkpoints = s.ckpts
 	key := harness.RunKey(cfg, spec)
 	if req.Metrics {
 		// The observer never changes the report, but the document gains
@@ -239,9 +268,13 @@ func (s *Server) runJob(req runRequest) (jobs.Request, error) {
 		key += ":metrics"
 	}
 	withMetrics := req.Metrics
+	label := fmt.Sprintf("run:%s@%dMHz/%dB", system, spec.IssueMHz, spec.SizeBytes)
+	if req.ExtendRefs > 0 {
+		label = fmt.Sprintf("extend:%s@%dMHz/%dB+%d", system, spec.IssueMHz, spec.SizeBytes, req.ExtendRefs)
+	}
 	return jobs.Request{
 		Key:   key,
-		Label: fmt.Sprintf("run:%s@%dMHz/%dB", system, spec.IssueMHz, spec.SizeBytes),
+		Label: label,
 		Cells: 1,
 		Do: func(ctx context.Context, progress func()) ([]byte, error) {
 			c := cfg
@@ -361,9 +394,11 @@ func (s *Server) serveSync(w http.ResponseWriter, r *http.Request, req jobs.Requ
 	}
 }
 
-// jobRequest is the async submission body: kind "experiment" or "run"
-// plus that kind's fields (flattened — embedding the two request
-// structs would collide on the shared scale/seed tags).
+// jobRequest is the async submission body: kind "experiment", "run" or
+// "extend" plus that kind's fields (flattened — embedding the request
+// structs would collide on the shared scale/seed tags). An "extend"
+// job lengthens a run by extend_refs references on top of its base
+// budget, warm-starting from the newest dominating checkpoint.
 type jobRequest struct {
 	Kind        string   `json:"kind"`
 	ID          string   `json:"id,omitempty"`
@@ -376,6 +411,8 @@ type jobRequest struct {
 	SizeBytes   uint64   `json:"size_bytes,omitempty"`
 	SwitchTrace bool     `json:"switch_trace,omitempty"`
 	Metrics     bool     `json:"metrics,omitempty"`
+	MaxRefs     uint64   `json:"max_refs,omitempty"`
+	ExtendRefs  uint64   `json:"extend_refs,omitempty"`
 }
 
 // handleSubmitJob enqueues work asynchronously: POST /v1/jobs returns
@@ -402,9 +439,21 @@ func (s *Server) handleSubmitJob(w http.ResponseWriter, r *http.Request) {
 			Scale: req.Scale, Seed: req.Seed, System: req.System,
 			IssueMHz: req.IssueMHz, SizeBytes: req.SizeBytes,
 			SwitchTrace: req.SwitchTrace, Metrics: req.Metrics,
+			MaxRefs: req.MaxRefs, ExtendRefs: req.ExtendRefs,
+		})
+	case "extend":
+		if req.ExtendRefs == 0 {
+			writeError(w, http.StatusBadRequest, "extend job needs extend_refs > 0")
+			return
+		}
+		jreq, err = s.runJob(runRequest{
+			Scale: req.Scale, Seed: req.Seed, System: req.System,
+			IssueMHz: req.IssueMHz, SizeBytes: req.SizeBytes,
+			SwitchTrace: req.SwitchTrace, Metrics: req.Metrics,
+			MaxRefs: req.MaxRefs, ExtendRefs: req.ExtendRefs,
 		})
 	default:
-		writeError(w, http.StatusBadRequest, fmt.Sprintf("unknown job kind %q (want experiment or run)", req.Kind))
+		writeError(w, http.StatusBadRequest, fmt.Sprintf("unknown job kind %q (want experiment, run or extend)", req.Kind))
 		return
 	}
 	if err != nil {
@@ -483,6 +532,10 @@ func (s *Server) handleMetricsz(w http.ResponseWriter, r *http.Request) {
 		"cache": map[string]any{
 			"entries": s.mgr.Cache().Len(),
 			"bytes":   s.mgr.Cache().Bytes(),
+		},
+		"checkpoints": map[string]any{
+			"entries": s.ckpts.Len(),
+			"bytes":   s.ckpts.Bytes(),
 		},
 		"queue": map[string]any{
 			"length":   length,

@@ -436,6 +436,10 @@ func TestSubmitJobErrors(t *testing.T) {
 		{`{"kind":"run","scale":"tiny","system":"warp","issue_mhz":800,"size_bytes":128}`, http.StatusBadRequest},
 		{`{"kind":"run","scale":"tiny","system":"rampage","issue_mhz":800,"size_bytes":3000}`, http.StatusBadRequest},
 		{`{"kind":"run","unknown_field":1}`, http.StatusBadRequest},
+		// extend needs extend_refs, and a base budget to lengthen (the
+		// tiny scale is uncapped and the request sets no max_refs).
+		{`{"kind":"extend","scale":"tiny","system":"rampage","issue_mhz":800,"size_bytes":128}`, http.StatusBadRequest},
+		{`{"kind":"extend","scale":"tiny","system":"rampage","issue_mhz":800,"size_bytes":128,"extend_refs":1000}`, http.StatusBadRequest},
 		{`not json`, http.StatusBadRequest},
 	} {
 		code, body, _ := post(t, ts.URL+"/v1/jobs", tc.body)
@@ -470,6 +474,105 @@ func TestMetricszShape(t *testing.T) {
 	}
 	if doc.Queue.Capacity != 4 {
 		t.Errorf("queue capacity = %d, want 4", doc.Queue.Capacity)
+	}
+}
+
+// TestExtendJobWarmStart pins the incremental-run path end to end: a
+// budgeted run stores its warm state, an "extend" job lengthens it by
+// K references warm-starting from that checkpoint (the service counts
+// a checkpoint hit), and the extended document is byte-identical to
+// the same budget simulated from scratch on a fresh service.
+func TestExtendJobWarmStart(t *testing.T) {
+	var stats metrics.ServiceStats
+	ts, _ := newTestServer(t, server.Config{Workers: 2, QueueDepth: 8, Stats: &stats})
+
+	code, body, _ := post(t, ts.URL+"/v1/runs",
+		`{"scale":"tiny","system":"rampage","issue_mhz":1000,"size_bytes":512,"max_refs":40000}`)
+	if code != http.StatusOK {
+		t.Fatalf("base run: %d %s", code, body)
+	}
+
+	code, body, _ = post(t, ts.URL+"/v1/jobs",
+		`{"kind":"extend","scale":"tiny","system":"rampage","issue_mhz":1000,"size_bytes":512,"max_refs":40000,"extend_refs":20000}`)
+	if code != http.StatusAccepted {
+		t.Fatalf("extend submit: %d %s", code, body)
+	}
+	var st struct {
+		ID    string `json:"id"`
+		State string `json:"state"`
+		Label string `json:"label"`
+	}
+	if err := json.Unmarshal(body, &st); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(st.Label, "extend:") || !strings.HasSuffix(st.Label, "+20000") {
+		t.Errorf("extend job label = %q", st.Label)
+	}
+	deadline := time.Now().Add(60 * time.Second)
+	for st.State != "done" {
+		if st.State == "failed" || st.State == "canceled" {
+			t.Fatalf("extend job ended %s: %s", st.State, body)
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("extend job never finished")
+		}
+		time.Sleep(10 * time.Millisecond)
+		code, body, _ = get(t, ts.URL+"/v1/jobs/"+st.ID)
+		if code != http.StatusOK {
+			t.Fatalf("status poll: %d %s", code, body)
+		}
+		if err := json.Unmarshal(body, &st); err != nil {
+			t.Fatal(err)
+		}
+	}
+	code, extended, _ := get(t, ts.URL+"/v1/jobs/"+st.ID+"/result")
+	if code != http.StatusOK {
+		t.Fatalf("extend result: %d %s", code, extended)
+	}
+	if hits := stats.Get(metrics.SvcCkptHit); hits == 0 {
+		t.Error("extend job counted no checkpoint hits; it re-simulated the prefix")
+	}
+
+	// A fresh service (empty checkpoint store) simulating the target
+	// budget from scratch must produce the identical document.
+	ts2, _ := newTestServer(t, server.Config{Workers: 1, QueueDepth: 4})
+	code, scratch, _ := post(t, ts2.URL+"/v1/runs",
+		`{"scale":"tiny","system":"rampage","issue_mhz":1000,"size_bytes":512,"max_refs":60000}`)
+	if code != http.StatusOK {
+		t.Fatalf("scratch run: %d %s", code, scratch)
+	}
+	if !bytes.Equal(extended, scratch) {
+		t.Error("extended document differs from the from-scratch document")
+	}
+
+	// The extend cached at its target budget: the equivalent run
+	// request is a pure cache hit serving the same bytes.
+	code, repeat, _ := post(t, ts.URL+"/v1/runs",
+		`{"scale":"tiny","system":"rampage","issue_mhz":1000,"size_bytes":512,"max_refs":60000}`)
+	if code != http.StatusOK || !bytes.Equal(extended, repeat) {
+		t.Errorf("run at the extended budget not served from cache (status %d)", code)
+	}
+
+	// /metricsz reports the store.
+	code, mz, _ := get(t, ts.URL+"/metricsz")
+	if code != http.StatusOK {
+		t.Fatalf("metricsz: %d", code)
+	}
+	var doc struct {
+		Counters    map[string]uint64 `json:"counters"`
+		Checkpoints struct {
+			Entries int   `json:"entries"`
+			Bytes   int64 `json:"bytes"`
+		} `json:"checkpoints"`
+	}
+	if err := json.Unmarshal(mz, &doc); err != nil {
+		t.Fatal(err)
+	}
+	if doc.Checkpoints.Entries == 0 || doc.Checkpoints.Bytes <= 0 {
+		t.Errorf("metricsz checkpoints = %+v, want a populated store", doc.Checkpoints)
+	}
+	if _, ok := doc.Counters["checkpoint_hits"]; !ok {
+		t.Errorf("counters missing checkpoint_hits: %v", doc.Counters)
 	}
 }
 

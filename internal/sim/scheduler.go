@@ -33,6 +33,7 @@ type proc struct {
 	pending   mem.Ref    // the faulting reference to retry after unblock
 	hasPend   bool
 	sliceLeft uint64 // references remaining in the current time slice
+	done      uint64 // references executed from this stream (checkpoint cursor)
 
 	// Batched-path read-ahead buffer: buf[bufPos:bufN] holds fetched
 	// but not yet executed references; rdErr is the stream's terminal
@@ -144,6 +145,17 @@ type Scheduler struct {
 	wakeAt mem.Cycles // earliest blocked readyAt (0 = none)
 	kernel *synth.Kernel
 	buf    []mem.Ref
+
+	// executed counts application references across the scheduler's
+	// whole life, surviving checkpoint restores, so a resumed run stops
+	// at the same MaxRefs boundary a from-scratch run would.
+	executed uint64
+	// resumed and resumeCur arm the restore entry path: the first Run
+	// iteration after DecodeState re-enters the restored running process
+	// instead of dispatching from the queue (the running process is not
+	// queued, so a dispatch would pick the wrong one).
+	resumed   bool
+	resumeCur int
 }
 
 // NewScheduler builds a scheduler over one reader per process; the
@@ -200,11 +212,11 @@ func (s *Scheduler) Run(ctx context.Context) (*stats.Report, error) {
 // semantic reference for the batched path.
 func (s *Scheduler) runPerRef(ctx context.Context) (*stats.Report, error) {
 	rep := s.m.Report()
-	cur, ok := s.dispatch()
+	cur, ok := s.resumeOrDispatch()
 	if !ok {
 		return rep, nil
 	}
-	var executed, iter uint64
+	var iter uint64
 	for {
 		if iter&ctxCheckMask == 0 {
 			if err := ctx.Err(); err != nil {
@@ -215,7 +227,7 @@ func (s *Scheduler) runPerRef(ctx context.Context) (*stats.Report, error) {
 		if s.cfg.Observer != nil {
 			s.cfg.Observer.Tick(uint64(s.m.Now()))
 		}
-		if s.cfg.MaxRefs > 0 && executed >= s.cfg.MaxRefs {
+		if s.cfg.MaxRefs > 0 && s.executed >= s.cfg.MaxRefs {
 			return rep, nil
 		}
 		// Resume-on-arrival: a blocked process whose page has landed
@@ -286,7 +298,8 @@ func (s *Scheduler) runPerRef(ctx context.Context) (*stats.Report, error) {
 			cur = next
 			continue
 		}
-		executed++
+		s.executed++
+		p.done++
 		p.sliceLeft--
 		if p.sliceLeft == 0 {
 			next, err := s.quantumBoundary(rep, cur)
@@ -322,11 +335,10 @@ func (s *Scheduler) runBatched(ctx context.Context) (*stats.Report, error) {
 	// process's stream is columnar, windows go straight from the
 	// capture buffer to the machine with no row materialization.
 	colExec, _ := s.m.(ColumnarMachine)
-	cur, ok := s.dispatch()
+	cur, ok := s.resumeOrDispatch()
 	if !ok {
 		return rep, nil
 	}
-	var executed uint64
 	for {
 		// One poll per batch window (up to BatchSize references), so the
 		// cancellation check amortizes like the rest of the dispatch
@@ -337,7 +349,7 @@ func (s *Scheduler) runBatched(ctx context.Context) (*stats.Report, error) {
 		if s.cfg.Observer != nil {
 			s.cfg.Observer.Tick(uint64(s.m.Now()))
 		}
-		if s.cfg.MaxRefs > 0 && executed >= s.cfg.MaxRefs {
+		if s.cfg.MaxRefs > 0 && s.executed >= s.cfg.MaxRefs {
 			return rep, nil
 		}
 		if s.wakeAt != 0 && s.m.Now() >= s.wakeAt {
@@ -379,13 +391,14 @@ func (s *Scheduler) runBatched(ctx context.Context) (*stats.Report, error) {
 				window = 1 // per-reference checks while transfers are in flight
 			}
 			if s.cfg.MaxRefs > 0 {
-				if left := s.cfg.MaxRefs - executed; window > left {
+				if left := s.cfg.MaxRefs - s.executed; window > left {
 					window = left
 				}
 			}
 			consumed, blockUntil, err := colExec.ExecBatchColumnar(p.pid, kinds[:window], addrs[:window])
 			p.col.Skip(consumed)
-			executed += uint64(consumed)
+			s.executed += uint64(consumed)
+			p.done += uint64(consumed)
 			p.sliceLeft -= uint64(consumed)
 			if err != nil {
 				return rep, err
@@ -450,13 +463,14 @@ func (s *Scheduler) runBatched(ctx context.Context) (*stats.Report, error) {
 			window = 1 // per-reference checks while transfers are in flight
 		}
 		if s.cfg.MaxRefs > 0 {
-			if left := s.cfg.MaxRefs - executed; window > left {
+			if left := s.cfg.MaxRefs - s.executed; window > left {
 				window = left
 			}
 		}
 		consumed, blockUntil, err := s.m.ExecBatch(p.buf[p.bufPos : p.bufPos+int(window)])
 		p.bufPos += consumed
-		executed += uint64(consumed)
+		s.executed += uint64(consumed)
+		p.done += uint64(consumed)
 		p.sliceLeft -= uint64(consumed)
 		if err != nil {
 			return rep, err
@@ -560,6 +574,24 @@ func (s *Scheduler) dispatch() (int, bool) {
 	s.procs[next].state = procRunning
 	return next, true
 }
+
+// resumeOrDispatch is the Run-loop entry point: after a checkpoint
+// restore it re-enters the restored running process (which DecodeState
+// left out of the ready queue, exactly as the original run did); on a
+// fresh start it dispatches normally.
+func (s *Scheduler) resumeOrDispatch() (int, bool) {
+	if s.resumed {
+		s.resumed = false
+		if s.resumeCur >= 0 {
+			return s.resumeCur, true
+		}
+	}
+	return s.dispatch()
+}
+
+// Executed returns the number of application references executed so
+// far, accumulated across checkpoint restores.
+func (s *Scheduler) Executed() uint64 { return s.executed }
 
 // earliestArrived returns the blocked process with the earliest
 // readyAt that has already arrived, or -1.

@@ -1,0 +1,76 @@
+package stats
+
+import (
+	"rampage/internal/checkpoint"
+	"rampage/internal/mem"
+)
+
+// EncodeState serializes the report's numeric measurements in field
+// declaration order. Name, Clock and BlockBytes identify the
+// configuration, come from construction, and are not serialized.
+func (r *Report) EncodeState(e *checkpoint.Enc) {
+	e.Marker(checkpoint.MarkReport)
+	e.U64(uint64(r.Cycles))
+	for l := Level(0); l < NumLevels; l++ {
+		e.U64(uint64(r.LevelTime[l]))
+	}
+	e.U64(r.BenchRefs)
+	e.U64(r.OSTLBRefs)
+	e.U64(r.OSFaultRefs)
+	e.U64(r.OSSwitchRefs)
+	e.U64(r.TLBHits)
+	e.U64(r.TLBMisses)
+	e.U64(r.TLBEvictions)
+	e.U64(r.ClockScans)
+	e.U64(r.PageFaults)
+	e.U64(r.L1IMisses)
+	e.U64(r.L1DMisses)
+	e.U64(r.L2Misses)
+	e.U64(r.Writebacks)
+	e.U64(r.Switches)
+	e.U64(r.SwitchesOnMiss)
+	e.U64(uint64(r.IdleCycles))
+	e.U64(r.Resizes)
+	e.U64(r.Prefetches)
+	e.U64(r.PrefetchHits)
+	e.U64(r.PrefetchWasted)
+	e.U64(r.PrefetchStalls)
+	e.U64(uint64(r.TLBHandlerCycles))
+	e.U64(uint64(r.FaultHandlerCycles))
+	e.U64(r.DRAMTransfers)
+	e.U64(r.DRAMBytes)
+}
+
+// DecodeState restores measurements captured by EncodeState.
+func (r *Report) DecodeState(d *checkpoint.Dec) {
+	d.Marker(checkpoint.MarkReport)
+	r.Cycles = mem.Cycles(d.U64())
+	for l := Level(0); l < NumLevels; l++ {
+		r.LevelTime[l] = mem.Cycles(d.U64())
+	}
+	r.BenchRefs = d.U64()
+	r.OSTLBRefs = d.U64()
+	r.OSFaultRefs = d.U64()
+	r.OSSwitchRefs = d.U64()
+	r.TLBHits = d.U64()
+	r.TLBMisses = d.U64()
+	r.TLBEvictions = d.U64()
+	r.ClockScans = d.U64()
+	r.PageFaults = d.U64()
+	r.L1IMisses = d.U64()
+	r.L1DMisses = d.U64()
+	r.L2Misses = d.U64()
+	r.Writebacks = d.U64()
+	r.Switches = d.U64()
+	r.SwitchesOnMiss = d.U64()
+	r.IdleCycles = mem.Cycles(d.U64())
+	r.Resizes = d.U64()
+	r.Prefetches = d.U64()
+	r.PrefetchHits = d.U64()
+	r.PrefetchWasted = d.U64()
+	r.PrefetchStalls = d.U64()
+	r.TLBHandlerCycles = mem.Cycles(d.U64())
+	r.FaultHandlerCycles = mem.Cycles(d.U64())
+	r.DRAMTransfers = d.U64()
+	r.DRAMBytes = d.U64()
+}

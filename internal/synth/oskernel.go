@@ -59,6 +59,14 @@ func NewKernel(seed uint64) *Kernel {
 	return &Kernel{rng: xrand.New(seed ^ 0xBADC0FFEE)}
 }
 
+// RNGState exposes the kernel's random state for checkpointing (the
+// context-switch queue walk consumes random numbers, so mid-run state
+// must survive a save/restore to keep the stream bit-identical).
+func (k *Kernel) RNGState() uint64 { return k.rng.State() }
+
+// SetRNGState restores a state captured with RNGState.
+func (k *Kernel) SetRNGState(s uint64) { k.rng.SetState(s) }
+
 // kref makes a kernel-tagged reference.
 func kref(kind mem.RefKind, addr uint64) mem.Ref {
 	return mem.Ref{PID: mem.KernelPID, Kind: kind, Addr: mem.VAddr(addr)}

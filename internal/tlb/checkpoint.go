@@ -1,0 +1,39 @@
+package tlb
+
+import "rampage/internal/checkpoint"
+
+// EncodeState serializes the TLB's behavioral state: the entry columns,
+// the replacement RNG and the counters. The hit-position filter is NOT
+// serialized — it is a verified, behavior-invisible accelerator (see
+// the filter field), so leaving it out keeps checkpoint bytes
+// independent of which execution path (fused fast path or full lookup)
+// produced the state.
+func (t *TLB) EncodeState(e *checkpoint.Enc) {
+	e.Marker(checkpoint.MarkTLB)
+	e.U64s(t.keys)
+	e.U64s(t.vpns)
+	e.U64s(t.frames)
+	e.U64(t.rng.State())
+	e.U64(t.stats.Hits)
+	e.U64(t.stats.Misses)
+	e.U64(t.stats.Invalidations)
+	e.U64(t.stats.Flushes)
+}
+
+// DecodeState restores state captured by EncodeState into the live
+// columns and resets the filter to its construction state (slot 0,
+// always re-verified before use).
+func (t *TLB) DecodeState(d *checkpoint.Dec) {
+	d.Marker(checkpoint.MarkTLB)
+	d.U64sInto(t.keys)
+	d.U64sInto(t.vpns)
+	d.U64sInto(t.frames)
+	t.rng.SetState(d.U64())
+	t.stats.Hits = d.U64()
+	t.stats.Misses = d.U64()
+	t.stats.Invalidations = d.U64()
+	t.stats.Flushes = d.U64()
+	for i := range t.filter {
+		t.filter[i] = 0
+	}
+}

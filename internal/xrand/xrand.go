@@ -16,6 +16,13 @@ type RNG struct {
 // independent streams.
 func New(seed uint64) *RNG { return &RNG{state: seed} }
 
+// State returns the generator's internal state, for checkpointing. A
+// generator restored with SetState continues the exact stream.
+func (r *RNG) State() uint64 { return r.state }
+
+// SetState restores a state previously captured with State.
+func (r *RNG) SetState(s uint64) { r.state = s }
+
 // Next returns the next 64 random bits.
 func (r *RNG) Next() uint64 {
 	r.state += 0x9E3779B97F4A7C15

@@ -1,0 +1,78 @@
+// Command ckptgate gates the warm-state checkpoint payoff: given a
+// benchjson snapshot (BENCH_checkpoint.json), it compares the best
+// cold-sweep sample against the best warm-sweep sample and fails
+// unless the warm sweep is at least -min times faster (default 3, the
+// round's claim; the committed snapshot sits around 110x).
+//
+//	make bench-checkpoint
+//	go run ./tools/ckptgate BENCH_checkpoint.json
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+)
+
+type benchResult struct {
+	Name    string  `json:"name"`
+	NsPerOp float64 `json:"ns_per_op"`
+}
+
+// bestNs returns the minimum ns/op among results whose name contains
+// substr (the least-noise sample — interference only slows a
+// benchmark down). Zero means no sample matched.
+func bestNs(results []benchResult, substr string) float64 {
+	var best float64
+	for _, r := range results {
+		if !strings.Contains(r.Name, substr) || r.NsPerOp <= 0 {
+			continue
+		}
+		if best == 0 || r.NsPerOp < best {
+			best = r.NsPerOp
+		}
+	}
+	return best
+}
+
+// check computes the cold/warm speedup from a snapshot and compares it
+// against the minimum ratio.
+func check(results []benchResult, min float64) (ratio float64, err error) {
+	cold := bestNs(results, "SweepCheckpointCold")
+	warm := bestNs(results, "SweepCheckpointWarm")
+	if cold == 0 || warm == 0 {
+		return 0, fmt.Errorf("snapshot is missing the cold or warm sweep benchmark (cold=%v warm=%v)", cold, warm)
+	}
+	ratio = cold / warm
+	if ratio < min {
+		return ratio, fmt.Errorf("warm sweep is only %.1fx faster than cold (want >= %.1fx): cold %.0f ns/op, warm %.0f ns/op", ratio, min, cold, warm)
+	}
+	return ratio, nil
+}
+
+func main() {
+	min := flag.Float64("min", 3, "minimum cold/warm speedup ratio")
+	flag.Parse()
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: ckptgate [-min ratio] BENCH_checkpoint.json")
+		os.Exit(2)
+	}
+	b, err := os.ReadFile(flag.Arg(0))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "ckptgate:", err)
+		os.Exit(2)
+	}
+	var results []benchResult
+	if err := json.Unmarshal(b, &results); err != nil {
+		fmt.Fprintln(os.Stderr, "ckptgate:", err)
+		os.Exit(2)
+	}
+	ratio, err := check(results, *min)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "ckptgate:", err)
+		os.Exit(1)
+	}
+	fmt.Printf("ckptgate: warm sweep %.1fx faster than cold (>= %.1fx required)\n", ratio, *min)
+}

@@ -1,0 +1,37 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestCheckPassesAndFails(t *testing.T) {
+	results := []benchResult{
+		{Name: "BenchmarkSweepCheckpointCold", NsPerOp: 150e6},
+		{Name: "BenchmarkSweepCheckpointCold", NsPerOp: 145e6}, // best cold
+		{Name: "BenchmarkSweepCheckpointWarm", NsPerOp: 1.4e6},
+		{Name: "BenchmarkSweepCheckpointWarm", NsPerOp: 1.3e6}, // best warm
+		{Name: "BenchmarkRunCheckpointResume", NsPerOp: 23e6},  // ignored
+	}
+	ratio, err := check(results, 3)
+	if err != nil {
+		t.Fatalf("check: %v", err)
+	}
+	want := 145e6 / 1.3e6
+	if ratio != want {
+		t.Errorf("ratio = %v, want best-sample ratio %v", ratio, want)
+	}
+	if _, err := check(results, 200); err == nil {
+		t.Error("check passed a 200x requirement the snapshot cannot meet")
+	}
+}
+
+func TestCheckRefusesIncompleteSnapshot(t *testing.T) {
+	onlyCold := []benchResult{{Name: "BenchmarkSweepCheckpointCold", NsPerOp: 150e6}}
+	if _, err := check(onlyCold, 3); err == nil || !strings.Contains(err.Error(), "missing") {
+		t.Errorf("cold-only snapshot: err = %v, want missing-benchmark error", err)
+	}
+	if _, err := check(nil, 3); err == nil {
+		t.Error("empty snapshot accepted")
+	}
+}

@@ -181,9 +181,23 @@ func bestByName(results []benchResult) ([]string, map[string]float64) {
 // candidate are fine; improvements are fine. With subset, golden
 // benchmarks absent from the candidate are skipped (the candidate ran
 // a filtered -bench pattern) instead of failing.
-func compareBench(golden, got []benchResult, tol float64, subset bool) []string {
+//
+// Snapshots with zero benchmark names in common are refused outright:
+// tolerance comparison of disjoint name sets either fails on every
+// golden entry (noise) or, under -subset, vacuously passes — both mean
+// the two files almost certainly came from different benchmark tags.
+func compareBench(golden, got []benchResult, tol float64, subset bool) ([]string, error) {
 	order, want := bestByName(golden)
 	_, have := bestByName(got)
+	overlap := 0
+	for _, name := range order {
+		if _, ok := have[name]; ok {
+			overlap++
+		}
+	}
+	if overlap == 0 {
+		return nil, fmt.Errorf("no benchmark names in common (golden has %d, candidate %d) — different tags? refusing a comparison that cannot detect regressions", len(want), len(have))
+	}
 	var diffs []string
 	for _, name := range order {
 		g, ok := have[name]
@@ -202,7 +216,7 @@ func compareBench(golden, got []benchResult, tol float64, subset bool) []string 
 				name, g, w, 100*rel, 100*tol))
 		}
 	}
-	return diffs
+	return diffs, nil
 }
 
 func compareBenchFiles(goldenPath, gotPath string, tol float64, subset bool) ([]string, error) {
@@ -219,5 +233,5 @@ func compareBenchFiles(goldenPath, gotPath string, tol float64, subset bool) ([]
 	if len(golden) == 0 {
 		return nil, fmt.Errorf("%s: no benchmark entries", goldenPath)
 	}
-	return compareBench(golden, got, tol, subset), nil
+	return compareBench(golden, got, tol, subset)
 }

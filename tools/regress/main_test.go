@@ -65,7 +65,10 @@ func TestBenchModeTolerance(t *testing.T) {
 		{Name: "BenchmarkB", NsPerOp: 1100}, // +10%: regression
 		{Name: "BenchmarkNew", NsPerOp: 1},  // extra: fine
 	}
-	diffs := compareBench(golden, got, 0.05, false)
+	diffs, err := compareBench(golden, got, 0.05, false)
+	if err != nil {
+		t.Fatal(err)
+	}
 	joined := strings.Join(diffs, "\n")
 	if len(diffs) != 2 {
 		t.Fatalf("want 2 diffs, got %d:\n%s", len(diffs), joined)
@@ -78,13 +81,44 @@ func TestBenchModeTolerance(t *testing.T) {
 		t.Errorf("BenchmarkA within tolerance but reported:\n%s", joined)
 	}
 	// Subset mode: missing benchmarks are skipped, regressions still fail.
-	if diffs := compareBench(golden, got, 0.05, true); len(diffs) != 1 || !strings.Contains(diffs[0], "BenchmarkB") {
-		t.Errorf("subset mode diffs = %v, want only the BenchmarkB regression", diffs)
+	if diffs, err := compareBench(golden, got, 0.05, true); err != nil || len(diffs) != 1 || !strings.Contains(diffs[0], "BenchmarkB") {
+		t.Errorf("subset mode diffs = %v (err %v), want only the BenchmarkB regression", diffs, err)
 	}
 	// Improvements never fail.
 	got[1].NsPerOp = 500
-	if diffs := compareBench(golden[:3], got, 0.05, false); len(diffs) != 0 {
-		t.Errorf("improvement reported as regression: %v", diffs)
+	if diffs, err := compareBench(golden[:3], got, 0.05, false); err != nil || len(diffs) != 0 {
+		t.Errorf("improvement reported as regression: %v (err %v)", diffs, err)
+	}
+}
+
+// TestBenchModeRefusesMixedTags pins the disjoint-snapshot guard: two
+// files with no benchmark names in common are almost certainly from
+// different benchmark tags, and comparing them would either fail on
+// every entry or (under -subset) vacuously pass.
+func TestBenchModeRefusesMixedTags(t *testing.T) {
+	golden := []benchResult{
+		{Name: "BenchmarkSweepCold", NsPerOp: 100},
+		{Name: "BenchmarkSweepWarm", NsPerOp: 10},
+	}
+	got := []benchResult{
+		{Name: "BenchmarkBatchedRAMpage", NsPerOp: 50},
+	}
+	for _, subset := range []bool{false, true} {
+		if _, err := compareBench(golden, got, 0.05, subset); err == nil || !strings.Contains(err.Error(), "different tags?") {
+			t.Errorf("subset=%v: want a different-tags refusal, got %v", subset, err)
+		}
+	}
+	// A single shared name makes it a legitimate comparison again.
+	got = append(got, benchResult{Name: "BenchmarkSweepWarm", NsPerOp: 10})
+	if _, err := compareBench(golden, got, 0.05, true); err != nil {
+		t.Errorf("overlapping snapshots refused: %v", err)
+	}
+	// The refusal surfaces through the file path as a hard error (exit
+	// 2), not a diff list (exit 1).
+	g := writeFile(t, "g.json", `[{"name":"BenchmarkOld","ns_per_op":100}]`)
+	c := writeFile(t, "c.json", `[{"name":"BenchmarkNew","ns_per_op":100}]`)
+	if _, err := compareBenchFiles(g, c, 0.05, false); err == nil || !strings.Contains(err.Error(), "different tags?") {
+		t.Errorf("file comparison of disjoint snapshots: want refusal, got %v", err)
 	}
 }
 
