@@ -2,11 +2,11 @@
 
 GO ?= go
 
-# Experiments with a JSON form, mirrored under testdata/golden/.
-GOLDEN_EXPS := table3 table4 table5 fig2 fig3 fig4
-GOLDEN_DIR  := testdata/golden
+# Experiments with a JSON form (tables 3-5, figs 2-4) are mirrored
+# under testdata/golden/, one <id>.json each.
+GOLDEN_DIR := testdata/golden
 
-.PHONY: all build test vet race verify verify-long bench bench-hot bench-snapshot bench-check bench-checkpoint profile golden regress clean
+.PHONY: all build test vet race fleet-test verify verify-long bench bench-hot bench-snapshot bench-check bench-checkpoint profile golden regress clean
 
 all: build test vet
 
@@ -24,7 +24,16 @@ vet:
 # service's full-scale golden test; the golden CI job runs it).
 race:
 	$(GO) test -race ./internal/harness/... ./internal/sim/...
-	$(GO) test -race -short ./internal/server/... ./internal/jobs/...
+	$(GO) test -race -short ./internal/server/... ./internal/jobs/... ./internal/fleet/
+
+# The full multi-process fleet gate: in-process unit tests, then a real
+# coordinator + two worker processes serving the six golden experiments
+# byte-identically (with a disk-store restart), then the chaos run that
+# SIGKILLs a worker mid-sweep. Mirrors the CI fleet job; budget ~10 min
+# locally (longer under -race).
+fleet-test:
+	$(GO) test -race -short -count=1 ./internal/fleet/
+	$(GO) test -race -count=1 -timeout 50m -run 'TestFleetMultiProcessGolden|TestFleetWorkerKillChaos' -v ./internal/fleet/
 
 # Reference-oracle differential suite: replay seeded traces through
 # the slow, obviously-correct oracle models and the production machines
@@ -101,15 +110,14 @@ profile:
 golden:
 	$(GO) run ./cmd/rampage-bench -exp all -scale default -format json -outdir $(GOLDEN_DIR)
 
-# Regenerate every golden experiment into a temp dir and diff it
-# against the committed goldens (exact: simulated data is
-# deterministic).
+# Regenerate every golden experiment into a temp dir and diff the
+# directories (exact: simulated data is deterministic). The directory
+# mode makes a missing file on either side a hard error, so a deleted
+# golden or an experiment that stopped rendering cannot slip through.
 regress: REGRESS_TMP := $(shell mktemp -d)
 regress:
 	$(GO) run ./cmd/rampage-bench -exp all -scale default -format json -outdir $(REGRESS_TMP)
-	@for exp in $(GOLDEN_EXPS); do \
-		$(GO) run ./tools/regress -mode report $(GOLDEN_DIR)/$$exp.json $(REGRESS_TMP)/$$exp.json || exit 1; \
-	done
+	$(GO) run ./tools/regress -mode report $(GOLDEN_DIR) $(REGRESS_TMP)
 	rm -rf $(REGRESS_TMP)
 
 clean:

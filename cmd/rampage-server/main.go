@@ -3,17 +3,31 @@
 // from a content-addressed cache: repeating a request never re-runs
 // the simulation, and identical concurrent requests share one run.
 //
+// The same binary is both halves of a fleet. By default it is the
+// coordinator: it serves the experiment API, and when workers register
+// it shards sweep grids across them (pull-based work stealing with
+// leases; a dead worker's cells are requeued). With -store-dir,
+// results also persist in a content-addressed disk store that survives
+// restarts. With -worker it is a worker instead: it registers with
+// -coordinator-url, leases cells, simulates them locally (with its own
+// warm-state checkpoint store) and streams results back.
+//
 // Usage:
 //
 //	rampage-server                       # listen on :8080
 //	rampage-server -addr :9090 -workers 2
+//	rampage-server -store-dir /var/rampage/results -store-mb 512
+//	rampage-server -worker -coordinator-url http://host:8080 -fleet-parallel 4
 //
 //	curl localhost:8080/v1/experiments
 //	curl localhost:8080/v1/experiments/table3?scale=quick
 //	curl -X POST -d '{"kind":"experiment","id":"table3"}' localhost:8080/v1/jobs
+//	curl localhost:8080/fleet/v1/workers
 //
-// SIGINT/SIGTERM drain gracefully: in-flight simulations finish (up
-// to -drain-timeout) while new requests are refused.
+// SIGINT/SIGTERM drain gracefully: the coordinator finishes in-flight
+// simulations (up to -drain-timeout) while refusing new requests; a
+// worker finishes its leased cells, deregisters and exits (a second
+// signal aborts immediately — the coordinator requeues its cells).
 package main
 
 import (
@@ -28,6 +42,9 @@ import (
 	"syscall"
 	"time"
 
+	"rampage/internal/checkpoint"
+	"rampage/internal/fleet"
+	"rampage/internal/metrics"
 	"rampage/internal/server"
 )
 
@@ -42,10 +59,22 @@ func main() {
 		drainTimeout = flag.Duration("drain-timeout", 2*time.Minute, "how long shutdown waits for in-flight jobs before canceling them")
 		ckptMB       = flag.Int64("checkpoint-mb", 64, "warm-state checkpoint store resident budget in MiB (0 = unlimited)")
 		ckptDir      = flag.String("checkpoint-dir", "", "checkpoint spill directory (empty = evictions are dropped)")
+		storeDir     = flag.String("store-dir", "", "persistent result store directory (empty = memory-only caching)")
+		storeMB      = flag.Int64("store-mb", 1024, "persistent result store budget in MiB (0 = unlimited)")
+		leaseTTL     = flag.Duration("lease-ttl", 0, "fleet lease TTL before a silent worker's cells are requeued (0 = default 15s)")
+
+		workerMode     = flag.Bool("worker", false, "run as a fleet worker instead of a coordinator")
+		coordinatorURL = flag.String("coordinator-url", "", "coordinator base URL (worker mode), e.g. http://host:8080")
+		workerName     = flag.String("worker-name", "", "worker label in the coordinator's status (default: hostname)")
+		fleetParallel  = flag.Int("fleet-parallel", 1, "cells this worker executes concurrently (worker mode)")
 	)
 	flag.Parse()
 
-	svc := server.New(server.Config{
+	if *workerMode {
+		os.Exit(runWorker(*coordinatorURL, *workerName, *fleetParallel, *ckptMB<<20, *ckptDir))
+	}
+
+	svc, err := server.New(server.Config{
 		Workers:         *workers,
 		QueueDepth:      *queue,
 		JobTimeout:      *jobTimeout,
@@ -53,7 +82,14 @@ func main() {
 		SweepParallel:   *sweepWorkers,
 		CheckpointBytes: *ckptMB << 20,
 		CheckpointDir:   *ckptDir,
+		DiskDir:         *storeDir,
+		DiskBytes:       *storeMB << 20,
+		FleetLeaseTTL:   *leaseTTL,
 	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "rampage-server:", err)
+		os.Exit(1)
+	}
 
 	httpSrv := &http.Server{
 		Addr:              *addr,
@@ -91,4 +127,52 @@ func main() {
 		os.Exit(1)
 	}
 	log.Println("rampage-server: drained cleanly")
+}
+
+// runWorker is the -worker entry point: lease, simulate, stream back,
+// until the coordinator drains or we are signaled. The first signal
+// drains (finish leased cells, deregister); a second aborts
+// immediately and lease expiry hands our cells to the survivors.
+func runWorker(url, name string, parallel int, ckptBytes int64, ckptDir string) int {
+	if url == "" {
+		fmt.Fprintln(os.Stderr, "rampage-server: -worker requires -coordinator-url")
+		return 2
+	}
+	if name == "" {
+		name, _ = os.Hostname()
+	}
+	stats := &metrics.ServiceStats{}
+	w, err := fleet.NewWorker(fleet.WorkerConfig{
+		CoordinatorURL: url,
+		Name:           name,
+		Parallel:       parallel,
+		Checkpoints:    checkpoint.NewStore(ckptBytes, ckptDir, stats),
+		Stats:          stats,
+		Logf:           log.Printf,
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "rampage-server:", err)
+		return 2
+	}
+
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	sig := make(chan os.Signal, 2)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	go func() {
+		<-sig
+		log.Println("rampage-worker: draining (finishing leased cells; signal again to abort)")
+		w.Drain()
+		<-sig
+		log.Println("rampage-worker: aborting")
+		cancel()
+	}()
+
+	log.Printf("rampage-worker: %s -> %s (parallel=%d)", name, url, parallel)
+	if err := w.Run(ctx); err != nil && !errors.Is(err, context.Canceled) {
+		fmt.Fprintln(os.Stderr, "rampage-worker:", err)
+		return 1
+	}
+	log.Println("rampage-worker: done")
+	return 0
 }

@@ -1,0 +1,68 @@
+package fleet
+
+import (
+	"context"
+	"encoding/json"
+
+	"rampage/internal/checkpoint"
+	"rampage/internal/harness"
+)
+
+// ExecuteCell runs one sweep cell locally and returns its ReportJSON
+// bytes. It is the single execution path shared by workers and by the
+// coordinator's no-workers fallback, so a cell's bytes are identical
+// wherever it runs: reconstruct the canonical configuration, attach
+// the local warm-state checkpoint store (warm restores are
+// bit-identical to cold runs), simulate, flatten.
+func ExecuteCell(ctx context.Context, cell CellSpec, ckpts *checkpoint.Store) ([]byte, error) {
+	cfg := cell.Config.Config()
+	cfg.Checkpoints = ckpts
+	rep, err := harness.Run(ctx, cfg, cell.Spec)
+	if err != nil {
+		return nil, err
+	}
+	return json.Marshal(harness.NewReportJSON(rep))
+}
+
+// orderCells returns the leased batch warmest-first against the local
+// checkpoint store, per harness.PlanCells: cells a stored checkpoint
+// completes outright run (and stream back) first, then resumable ones
+// by warmth, then cold cells in lease order. Batches can mix
+// configurations (cells from different experiments or scales), so the
+// plan is computed per configuration group and groups keep their
+// relative order.
+func orderCells(cells []CellSpec, ckpts *checkpoint.Store) []CellSpec {
+	if ckpts == nil || len(cells) < 2 {
+		return cells
+	}
+	type group struct {
+		wire  harness.WireConfig
+		cells []CellSpec
+	}
+	var groups []*group
+	byCfg := make(map[harness.WireConfig]*group)
+	for _, c := range cells {
+		g, ok := byCfg[c.Config]
+		if !ok {
+			g = &group{wire: c.Config}
+			byCfg[c.Config] = g
+			groups = append(groups, g)
+		}
+		g.cells = append(g.cells, c)
+	}
+	out := make([]CellSpec, 0, len(cells))
+	for _, g := range groups {
+		cfg := g.wire.Config()
+		cfg.Checkpoints = ckpts
+		specs := make([]harness.RunSpec, len(g.cells))
+		byKey := make(map[harness.RunSpec]CellSpec, len(g.cells))
+		for i, c := range g.cells {
+			specs[i] = c.Spec
+			byKey[c.Spec] = c
+		}
+		for _, pc := range harness.PlanCells(cfg, specs).Cells {
+			out = append(out, byKey[pc.Spec])
+		}
+	}
+	return out
+}

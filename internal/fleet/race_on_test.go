@@ -1,0 +1,7 @@
+//go:build race
+
+package fleet_test
+
+// raceEnabled mirrors the test binary's -race flag so the proc tests
+// build the server binary with the same instrumentation.
+const raceEnabled = true

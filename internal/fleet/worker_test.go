@@ -1,0 +1,295 @@
+package fleet
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"rampage/internal/checkpoint"
+	"rampage/internal/harness"
+	"rampage/internal/metrics"
+)
+
+func tinyConfig() harness.Config {
+	cfg := harness.QuickScaled()
+	cfg.RefScale = 1.0 / 10000
+	return cfg
+}
+
+// coordServer mounts a coordinator behind an httptest server whose
+// backing coordinator can be swapped (simulating a restart).
+type coordServer struct {
+	mu sync.Mutex
+	c  *Coordinator
+	ts *httptest.Server
+}
+
+func newCoordServer(t *testing.T, c *Coordinator) *coordServer {
+	t.Helper()
+	cs := &coordServer{c: c}
+	cs.ts = httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		cs.mu.Lock()
+		cur := cs.c
+		cs.mu.Unlock()
+		mux := http.NewServeMux()
+		cur.Routes(mux)
+		mux.ServeHTTP(w, r)
+	}))
+	t.Cleanup(cs.ts.Close)
+	return cs
+}
+
+func (cs *coordServer) swap(c *Coordinator) {
+	cs.mu.Lock()
+	cs.c = c
+	cs.mu.Unlock()
+}
+
+func startWorker(t *testing.T, url, name string) (*Worker, chan error) {
+	t.Helper()
+	w, err := NewWorker(WorkerConfig{
+		CoordinatorURL: url,
+		Name:           name,
+		Parallel:       2,
+		Checkpoints:    checkpoint.NewStore(8<<20, "", nil),
+		Stats:          &metrics.ServiceStats{},
+		Logf:           t.Logf,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan error, 1)
+	ctx, cancel := context.WithCancel(context.Background())
+	t.Cleanup(func() {
+		cancel()
+		<-done
+	})
+	go func() { done <- w.Run(ctx) }()
+	return w, done
+}
+
+// waitForWorkers polls until n workers are live.
+func waitForWorkers(t *testing.T, c *Coordinator, n int) {
+	t.Helper()
+	deadline := time.Now().Add(10 * time.Second)
+	for c.LiveWorkers() < n {
+		if time.Now().After(deadline) {
+			t.Fatalf("never saw %d live workers", n)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+// TestWorkerExecutesExperiment drives the whole loop end to end in
+// process: a worker leases a real (tiny) experiment grid over HTTP,
+// simulates it, streams results back, and the coordinator's assembled
+// document is byte-identical to the local harness build.
+func TestWorkerExecutesExperiment(t *testing.T) {
+	stats := &metrics.ServiceStats{}
+	c := NewCoordinator(CoordinatorConfig{
+		LeaseTTL:     2 * time.Second,
+		PollInterval: 20 * time.Millisecond,
+		Stats:        stats,
+		Local: func(ctx context.Context, cell CellSpec) ([]byte, error) {
+			t.Error("local fallback ran with a live worker")
+			return ExecuteCell(ctx, cell, nil)
+		},
+	})
+	cs := newCoordServer(t, c)
+	startWorker(t, cs.ts.URL, "tw")
+	waitForWorkers(t, c, 1)
+
+	cfg := tinyConfig()
+	rates, sizes := []uint64{200, 400}, []uint64{1 << 12}
+	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Minute)
+	defer cancel()
+	var cellsDone int
+	got, err := c.BuildExperimentDoc(ctx, cfg, "table3", rates, sizes, func() { cellsDone++ })
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	doc, err := harness.BuildExperimentDoc(ctx, cfg, "table3", rates, sizes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := harness.WriteJSON(&buf, doc); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, buf.Bytes()) {
+		t.Fatalf("fleet document differs from local build (%d vs %d bytes)", len(got), buf.Len())
+	}
+	if cellsDone == 0 {
+		t.Error("progress callback never fired")
+	}
+	if n := stats.Get(metrics.SvcFleetCompleted); n == 0 {
+		t.Error("no cells completed through the fleet")
+	}
+	if n := stats.Get(metrics.SvcFleetLocal); n != 0 {
+		t.Errorf("fleet_cells_local = %d with a live worker", n)
+	}
+}
+
+// TestWorkerSurvivesCoordinatorRestart pins the re-register path: the
+// backing coordinator is replaced (fresh state, no registrations), and
+// the worker — told it is unknown — re-registers and keeps serving.
+func TestWorkerSurvivesCoordinatorRestart(t *testing.T) {
+	mkCoord := func() *Coordinator {
+		return NewCoordinator(CoordinatorConfig{
+			LeaseTTL:     2 * time.Second,
+			PollInterval: 20 * time.Millisecond,
+			Local: func(ctx context.Context, cell CellSpec) ([]byte, error) {
+				return ExecuteCell(ctx, cell, nil)
+			},
+		})
+	}
+	c1 := mkCoord()
+	cs := newCoordServer(t, c1)
+	startWorker(t, cs.ts.URL, "tw")
+	waitForWorkers(t, c1, 1)
+
+	// "Restart" the coordinator: fresh state, no registrations.
+	c2 := mkCoord()
+	cs.swap(c2)
+
+	cfg := tinyConfig()
+	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Minute)
+	defer cancel()
+	got, err := c2.BuildExperimentDoc(ctx, cfg, "table3", []uint64{200}, []uint64{1 << 12}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) == 0 {
+		t.Fatal("empty document")
+	}
+	// The worker, told it is unknown, must re-register with the new
+	// coordinator and keep serving.
+	waitForWorkers(t, c2, 1)
+}
+
+// TestWorkerDrain pins graceful worker shutdown: Drain finishes the
+// loop, deregisters and Run returns nil.
+func TestWorkerDrain(t *testing.T) {
+	c := NewCoordinator(CoordinatorConfig{
+		LeaseTTL:     2 * time.Second,
+		PollInterval: 10 * time.Millisecond,
+		Local: func(ctx context.Context, cell CellSpec) ([]byte, error) {
+			return ExecuteCell(ctx, cell, nil)
+		},
+	})
+	cs := newCoordServer(t, c)
+	w, done := startWorker(t, cs.ts.URL, "tw")
+	waitForWorkers(t, c, 1)
+	w.Drain()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("Run = %v, want nil", err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("worker did not exit after Drain")
+	}
+	if n := c.LiveWorkers(); n != 0 {
+		t.Errorf("LiveWorkers = %d after drain, want 0", n)
+	}
+	done <- nil // satisfy the cleanup reader
+}
+
+// lossyTransport lets lease/register traffic through but swallows
+// /complete calls (blocking until released, then failing) — the
+// network shape of a worker that dies after simulating but before its
+// result lands, which forces the requeue path deterministically.
+type lossyTransport struct {
+	base     http.RoundTripper
+	released chan struct{}
+}
+
+func (l *lossyTransport) RoundTrip(r *http.Request) (*http.Response, error) {
+	if strings.HasSuffix(r.URL.Path, "/complete") {
+		<-l.released
+		return nil, errors.New("victim died")
+	}
+	return l.base.RoundTrip(r)
+}
+
+// TestWorkerHardStopRequeues pins the chaos path in process: a worker
+// holding a lease dies without deregistering (its result never
+// arrives); the coordinator requeues at the lease deadline and a
+// second worker finishes the job.
+func TestWorkerHardStopRequeues(t *testing.T) {
+	stats := &metrics.ServiceStats{}
+	c := NewCoordinator(CoordinatorConfig{
+		LeaseTTL:     300 * time.Millisecond,
+		PollInterval: 20 * time.Millisecond,
+		Stats:        stats,
+		Local: func(ctx context.Context, cell CellSpec) ([]byte, error) {
+			return ExecuteCell(ctx, cell, nil)
+		},
+	})
+	cs := newCoordServer(t, c)
+
+	released := make(chan struct{})
+	victim, verr := NewWorker(WorkerConfig{
+		CoordinatorURL: cs.ts.URL,
+		Name:           "victim",
+		Parallel:       1,
+		Client:         &http.Client{Transport: &lossyTransport{base: http.DefaultTransport, released: released}},
+		Logf:           t.Logf,
+	})
+	if verr != nil {
+		t.Fatal(verr)
+	}
+	vctx, vcancel := context.WithCancel(context.Background())
+	vdone := make(chan error, 1)
+	go func() { vdone <- victim.Run(vctx) }()
+
+	cfg := tinyConfig()
+	type result struct {
+		data []byte
+		err  error
+	}
+	resCh := make(chan result, 1)
+	go func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 2*time.Minute)
+		defer cancel()
+		data, err := c.BuildExperimentDoc(ctx, cfg, "table3", []uint64{200}, []uint64{1 << 12}, nil)
+		resCh <- result{data, err}
+	}()
+
+	// Wait until the victim holds a lease, then kill it without
+	// deregistering.
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		if st := c.Status(); st.Leased > 0 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("victim never leased a cell")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	vcancel()
+	close(released)
+	<-vdone
+
+	// A rescuer joins; the requeued cells flow to it and the document
+	// completes.
+	startWorker(t, cs.ts.URL, "rescuer")
+	res := <-resCh
+	if res.err != nil {
+		t.Fatal(res.err)
+	}
+	if len(res.data) == 0 {
+		t.Fatal("empty document")
+	}
+	if n := stats.Get(metrics.SvcFleetRequeued); n < 1 {
+		t.Errorf("fleet_cells_requeued = %d, want >= 1", n)
+	}
+}

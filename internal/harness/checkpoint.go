@@ -86,27 +86,39 @@ type SweepPlan struct {
 // so workers spend the sweep's wall-clock on the genuinely cold cells.
 // With no store attached every cell is cold and grid order is kept.
 func PlanSweep(cfg Config, system SystemKind, rates, sizes []uint64, switchTrace bool) SweepPlan {
-	var plan SweepPlan
+	specs := make([]RunSpec, 0, len(rates)*len(sizes))
 	for _, rate := range rates {
 		for _, size := range sizes {
-			spec := RunSpec{
+			specs = append(specs, RunSpec{
 				System:      system,
 				IssueMHz:    rate,
 				SizeBytes:   size,
 				SwitchTrace: switchTrace,
-			}
-			pc := PlanCell{Spec: spec, Prefix: CheckpointPrefixKey(cfg, spec)}
-			if cfg.Checkpoints != nil && pc.Prefix != "" {
-				if refs, complete, ok := cfg.Checkpoints.Peek(pc.Prefix, cfg.MaxRefs); ok {
-					pc.Refs, pc.Complete = refs, complete
-					plan.Warm++
-					if complete {
-						plan.Complete++
-					}
+			})
+		}
+	}
+	return PlanCells(cfg, specs)
+}
+
+// PlanCells orders an arbitrary set of cells warmest-first against the
+// configuration's checkpoint store — the same policy PlanSweep applies
+// to a grid. Fleet workers use it to order a leased batch so complete
+// restores return immediately and the batch's wall-clock goes to the
+// cold cells.
+func PlanCells(cfg Config, specs []RunSpec) SweepPlan {
+	var plan SweepPlan
+	for _, spec := range specs {
+		pc := PlanCell{Spec: spec, Prefix: CheckpointPrefixKey(cfg, spec)}
+		if cfg.Checkpoints != nil && pc.Prefix != "" {
+			if refs, complete, ok := cfg.Checkpoints.Peek(pc.Prefix, cfg.MaxRefs); ok {
+				pc.Refs, pc.Complete = refs, complete
+				plan.Warm++
+				if complete {
+					plan.Complete++
 				}
 			}
-			plan.Cells = append(plan.Cells, pc)
 		}
+		plan.Cells = append(plan.Cells, pc)
 	}
 	sort.SliceStable(plan.Cells, func(i, j int) bool {
 		a, b := plan.Cells[i], plan.Cells[j]

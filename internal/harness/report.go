@@ -194,31 +194,120 @@ func ExperimentCells(id string, rates, sizes []uint64) (int, bool) {
 	return len(shape.systems) * len(rates) * len(sizes), true
 }
 
+// ExperimentShape is the resolved sweep structure of a JSON-form
+// experiment: the normalized grid plus the systems it crosses. It is
+// the unit a fleet coordinator shards — CellSpecs enumerates the
+// simulation points and Doc reassembles their reports into the exact
+// document BuildExperimentDoc would have produced.
+type ExperimentShape struct {
+	ID         string
+	Title      string
+	RatesMHz   []uint64
+	SizesBytes []uint64
+	// Systems and SwitchTrace are parallel: one sweep grid per entry.
+	Systems     []SystemKind
+	SwitchTrace []bool
+}
+
+// ShapeOf resolves an experiment's sweep shape under a requested grid
+// (empty slices select the paper defaults; the figure experiments pin
+// their own issue rate). Experiments without a JSON form error.
+func ShapeOf(id string, rates, sizes []uint64) (ExperimentShape, error) {
+	shape, ok := jsonExperiments[id]
+	if !ok {
+		return ExperimentShape{}, fmt.Errorf("harness: experiment %q has no JSON form", id)
+	}
+	exp, ok := FindExperiment(id)
+	if !ok {
+		return ExperimentShape{}, fmt.Errorf("harness: unknown experiment %q", id)
+	}
+	rates, sizes = normalizeExperimentGrid(id, rates, sizes)
+	return ExperimentShape{
+		ID:          id,
+		Title:       exp.Title,
+		RatesMHz:    rates,
+		SizesBytes:  sizes,
+		Systems:     shape.systems,
+		SwitchTrace: shape.switchTrace,
+	}, nil
+}
+
+// CellSpecs enumerates every simulation point of the experiment in the
+// document's canonical order: systems outermost, then rates, then
+// sizes. Doc expects reports aligned with this order.
+func (sh ExperimentShape) CellSpecs() []RunSpec {
+	specs := make([]RunSpec, 0, len(sh.Systems)*len(sh.RatesMHz)*len(sh.SizesBytes))
+	for i, system := range sh.Systems {
+		for _, rate := range sh.RatesMHz {
+			for _, size := range sh.SizesBytes {
+				specs = append(specs, RunSpec{
+					System:      system,
+					IssueMHz:    rate,
+					SizeBytes:   size,
+					SwitchTrace: sh.SwitchTrace[i],
+				})
+			}
+		}
+	}
+	return specs
+}
+
+// Doc assembles the experiment document from per-cell reports aligned
+// with CellSpecs order. The result is byte-identical (under WriteJSON)
+// to BuildExperimentDoc running the sweeps itself — that equivalence
+// is what lets a fleet scatter the cells and still serve goldens.
+func (sh ExperimentShape) Doc(reports []ReportJSON) (ExperimentDoc, error) {
+	want := len(sh.Systems) * len(sh.RatesMHz) * len(sh.SizesBytes)
+	if len(reports) != want {
+		return ExperimentDoc{}, fmt.Errorf("harness: %s: got %d cell reports, want %d", sh.ID, len(reports), want)
+	}
+	doc := ExperimentDoc{
+		Version:    ReportVersion,
+		Kind:       "experiment",
+		ID:         sh.ID,
+		Title:      sh.Title,
+		RatesMHz:   sh.RatesMHz,
+		SizesBytes: sh.SizesBytes,
+	}
+	k := 0
+	for i, system := range sh.Systems {
+		rows := make([][]ReportJSON, len(sh.RatesMHz))
+		for r := range sh.RatesMHz {
+			rows[r] = make([]ReportJSON, len(sh.SizesBytes))
+			for c := range sh.SizesBytes {
+				rows[r][c] = reports[k]
+				k++
+			}
+		}
+		doc.Systems = append(doc.Systems, SystemGrid{
+			System:      system.String(),
+			SwitchTrace: sh.SwitchTrace[i],
+			Rows:        rows,
+		})
+	}
+	return doc, nil
+}
+
 // BuildExperimentDoc runs an experiment's sweeps and returns the
 // versioned JSON document. It supports the sweep-structured experiments
 // (table3, table4, table5, fig2, fig3, fig4); others return an error.
 // Cancelling ctx aborts the underlying sweeps and returns ctx.Err().
 func BuildExperimentDoc(ctx context.Context, cfg Config, id string, rates, sizes []uint64) (ExperimentDoc, error) {
-	shape, ok := jsonExperiments[id]
-	if !ok {
-		return ExperimentDoc{}, fmt.Errorf("harness: experiment %q has no JSON form", id)
+	sh, err := ShapeOf(id, rates, sizes)
+	if err != nil {
+		return ExperimentDoc{}, err
 	}
-	exp, ok := FindExperiment(id)
-	if !ok {
-		return ExperimentDoc{}, fmt.Errorf("harness: unknown experiment %q", id)
-	}
-	rates, sizes = normalizeExperimentGrid(id, rates, sizes)
 	doc := ExperimentDoc{
 		Version:    ReportVersion,
 		Kind:       "experiment",
-		ID:         id,
-		Title:      exp.Title,
-		RatesMHz:   rates,
-		SizesBytes: sizes,
+		ID:         sh.ID,
+		Title:      sh.Title,
+		RatesMHz:   sh.RatesMHz,
+		SizesBytes: sh.SizesBytes,
 	}
-	for i, system := range shape.systems {
-		st := shape.switchTrace[i]
-		grid, err := Sweep(ctx, cfg, system, rates, sizes, st)
+	for i, system := range sh.Systems {
+		st := sh.SwitchTrace[i]
+		grid, err := Sweep(ctx, cfg, system, sh.RatesMHz, sh.SizesBytes, st)
 		if err != nil {
 			return ExperimentDoc{}, err
 		}

@@ -1,0 +1,58 @@
+package harness
+
+// WireConfig is the serializable projection of a Config: exactly the
+// result-affecting fields the canonical cache key covers, in wire
+// (JSON) form. It is how sweep cells travel between a fleet
+// coordinator and its workers — a worker reconstructing a Config from
+// a WireConfig is guaranteed the same report bytes the coordinator
+// would have produced locally, because everything excluded (execution
+// knobs, observers, stores) is pinned by the equivalence tests as
+// having no effect on results.
+type WireConfig struct {
+	Seed        uint64  `json:"seed"`
+	RefScale    float64 `json:"ref_scale"`
+	SizeScale   float64 `json:"size_scale"`
+	L2Bytes     uint64  `json:"l2_bytes"`
+	DRAMBytes   uint64  `json:"dram_bytes"`
+	Quantum     uint64  `json:"quantum"`
+	Processes   int     `json:"processes,omitempty"`
+	ProfileName string  `json:"profile,omitempty"`
+	MaxRefs     uint64  `json:"max_refs,omitempty"`
+}
+
+// NewWireConfig projects a Config onto its wire form. ok is false for
+// configurations whose workload identity the projection cannot carry
+// (custom profile sets) — those must not be distributed.
+func NewWireConfig(cfg Config) (WireConfig, bool) {
+	if cfg.profiles != nil {
+		return WireConfig{}, false
+	}
+	return WireConfig{
+		Seed:        cfg.Seed,
+		RefScale:    cfg.RefScale,
+		SizeScale:   cfg.SizeScale,
+		L2Bytes:     cfg.L2Bytes,
+		DRAMBytes:   cfg.DRAMBytes,
+		Quantum:     cfg.Quantum,
+		Processes:   cfg.Processes,
+		ProfileName: cfg.ProfileName,
+		MaxRefs:     cfg.MaxRefs,
+	}, true
+}
+
+// Config reconstructs the harness configuration: the canonical fields
+// verbatim, every execution knob zero. Callers attach their own local
+// checkpoint store and parallelism before running.
+func (w WireConfig) Config() Config {
+	return Config{
+		Seed:        w.Seed,
+		RefScale:    w.RefScale,
+		SizeScale:   w.SizeScale,
+		L2Bytes:     w.L2Bytes,
+		DRAMBytes:   w.DRAMBytes,
+		Quantum:     w.Quantum,
+		Processes:   w.Processes,
+		ProfileName: w.ProfileName,
+		MaxRefs:     w.MaxRefs,
+	}
+}

@@ -1,0 +1,147 @@
+package harness
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"testing"
+
+	"rampage/internal/synth"
+)
+
+// TestWireConfigRoundTrip pins the fleet's correctness foundation: a
+// Config projected to wire form and reconstructed remotely must hash
+// to the same canonical keys, so a worker's content addresses agree
+// with the coordinator's.
+func TestWireConfigRoundTrip(t *testing.T) {
+	cfg := QuickScaled()
+	cfg.RefScale = 1.0 / 10000
+	cfg.MaxRefs = 12345
+	cfg.Workers = 7 // execution knob: must not affect the wire form
+
+	wc, ok := NewWireConfig(cfg)
+	if !ok {
+		t.Fatal("standard config not wireable")
+	}
+	// JSON round-trip, as the cell travels over HTTP.
+	raw, err := json.Marshal(wc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back WireConfig
+	if err := json.Unmarshal(raw, &back); err != nil {
+		t.Fatal(err)
+	}
+	if back != wc {
+		t.Fatalf("wire round-trip changed config: %+v vs %+v", back, wc)
+	}
+	got := back.Config()
+	spec := RunSpec{System: RAMpage, IssueMHz: 400, SizeBytes: 1 << 12}
+	if RunKey(got, spec) != RunKey(cfg, spec) {
+		t.Error("run key differs after wire round-trip")
+	}
+	if ExperimentKey(got, "table3", nil, nil) != ExperimentKey(cfg, "table3", nil, nil) {
+		t.Error("experiment key differs after wire round-trip")
+	}
+
+	// A custom profile set cannot travel.
+	custom := cfg
+	custom.profiles = []synth.Profile{}
+	if _, ok := NewWireConfig(custom); ok {
+		t.Error("config with custom profiles reported wireable")
+	}
+}
+
+// TestShapeAssemblyEquivalence pins the fleet's byte-identity
+// guarantee at its root: running each cell independently, marshaling
+// the report to JSON (the worker's wire step), unmarshaling it back
+// (the coordinator's) and folding via ExperimentShape.Doc yields
+// exactly the bytes BuildExperimentDoc produces in one process.
+func TestShapeAssemblyEquivalence(t *testing.T) {
+	cfg := QuickScaled()
+	cfg.RefScale = 1.0 / 10000
+	rates, sizes := []uint64{200, 400}, []uint64{1 << 12}
+	ctx := context.Background()
+
+	doc, err := BuildExperimentDoc(ctx, cfg, "table3", rates, sizes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var want bytes.Buffer
+	if err := WriteJSON(&want, doc); err != nil {
+		t.Fatal(err)
+	}
+
+	sh, err := ShapeOf("table3", rates, sizes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	specs := sh.CellSpecs()
+	reports := make([]ReportJSON, len(specs))
+	for i, spec := range specs {
+		rep, err := Run(ctx, cfg, spec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Wire round-trip: worker marshal, coordinator unmarshal.
+		raw, err := json.Marshal(NewReportJSON(rep))
+		if err != nil {
+			t.Fatal(err)
+		}
+		dec := json.NewDecoder(bytes.NewReader(raw))
+		dec.DisallowUnknownFields()
+		if err := dec.Decode(&reports[i]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	cellDoc, err := sh.Doc(reports)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got bytes.Buffer
+	if err := WriteJSON(&got, cellDoc); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got.Bytes(), want.Bytes()) {
+		t.Fatalf("per-cell assembly differs from monolithic build (%d vs %d bytes)", got.Len(), want.Len())
+	}
+}
+
+// TestShapeDocValidates pins the guard rails around assembly.
+func TestShapeDocValidates(t *testing.T) {
+	sh, err := ShapeOf("table3", []uint64{200}, []uint64{1 << 12})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sh.Doc(make([]ReportJSON, 1)); err == nil {
+		t.Error("Doc accepted wrong report count")
+	}
+	if _, err := ShapeOf("nope", nil, nil); err == nil {
+		t.Error("ShapeOf accepted unknown experiment")
+	}
+	if _, err := ShapeOf("table1", nil, nil); err == nil {
+		t.Error("ShapeOf accepted an experiment with no JSON form")
+	}
+}
+
+// TestPlanCellsMatchesPlanSweep pins that the batch-order API the
+// fleet workers use is the same policy as the grid planner.
+func TestPlanCellsMatchesPlanSweep(t *testing.T) {
+	cfg := QuickScaled()
+	cfg.RefScale = 1.0 / 10000
+	rates, sizes := []uint64{200, 400}, []uint64{1 << 12, 1 << 13}
+	grid := PlanSweep(cfg, RAMpage, rates, sizes, false)
+	specs := make([]RunSpec, len(grid.Cells))
+	for i, pc := range grid.Cells {
+		specs[i] = pc.Spec
+	}
+	batch := PlanCells(cfg, specs)
+	if len(batch.Cells) != len(grid.Cells) {
+		t.Fatalf("%d vs %d cells", len(batch.Cells), len(grid.Cells))
+	}
+	for i := range batch.Cells {
+		if batch.Cells[i].Spec != grid.Cells[i].Spec {
+			t.Errorf("cell %d: %+v vs %+v", i, batch.Cells[i].Spec, grid.Cells[i].Spec)
+		}
+	}
+}

@@ -155,6 +155,11 @@ type Config struct {
 	JobTimeout time.Duration
 	// CacheBytes is the result cache budget (<= 0 = unlimited).
 	CacheBytes int64
+	// Disk, when non-nil, backs the in-memory LRU with a persistent
+	// content-addressed store: lookups that miss memory are answered
+	// from disk (and promoted), finished results are written through.
+	// Results therefore survive restarts and are shared fleet-wide.
+	Disk *DiskStore
 	// KeepFinished bounds how many terminal jobs stay pollable (min 1;
 	// default 512). Older finished jobs are forgotten FIFO.
 	KeepFinished int
@@ -167,6 +172,7 @@ type Config struct {
 type Manager struct {
 	cfg   Config
 	cache *Cache
+	disk  *DiskStore // nil when no persistent store is attached
 	stats *metrics.ServiceStats
 
 	baseCtx    context.Context
@@ -198,6 +204,7 @@ func NewManager(cfg Config) *Manager {
 	m := &Manager{
 		cfg:        cfg,
 		cache:      NewCache(cfg.CacheBytes, cfg.Stats),
+		disk:       cfg.Disk,
 		stats:      cfg.Stats,
 		baseCtx:    ctx,
 		baseCancel: cancel,
@@ -215,15 +222,35 @@ func NewManager(cfg Config) *Manager {
 // Cache exposes the result store (the HTTP layer reports its size).
 func (m *Manager) Cache() *Cache { return m.cache }
 
-// Lookup serves a result straight from the cache, counting a hit. It
-// does not create a job; misses are uncounted (the caller follows up
-// with Submit, which does the miss accounting).
-func (m *Manager) Lookup(key string) ([]byte, bool) {
+// Disk exposes the persistent result store; nil when none is attached.
+func (m *Manager) Disk() *DiskStore { return m.disk }
+
+// lookup answers a key from memory, then from the disk store
+// (promoting the hit into memory). The disk store does its own hit
+// accounting; memory hits are counted by the caller.
+func (m *Manager) lookup(key string) ([]byte, bool, bool) {
 	if data, ok := m.cache.Get(key); ok {
-		m.stats.Add(metrics.SvcCacheHit, 1)
-		return data, true
+		return data, true, true
 	}
-	return nil, false
+	if m.disk != nil {
+		if data, ok := m.disk.Get(key); ok {
+			m.cache.Put(key, data)
+			return data, true, false
+		}
+	}
+	return nil, false, false
+}
+
+// Lookup serves a result straight from the cache — the in-memory LRU
+// first, then the persistent disk store when one is attached. It does
+// not create a job; misses are uncounted (the caller follows up with
+// Submit, which does the miss accounting).
+func (m *Manager) Lookup(key string) ([]byte, bool) {
+	data, ok, mem := m.lookup(key)
+	if ok && mem {
+		m.stats.Add(metrics.SvcCacheHit, 1)
+	}
+	return data, ok
 }
 
 // Submit admits a request. The returned job may already be terminal
@@ -236,10 +263,12 @@ func (m *Manager) Submit(req Request) (*Job, error) {
 	if m.draining {
 		return nil, ErrDraining
 	}
-	// Cache check under the manager lock so a result installed between
-	// check and enqueue cannot be missed.
-	if data, ok := m.cache.Get(req.Key); ok {
-		m.stats.Add(metrics.SvcCacheHit, 1)
+	// Cache check (memory, then disk) under the manager lock so a
+	// result installed between check and enqueue cannot be missed.
+	if data, ok, mem := m.lookup(req.Key); ok {
+		if mem {
+			m.stats.Add(metrics.SvcCacheHit, 1)
+		}
 		j := m.newJobLocked(req)
 		j.cellsDone.Store(uint64(req.Cells))
 		j.state = StateDone
@@ -407,6 +436,9 @@ func (m *Manager) runJob(j *Job) {
 	switch {
 	case err == nil:
 		m.cache.Put(j.Key, data)
+		if m.disk != nil {
+			m.disk.Put(j.Key, data)
+		}
 		m.stats.Add(metrics.SvcJobsDone, 1)
 		finish(StateDone, data, nil)
 	case errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded):

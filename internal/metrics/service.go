@@ -38,6 +38,23 @@ const (
 	SvcCkptHit
 	SvcCkptMiss
 	SvcCkptEvict
+	// SvcDiskHit is a result served from the persistent disk-backed
+	// store; SvcDiskStore a document written to it; SvcDiskEvict an
+	// entry removed by its byte-budget GC.
+	SvcDiskHit
+	SvcDiskStore
+	SvcDiskEvict
+	// Fleet counters: SvcFleetLeased cells handed to workers,
+	// SvcFleetCompleted cells whose results came back,
+	// SvcFleetRequeued cells reassigned after a worker died or its
+	// lease expired, SvcFleetFailed cells that exhausted their retry
+	// budget, SvcFleetLocal cells the coordinator executed itself
+	// because no live worker remained.
+	SvcFleetLeased
+	SvcFleetCompleted
+	SvcFleetRequeued
+	SvcFleetFailed
+	SvcFleetLocal
 	// NumServiceCounters is the vocabulary size.
 	NumServiceCounters
 )
@@ -71,9 +88,37 @@ func (c ServiceCounter) String() string {
 		return "checkpoint_misses"
 	case SvcCkptEvict:
 		return "checkpoint_evictions"
+	case SvcDiskHit:
+		return "disk_hits"
+	case SvcDiskStore:
+		return "disk_stores"
+	case SvcDiskEvict:
+		return "disk_evictions"
+	case SvcFleetLeased:
+		return "fleet_cells_leased"
+	case SvcFleetCompleted:
+		return "fleet_cells_completed"
+	case SvcFleetRequeued:
+		return "fleet_cells_requeued"
+	case SvcFleetFailed:
+		return "fleet_cells_failed"
+	case SvcFleetLocal:
+		return "fleet_cells_local"
 	default:
 		return "unknown"
 	}
+}
+
+// SumSnapshots merges counter snapshots by summing values per name —
+// the coordinator's per-worker /metricsz rollup.
+func SumSnapshots(snaps ...map[string]uint64) map[string]uint64 {
+	out := make(map[string]uint64)
+	for _, snap := range snaps {
+		for name, v := range snap {
+			out[name] += v
+		}
+	}
+	return out
 }
 
 // ServiceStats is a fixed, allocation-free set of atomic counters.

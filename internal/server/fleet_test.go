@@ -1,0 +1,181 @@
+package server_test
+
+import (
+	"bytes"
+	"context"
+	"net/http"
+	"testing"
+	"time"
+
+	"rampage/internal/checkpoint"
+	"rampage/internal/fleet"
+	"rampage/internal/harness"
+	"rampage/internal/metrics"
+	"rampage/internal/server"
+)
+
+// localDoc builds the reference bytes the fleet must match: the plain
+// in-process harness rendering of the experiment.
+func localDoc(t *testing.T, cfg harness.Config, id string, rates, sizes []uint64) []byte {
+	t.Helper()
+	doc, err := harness.BuildExperimentDoc(context.Background(), cfg, id, rates, sizes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := harness.WriteJSON(&buf, doc); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+// startFleetWorker runs an in-process worker against the server's
+// coordinator endpoints and cleans it up with the test.
+func startFleetWorker(t *testing.T, url, name string) {
+	t.Helper()
+	w, err := fleet.NewWorker(fleet.WorkerConfig{
+		CoordinatorURL: url,
+		Name:           name,
+		Parallel:       2,
+		Checkpoints:    checkpoint.NewStore(8<<20, "", nil),
+		Stats:          &metrics.ServiceStats{},
+		Logf:           t.Logf,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		w.Run(ctx)
+	}()
+	t.Cleanup(func() {
+		cancel()
+		<-done
+	})
+}
+
+func waitForFleetWorkers(t *testing.T, svc *server.Server, n int) {
+	t.Helper()
+	deadline := time.Now().Add(10 * time.Second)
+	for svc.Fleet().LiveWorkers() < n {
+		if time.Now().After(deadline) {
+			t.Fatalf("never saw %d fleet workers", n)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+// TestServeExperimentThroughFleet pins the tentpole guarantee at the
+// service boundary: with workers registered, an experiment request is
+// sharded across the fleet and the served document is byte-identical
+// to the in-process harness build; the coordinator itself never
+// simulates.
+func TestServeExperimentThroughFleet(t *testing.T) {
+	var stats metrics.ServiceStats
+	ts, svc := newTestServer(t, server.Config{Workers: 2, QueueDepth: 8, Stats: &stats})
+	startFleetWorker(t, ts.URL, "w1")
+	startFleetWorker(t, ts.URL, "w2")
+	waitForFleetWorkers(t, svc, 2)
+
+	url := ts.URL + "/v1/experiments/table3?scale=tiny&rates=200,400&sizes=4096"
+	code, body, _ := get(t, url)
+	if code != http.StatusOK {
+		t.Fatalf("status %d: %.300s", code, body)
+	}
+	want := localDoc(t, testScales()["tiny"], "table3", []uint64{200, 400}, []uint64{4096})
+	if !bytes.Equal(body, want) {
+		t.Fatalf("fleet-served document differs from local build (%d vs %d bytes)", len(body), len(want))
+	}
+	if n := stats.Get(metrics.SvcFleetCompleted); n == 0 {
+		t.Error("no cells went through the fleet")
+	}
+	if n := stats.Get(metrics.SvcFleetLocal); n != 0 {
+		t.Errorf("coordinator simulated %d cells itself; want 0 with live workers", n)
+	}
+
+	// The assembled document is cached like any local result: a repeat
+	// is a cache hit, no new fleet traffic.
+	leased := stats.Get(metrics.SvcFleetLeased)
+	code, body2, _ := get(t, url)
+	if code != http.StatusOK || !bytes.Equal(body2, want) {
+		t.Fatalf("repeat request differs (status %d)", code)
+	}
+	if n := stats.Get(metrics.SvcFleetLeased); n != leased {
+		t.Errorf("repeat request leased %d new cells", n-leased)
+	}
+}
+
+// TestDiskStoreServesAcrossRestart pins the persistence guarantee at
+// the service boundary: a document computed before a server restart is
+// served byte-identical from the disk store by the next server, with
+// zero new simulation.
+func TestDiskStoreServesAcrossRestart(t *testing.T) {
+	dir := t.TempDir()
+	url := "/v1/experiments/table3?scale=tiny&rates=200,400&sizes=4096"
+
+	ts1, svc1 := newTestServer(t, server.Config{Workers: 1, QueueDepth: 8, DiskDir: dir})
+	code, body1, _ := get(t, ts1.URL+url)
+	if code != http.StatusOK {
+		t.Fatalf("status %d: %.300s", code, body1)
+	}
+	drainCtx, cancel := contextWithTimeout(30 * time.Second)
+	svc1.Drain(drainCtx)
+	cancel()
+	ts1.Close()
+
+	var stats metrics.ServiceStats
+	ts2, _ := newTestServer(t, server.Config{Workers: 1, QueueDepth: 8, DiskDir: dir, Stats: &stats})
+	code, body2, _ := get(t, ts2.URL+url)
+	if code != http.StatusOK {
+		t.Fatalf("restarted status %d: %.300s", code, body2)
+	}
+	if !bytes.Equal(body1, body2) {
+		t.Fatalf("disk-served document differs across restart (%d vs %d bytes)", len(body1), len(body2))
+	}
+	if n := stats.Get(metrics.SvcDiskHit); n == 0 {
+		t.Error("no disk hits on the restarted server")
+	}
+	if n := stats.Get(metrics.SvcSimRuns); n != 0 {
+		t.Errorf("restarted server ran %d simulations; want 0 (disk should answer)", n)
+	}
+}
+
+// TestFleetWorkersShareCellsAcrossExperiments pins fleet-wide dedup:
+// fig2's cells are a subset of table3's grid at the same scale, so
+// with a disk store attached, serving table3 first makes fig2 cost
+// zero new leases.
+func TestFleetWorkersShareCellsAcrossExperiments(t *testing.T) {
+	var stats metrics.ServiceStats
+	ts, svc := newTestServer(t, server.Config{
+		Workers: 2, QueueDepth: 8, Stats: &stats, DiskDir: t.TempDir(),
+	})
+	startFleetWorker(t, ts.URL, "w1")
+	waitForFleetWorkers(t, svc, 1)
+
+	// fig2 pins rate 200; request table3 restricted to that rate so the
+	// grids coincide exactly.
+	code, body, _ := get(t, ts.URL+"/v1/experiments/table3?scale=tiny&rates=200")
+	if code != http.StatusOK {
+		t.Fatalf("table3 status %d: %.300s", code, body)
+	}
+	leased := stats.Get(metrics.SvcFleetLeased)
+	if leased == 0 {
+		t.Fatal("table3 leased no cells")
+	}
+	code, body, _ = get(t, ts.URL+"/v1/experiments/fig2?scale=tiny")
+	if code != http.StatusOK {
+		t.Fatalf("fig2 status %d: %.300s", code, body)
+	}
+	want := localDoc(t, testScales()["tiny"], "fig2", nil, nil)
+	if !bytes.Equal(body, want) {
+		t.Fatalf("fig2 assembled from shared cells differs from local build (%d vs %d bytes)", len(body), len(want))
+	}
+	if n := stats.Get(metrics.SvcFleetLeased); n != leased {
+		t.Errorf("fig2 leased %d new cells; want 0 (cells shared with table3)", n-leased)
+	}
+	if n := stats.Get(metrics.SvcDiskHit); n == 0 {
+		t.Error("fig2 took no disk hits")
+	}
+}

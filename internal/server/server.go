@@ -24,6 +24,7 @@ import (
 	"time"
 
 	"rampage/internal/checkpoint"
+	"rampage/internal/fleet"
 	"rampage/internal/harness"
 	"rampage/internal/jobs"
 	"rampage/internal/metrics"
@@ -60,6 +61,16 @@ type Config struct {
 	// from the newest dominating checkpoint.
 	CheckpointBytes int64
 	CheckpointDir   string
+	// DiskDir, when set, roots the persistent disk-backed result store
+	// behind the in-memory LRU: content-addressed documents that
+	// survive restarts and deduplicate cells fleet-wide. DiskBytes is
+	// its byte budget (<= 0 = unlimited).
+	DiskDir   string
+	DiskBytes int64
+	// FleetLeaseTTL bounds how long a worker may hold a leased cell
+	// without renewing before the coordinator requeues it (0 = the
+	// fleet default).
+	FleetLeaseTTL time.Duration
 }
 
 // Server is the HTTP experiment service.
@@ -68,33 +79,54 @@ type Server struct {
 	mgr   *jobs.Manager
 	stats *metrics.ServiceStats
 	ckpts *checkpoint.Store
+	disk  *jobs.DiskStore
+	fleet *fleet.Coordinator
 	mux   *http.ServeMux
 }
 
 // New builds the service and starts its worker pool. Callers must
-// Drain it on shutdown.
-func New(cfg Config) *Server {
+// Drain it on shutdown. The only construction failure is an unusable
+// disk-store directory.
+func New(cfg Config) (*Server, error) {
 	if cfg.Stats == nil {
 		cfg.Stats = &metrics.ServiceStats{}
 	}
 	if cfg.RetryAfter <= 0 {
 		cfg.RetryAfter = 5 * time.Second
 	}
+	var disk *jobs.DiskStore
+	if cfg.DiskDir != "" {
+		d, err := jobs.NewDiskStore(cfg.DiskDir, cfg.DiskBytes, cfg.Stats)
+		if err != nil {
+			return nil, err
+		}
+		disk = d
+	}
 	s := &Server{
 		cfg:   cfg,
 		stats: cfg.Stats,
 		ckpts: checkpoint.NewStore(cfg.CheckpointBytes, cfg.CheckpointDir, cfg.Stats),
+		disk:  disk,
 		mgr: jobs.NewManager(jobs.Config{
 			Workers:    cfg.Workers,
 			QueueDepth: cfg.QueueDepth,
 			JobTimeout: cfg.JobTimeout,
 			CacheBytes: cfg.CacheBytes,
 			Stats:      cfg.Stats,
+			Disk:       disk,
 		}),
 		mux: http.NewServeMux(),
 	}
+	s.fleet = fleet.NewCoordinator(fleet.CoordinatorConfig{
+		LeaseTTL: cfg.FleetLeaseTTL,
+		Disk:     disk,
+		Stats:    cfg.Stats,
+		Local: func(ctx context.Context, cell fleet.CellSpec) ([]byte, error) {
+			return fleet.ExecuteCell(ctx, cell, s.ckpts)
+		},
+	})
 	s.routes()
-	return s
+	return s, nil
 }
 
 func (s *Server) routes() {
@@ -107,6 +139,7 @@ func (s *Server) routes() {
 	s.mux.HandleFunc("DELETE /v1/jobs/{id}", s.handleJobCancel)
 	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
 	s.mux.HandleFunc("GET /metricsz", s.handleMetricsz)
+	s.fleet.Routes(s.mux)
 }
 
 // Handler returns the service's HTTP handler.
@@ -115,9 +148,19 @@ func (s *Server) Handler() http.Handler { return s.mux }
 // Stats exposes the counter set (tests assert on it).
 func (s *Server) Stats() *metrics.ServiceStats { return s.stats }
 
+// Fleet exposes the coordinator (worker-mode processes and tests talk
+// to it directly).
+func (s *Server) Fleet() *fleet.Coordinator { return s.fleet }
+
 // Drain stops admitting work and waits for in-flight jobs; if ctx
-// expires first, remaining jobs are canceled.
-func (s *Server) Drain(ctx context.Context) error { return s.mgr.Drain(ctx) }
+// expires first, remaining jobs are canceled. The fleet coordinator
+// drains first: no new leases are created for new work, but cells
+// already queued (they belong to in-flight jobs) keep flowing to
+// workers so those jobs can finish before the manager's wait returns.
+func (s *Server) Drain(ctx context.Context) error {
+	s.fleet.Drain()
+	return s.mgr.Drain(ctx)
+}
 
 // configFor resolves a scale name and optional seed override into a
 // validated harness configuration with the service's sweep
@@ -215,6 +258,19 @@ func (s *Server) experimentJob(req experimentRequest) (jobs.Request, error) {
 		Label: "experiment:" + id,
 		Cells: cells,
 		Do: func(ctx context.Context, progress func()) ([]byte, error) {
+			// With live workers, shard the grid across the fleet; the
+			// assembled document is byte-identical to the local path.
+			// ErrNotWireable (custom profile sets) falls back to local
+			// execution; any other fleet error is real.
+			if s.fleet.LiveWorkers() > 0 {
+				data, err := s.fleet.BuildExperimentDoc(ctx, cfg, id, rates, sizes, progress)
+				if err == nil {
+					return data, nil
+				}
+				if !errors.Is(err, fleet.ErrNotWireable) {
+					return nil, err
+				}
+			}
 			c := cfg
 			c.CellDone = progress
 			doc, err := harness.BuildExperimentDoc(ctx, c, id, rates, sizes)
@@ -527,7 +583,7 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 
 func (s *Server) handleMetricsz(w http.ResponseWriter, r *http.Request) {
 	length, capacity := s.mgr.QueueDepth()
-	writeJSON(w, http.StatusOK, map[string]any{
+	doc := map[string]any{
 		"counters": s.stats.Snapshot(),
 		"cache": map[string]any{
 			"entries": s.mgr.Cache().Len(),
@@ -541,7 +597,15 @@ func (s *Server) handleMetricsz(w http.ResponseWriter, r *http.Request) {
 			"length":   length,
 			"capacity": capacity,
 		},
-	})
+		"fleet": s.fleet.Status(),
+	}
+	if s.disk != nil {
+		doc["disk"] = map[string]any{
+			"entries": s.disk.Len(),
+			"bytes":   s.disk.Bytes(),
+		}
+	}
+	writeJSON(w, http.StatusOK, doc)
 }
 
 func decodeBody(r *http.Request, dst any) error {

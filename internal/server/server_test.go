@@ -45,7 +45,10 @@ func newTestServer(t *testing.T, cfg server.Config) (*httptest.Server, *server.S
 	if cfg.Scales == nil {
 		cfg.Scales = testScales()
 	}
-	svc := server.New(cfg)
+	svc, err := server.New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
 	ts := httptest.NewServer(svc.Handler())
 	t.Cleanup(func() {
 		ts.Close()
@@ -590,7 +593,10 @@ func TestServeTable3GoldenE2E(t *testing.T) {
 		t.Fatal(err)
 	}
 	var stats metrics.ServiceStats
-	svc := server.New(server.Config{Workers: 1, QueueDepth: 4, Stats: &stats})
+	svc, err := server.New(server.Config{Workers: 1, QueueDepth: 4, Stats: &stats})
+	if err != nil {
+		t.Fatal(err)
+	}
 	ts := httptest.NewServer(svc.Handler())
 	t.Cleanup(func() {
 		ts.Close()
@@ -630,7 +636,10 @@ func TestServeFigsGoldenE2E(t *testing.T) {
 		t.Skip("full default-scale sweeps; run without -short (CI golden job)")
 	}
 	var stats metrics.ServiceStats
-	svc := server.New(server.Config{Workers: 1, QueueDepth: 4, Stats: &stats})
+	svc, err := server.New(server.Config{Workers: 1, QueueDepth: 4, Stats: &stats})
+	if err != nil {
+		t.Fatal(err)
+	}
 	ts := httptest.NewServer(svc.Handler())
 	t.Cleanup(func() {
 		ts.Close()

@@ -6,6 +6,13 @@
 //	# deterministic for a given seed, so every field must match.
 //	go run ./tools/regress -mode report testdata/golden/table3.json /tmp/table3.json
 //
+//	# Directory comparison: every *.json in either tree must exist in
+//	# the other and match exactly. A file present on only one side —
+//	# including a golden that was deleted or never regenerated — is a
+//	# hard error (exit 2), so a golden gate cannot silently pass on a
+//	# missing file.
+//	go run ./tools/regress -mode report testdata/golden /tmp/served
+//
 //	# Tolerance comparison of BENCH_batch.json-style snapshots
 //	# (tools/benchjson output). Wall-clock numbers are noisy, so each
 //	# benchmark's best (minimum) ns/op may regress by at most -tol
@@ -21,6 +28,7 @@ import (
 	"fmt"
 	"math"
 	"os"
+	"path/filepath"
 	"reflect"
 	"sort"
 )
@@ -41,7 +49,11 @@ func main() {
 	)
 	switch *mode {
 	case "report":
-		diffs, err = compareReportFiles(goldenPath, gotPath)
+		if isDir(goldenPath) || isDir(gotPath) {
+			diffs, err = compareReportDirs(goldenPath, gotPath)
+		} else {
+			diffs, err = compareReportFiles(goldenPath, gotPath)
+		}
 	case "bench":
 		diffs, err = compareBenchFiles(goldenPath, gotPath, *tol, *subset)
 	default:
@@ -70,6 +82,73 @@ func loadJSON(path string, v any) error {
 		return fmt.Errorf("%s: %w", path, err)
 	}
 	return nil
+}
+
+func isDir(path string) bool {
+	info, err := os.Stat(path)
+	return err == nil && info.IsDir()
+}
+
+// compareReportDirs diffs every *.json under two directories. The file
+// sets must be identical: a document present on only one side is a
+// hard error, not a skip — a deleted golden or a missing candidate
+// must fail the gate, never silently shrink it.
+func compareReportDirs(goldenDir, gotDir string) ([]string, error) {
+	goldenFiles, err := jsonSet(goldenDir)
+	if err != nil {
+		return nil, err
+	}
+	gotFiles, err := jsonSet(gotDir)
+	if err != nil {
+		return nil, err
+	}
+	names := make(map[string]bool, len(goldenFiles))
+	for name := range goldenFiles {
+		names[name] = true
+	}
+	for name := range gotFiles {
+		names[name] = true
+	}
+	if len(names) == 0 {
+		return nil, fmt.Errorf("no *.json documents under %s or %s", goldenDir, gotDir)
+	}
+	ordered := make([]string, 0, len(names))
+	for name := range names {
+		ordered = append(ordered, name)
+	}
+	sort.Strings(ordered)
+	var diffs []string
+	for _, name := range ordered {
+		switch {
+		case !goldenFiles[name]:
+			return nil, fmt.Errorf("%s exists only in %s — no golden to compare against (stale or deleted golden?)", name, gotDir)
+		case !gotFiles[name]:
+			return nil, fmt.Errorf("%s exists only in %s — candidate never produced it", name, goldenDir)
+		}
+		fileDiffs, err := compareReportFiles(filepath.Join(goldenDir, name), filepath.Join(gotDir, name))
+		if err != nil {
+			return nil, err
+		}
+		for _, d := range fileDiffs {
+			diffs = append(diffs, name+": "+d)
+		}
+	}
+	return diffs, nil
+}
+
+// jsonSet lists the *.json file names directly under dir.
+func jsonSet(dir string) (map[string]bool, error) {
+	dirents, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	set := make(map[string]bool)
+	for _, de := range dirents {
+		if !de.IsDir() && filepath.Ext(de.Name()) == ".json" {
+			set[de.Name()] = true
+		}
+	}
+	return set, nil
 }
 
 // compareReportFiles diffs two simulator JSON documents exactly.

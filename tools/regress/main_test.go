@@ -53,6 +53,73 @@ func TestReportModeVersionMismatch(t *testing.T) {
 	}
 }
 
+// writeDir populates a fresh temp directory with the given files.
+func writeDir(t *testing.T, files map[string]string) string {
+	t.Helper()
+	dir := t.TempDir()
+	for name, content := range files {
+		if err := os.WriteFile(filepath.Join(dir, name), []byte(content), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return dir
+}
+
+func TestReportDirMode(t *testing.T) {
+	a := `{"version":1,"cycles":100}`
+	b := `{"version":1,"cycles":200}`
+	golden := writeDir(t, map[string]string{"table3.json": a, "fig2.json": b, "notes.txt": "ignored"})
+	got := writeDir(t, map[string]string{"table3.json": a, "fig2.json": b})
+	diffs, err := compareReportDirs(golden, got)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(diffs) != 0 {
+		t.Errorf("identical trees diff: %v", diffs)
+	}
+
+	// A real divergence is reported with the file name prefixed.
+	got2 := writeDir(t, map[string]string{"table3.json": a, "fig2.json": `{"version":1,"cycles":999}`})
+	diffs, err = compareReportDirs(golden, got2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(diffs) != 1 || !strings.Contains(diffs[0], "fig2.json: $.cycles") {
+		t.Errorf("want one fig2.json diff, got %v", diffs)
+	}
+}
+
+// TestReportDirModeMissingFileIsHardError pins the satellite guarantee:
+// a document present on only one side of a directory comparison is a
+// hard error (exit 2 path), never a silent skip — a deleted golden or
+// a candidate that failed to produce a file must fail the gate.
+func TestReportDirModeMissingFileIsHardError(t *testing.T) {
+	doc := `{"version":1,"cycles":100}`
+	golden := writeDir(t, map[string]string{"table3.json": doc, "fig2.json": doc})
+
+	// Candidate never produced fig2.json.
+	got := writeDir(t, map[string]string{"table3.json": doc})
+	if _, err := compareReportDirs(golden, got); err == nil || !strings.Contains(err.Error(), "candidate never produced it") {
+		t.Errorf("missing candidate file: want hard error, got %v", err)
+	}
+
+	// Candidate has a document with no golden (stale/deleted golden).
+	got = writeDir(t, map[string]string{"table3.json": doc, "fig2.json": doc, "fig9.json": doc})
+	if _, err := compareReportDirs(golden, got); err == nil || !strings.Contains(err.Error(), "no golden to compare against") {
+		t.Errorf("extra candidate file: want hard error, got %v", err)
+	}
+
+	// Two trees with no JSON at all cannot be a meaningful gate.
+	if _, err := compareReportDirs(t.TempDir(), t.TempDir()); err == nil || !strings.Contains(err.Error(), "no *.json documents") {
+		t.Errorf("empty trees: want refusal, got %v", err)
+	}
+
+	// An unreadable directory is a hard error too.
+	if _, err := compareReportDirs(golden, filepath.Join(t.TempDir(), "absent")); err == nil {
+		t.Error("missing candidate directory accepted")
+	}
+}
+
 func TestBenchModeTolerance(t *testing.T) {
 	golden := []benchResult{
 		{Name: "BenchmarkA", NsPerOp: 110}, // repeated counts: min = 100
