@@ -38,6 +38,7 @@ func main() {
 		sizes    = flag.String("sizes", "", "comma-separated block/page sizes in bytes (default: paper sweep)")
 		seed     = flag.Uint64("seed", 42, "deterministic seed")
 		sweep    = flag.String("sweep", "", "raw sweep mode: run this system (baseline, 2way, rampage, rampage-cs) over the grid and emit CSV on stdout")
+		polFlag  = flag.String("policy", "", "with -sweep on a RAMpage system: SRAM page replacement policy (clock, fifo, random, awrp, bandwidth)")
 		parallel = flag.Int("parallel", 0, "sweep worker count (0 = one per CPU); results are identical at any setting")
 		cpuProf  = flag.String("cpuprofile", "", "write a CPU profile to this file")
 		memProf  = flag.String("memprofile", "", "write a heap profile to this file on exit")
@@ -110,7 +111,7 @@ func main() {
 	defer stop()
 
 	if *sweep != "" {
-		if err := runSweepCSV(ctx, cfg, *sweep, rateList, sizeList); err != nil {
+		if err := runSweepCSV(ctx, cfg, *sweep, *polFlag, rateList, sizeList); err != nil {
 			fatalOrInterrupted(err)
 		}
 		return
@@ -205,7 +206,7 @@ func runJSON(ctx context.Context, cfg harness.Config, selected []harness.Experim
 
 // runSweepCSV runs one system across the grid and writes CSV rows to
 // stdout for external plotting.
-func runSweepCSV(ctx context.Context, cfg harness.Config, system string, rates, sizes []uint64) error {
+func runSweepCSV(ctx context.Context, cfg harness.Config, system, policy string, rates, sizes []uint64) error {
 	kind, err := harness.ParseSystemKind(system)
 	if err != nil {
 		return err
@@ -217,7 +218,8 @@ func runSweepCSV(ctx context.Context, cfg harness.Config, system string, rates, 
 		sizes = harness.BlockSizes
 	}
 	switchTrace := kind == harness.TwoWayL2 || kind == harness.RAMpageCS
-	grid, err := harness.Sweep(ctx, cfg, kind, rates, sizes, switchTrace)
+	base := harness.RunSpec{System: kind, SwitchTrace: switchTrace, Policy: policy}
+	grid, err := harness.SweepSpec(ctx, cfg, base, rates, sizes)
 	if err != nil {
 		return err
 	}

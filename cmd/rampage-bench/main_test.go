@@ -14,7 +14,7 @@ import (
 
 func TestRunSweepCSVRejectsUnknownSystem(t *testing.T) {
 	cfg, _ := harness.ConfigForScale("quick")
-	if err := runSweepCSV(context.Background(), cfg, "bogus", nil, nil); err == nil {
+	if err := runSweepCSV(context.Background(), cfg, "bogus", "", nil, nil); err == nil {
 		t.Error("unknown sweep system accepted")
 	}
 }

@@ -10,7 +10,9 @@
 // results also persist in a content-addressed disk store that survives
 // restarts. With -worker it is a worker instead: it registers with
 // -coordinator-url, leases cells, simulates them locally (with its own
-// warm-state checkpoint store) and streams results back.
+// warm-state checkpoint store) and streams results back; -store-dir
+// additionally memoizes finished cells on disk, so a re-leased cell
+// (coordinator restart, lease churn) is answered without re-simulating.
 //
 // Usage:
 //
@@ -44,6 +46,7 @@ import (
 
 	"rampage/internal/checkpoint"
 	"rampage/internal/fleet"
+	"rampage/internal/jobs"
 	"rampage/internal/metrics"
 	"rampage/internal/server"
 )
@@ -71,7 +74,7 @@ func main() {
 	flag.Parse()
 
 	if *workerMode {
-		os.Exit(runWorker(*coordinatorURL, *workerName, *fleetParallel, *ckptMB<<20, *ckptDir))
+		os.Exit(runWorker(*coordinatorURL, *workerName, *fleetParallel, *ckptMB<<20, *ckptDir, *storeDir, *storeMB<<20))
 	}
 
 	svc, err := server.New(server.Config{
@@ -133,7 +136,7 @@ func main() {
 // until the coordinator drains or we are signaled. The first signal
 // drains (finish leased cells, deregister); a second aborts
 // immediately and lease expiry hands our cells to the survivors.
-func runWorker(url, name string, parallel int, ckptBytes int64, ckptDir string) int {
+func runWorker(url, name string, parallel int, ckptBytes int64, ckptDir, storeDir string, storeBytes int64) int {
 	if url == "" {
 		fmt.Fprintln(os.Stderr, "rampage-server: -worker requires -coordinator-url")
 		return 2
@@ -142,11 +145,21 @@ func runWorker(url, name string, parallel int, ckptBytes int64, ckptDir string) 
 		name, _ = os.Hostname()
 	}
 	stats := &metrics.ServiceStats{}
+	var disk *jobs.DiskStore
+	if storeDir != "" {
+		d, err := jobs.NewDiskStore(storeDir, storeBytes, stats)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "rampage-server:", err)
+			return 2
+		}
+		disk = d
+	}
 	w, err := fleet.NewWorker(fleet.WorkerConfig{
 		CoordinatorURL: url,
 		Name:           name,
 		Parallel:       parallel,
 		Checkpoints:    checkpoint.NewStore(ckptBytes, ckptDir, stats),
+		Disk:           disk,
 		Stats:          stats,
 		Logf:           log.Printf,
 	})

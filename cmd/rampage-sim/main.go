@@ -50,6 +50,7 @@ func main() {
 		sdram       = flag.Bool("sdram", false, "use the wide SDRAM device instead of Direct Rambus")
 		threads     = flag.Bool("threads", false, "lightweight thread switches on misses (with -system rampage-cs)")
 		adaptive    = flag.Bool("adaptive", false, "dynamic SRAM page sizing (with -system rampage; -size is the initial page)")
+		policyName  = flag.String("policy", "", "SRAM page replacement policy for RAMpage systems: clock (default), fifo, random, awrp, bandwidth")
 		prefetch    = flag.Bool("prefetch", false, "sequential next-page prefetch (RAMpage systems)")
 		banked      = flag.Bool("banked", false, "banked open-row RDRAM timing instead of the flat model")
 		channels    = flag.Int("channels", 1, "stripe the DRAM across N Rambus channels")
@@ -109,6 +110,7 @@ func main() {
 		PrefetchNext:       *prefetch,
 		BankedDRAM:         *banked,
 		DRAMChannels:       *channels,
+		Policy:             *policyName,
 	})
 	if err != nil {
 		if errors.Is(err, context.Canceled) {

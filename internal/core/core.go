@@ -45,8 +45,12 @@ type Config struct {
 	// fully associative => TLBAssoc 0).
 	TLBEntries int
 	TLBAssoc   int
-	// Seed drives the TLB's random replacement.
+	// Seed drives the TLB's random replacement and seeds the
+	// replacement policy's RNG (when the policy uses one).
 	Seed uint64
+	// Policy names the page-replacement policy ("" means clock, the
+	// paper's §4.5 algorithm). See package policy for the vocabulary.
+	Policy string
 }
 
 // TagBonus returns the tag capacity a conventional cache of cacheBytes
@@ -171,9 +175,11 @@ func New(cfg Config) (*Memory, error) {
 	}
 	frames := cfg.TotalBytes / cfg.PageBytes
 	pt, err := pagetable.New(pagetable.Config{
-		Frames:    frames,
-		PageBytes: cfg.PageBytes,
-		TableBase: synth.KernelBase + synth.KernelFixedBytes,
+		Frames:     frames,
+		PageBytes:  cfg.PageBytes,
+		TableBase:  synth.KernelBase + synth.KernelFixedBytes,
+		Policy:     cfg.Policy,
+		PolicySeed: cfg.Seed,
 	})
 	if err != nil {
 		return nil, err
@@ -429,6 +435,10 @@ func (m *Memory) pageFault(pid mem.PID, vpn uint64) (uint64, error) {
 		m.stats.FirstTouches++
 	}
 	m.fault.PageDRAMAddr = dramAddr
+	// Tell the replacement policy about the arrival; a refault (page
+	// was resident before and is back) is the signal the adaptive
+	// policies key on.
+	m.pt.PolicyInsert(frame, !m.fault.FirstTouch)
 	return frame, nil
 }
 
@@ -492,8 +502,16 @@ func (m *Memory) FrameInfo(frame uint64) (pid mem.PID, vpn uint64, valid, dirty,
 	return m.pt.FrameInfo(frame)
 }
 
-// ClockHand returns the replacement clock hand's position.
+// ClockHand returns the replacement clock hand's position (zero when
+// the configured policy has no hand).
 func (m *Memory) ClockHand() uint64 { return m.pt.Hand() }
+
+// PolicyName returns the replacement policy's canonical name.
+func (m *Memory) PolicyName() string { return m.pt.PolicyName() }
+
+// CheckPolicyState verifies the replacement policy's internal
+// invariants (hand bounds, counter ranges, geometry).
+func (m *Memory) CheckPolicyState() error { return m.pt.CheckPolicyState() }
 
 // ForEachTLBEntry invokes fn for every resident TLB translation,
 // without touching statistics or replacement state.

@@ -9,9 +9,11 @@ import (
 	"io"
 	"net/http"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"rampage/internal/checkpoint"
+	"rampage/internal/jobs"
 	"rampage/internal/metrics"
 )
 
@@ -29,6 +31,13 @@ type WorkerConfig struct {
 	// Checkpoints, when non-nil, is the worker's local warm-state
 	// store; leased batches are ordered warmest-first against it.
 	Checkpoints *checkpoint.Store
+	// Disk, when non-nil, is the worker's local content-addressed
+	// result store. Leased cells are answered from it without
+	// re-simulating (cell keys are harness.RunKey hashes, so a stored
+	// document is the cell's exact bytes), and freshly simulated cells
+	// are written back so a re-lease after coordinator restart or
+	// requeue costs one disk read instead of a simulation.
+	Disk *jobs.DiskStore
 	// Stats receives local counters (sim runs, checkpoint hits); its
 	// snapshot piggybacks on lease requests for the coordinator's
 	// per-worker rollup. May be nil.
@@ -51,6 +60,34 @@ type Worker struct {
 
 	drain chan struct{} // closed by Drain
 	once  sync.Once
+
+	simulated atomic.Uint64 // cells actually simulated (memo misses)
+}
+
+// Simulated returns how many leased cells this worker actually
+// simulated; cells answered from its local result store don't count.
+func (w *Worker) Simulated() uint64 { return w.simulated.Load() }
+
+// executeCell answers one leased cell: local result store first (the
+// memoized path), simulation on miss with a write-back so the next
+// lease of the same cell is a disk hit.
+func (w *Worker) executeCell(ctx context.Context, cell CellSpec) ([]byte, error) {
+	if w.cfg.Disk != nil {
+		if data, ok := w.cfg.Disk.Get(cell.Key); ok {
+			w.logf("cell %s served from local store", shortKey(cell.Key))
+			return data, nil
+		}
+	}
+	data, err := ExecuteCell(ctx, cell, w.cfg.Checkpoints)
+	if err != nil {
+		return nil, err
+	}
+	w.simulated.Add(1)
+	w.cfg.Stats.Add(metrics.SvcSimRuns, 1)
+	if w.cfg.Disk != nil {
+		w.cfg.Disk.Put(cell.Key, data)
+	}
+	return data, nil
 }
 
 // NewWorker validates cfg and returns a worker ready to Run.
@@ -187,7 +224,7 @@ func (w *Worker) executeBatch(ctx context.Context, cells []CellSpec) {
 		go func(cell CellSpec) {
 			defer wg.Done()
 			defer func() { <-sem }()
-			data, err := ExecuteCell(ctx, cell, w.cfg.Checkpoints)
+			data, err := w.executeCell(ctx, cell)
 			mu.Lock()
 			delete(alive, cell.Key)
 			mu.Unlock()

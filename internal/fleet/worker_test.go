@@ -13,6 +13,7 @@ import (
 
 	"rampage/internal/checkpoint"
 	"rampage/internal/harness"
+	"rampage/internal/jobs"
 	"rampage/internal/metrics"
 )
 
@@ -134,6 +135,77 @@ func TestWorkerExecutesExperiment(t *testing.T) {
 	}
 	if n := stats.Get(metrics.SvcFleetLocal); n != 0 {
 		t.Errorf("fleet_cells_local = %d with a live worker", n)
+	}
+}
+
+// TestWorkerMemoizesReLeasedCells pins the worker-side result store:
+// when the coordinator leases the same cells a second time (here
+// because it has no store of its own, as after a restart that lost its
+// cache), the worker answers every cell from its local DiskStore with
+// ZERO re-simulation, and the assembled document is byte-identical.
+func TestWorkerMemoizesReLeasedCells(t *testing.T) {
+	c := NewCoordinator(CoordinatorConfig{
+		LeaseTTL:     2 * time.Second,
+		PollInterval: 20 * time.Millisecond,
+		Local: func(ctx context.Context, cell CellSpec) ([]byte, error) {
+			t.Error("local fallback ran with a live worker")
+			return ExecuteCell(ctx, cell, nil)
+		},
+	})
+	cs := newCoordServer(t, c)
+
+	disk, err := jobs.NewDiskStore(t.TempDir(), 0, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w, err := NewWorker(WorkerConfig{
+		CoordinatorURL: cs.ts.URL,
+		Name:           "memo",
+		Parallel:       2,
+		Checkpoints:    checkpoint.NewStore(8<<20, "", nil),
+		Disk:           disk,
+		Stats:          &metrics.ServiceStats{},
+		Logf:           t.Logf,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	wctx, wcancel := context.WithCancel(context.Background())
+	wdone := make(chan error, 1)
+	t.Cleanup(func() {
+		wcancel()
+		<-wdone
+	})
+	go func() { wdone <- w.Run(wctx) }()
+	waitForWorkers(t, c, 1)
+
+	cfg := tinyConfig()
+	rates, sizes := []uint64{200, 400}, []uint64{1 << 12}
+	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Minute)
+	defer cancel()
+	first, err := c.BuildExperimentDoc(ctx, cfg, "table3", rates, sizes, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	simulated := w.Simulated()
+	if simulated == 0 {
+		t.Fatal("first pass simulated nothing")
+	}
+	if disk.Len() == 0 {
+		t.Fatal("no cell results written back to the worker store")
+	}
+
+	// Same experiment again: the coordinator (storeless) re-leases every
+	// cell; the worker must serve all of them from disk.
+	second, err := c.BuildExperimentDoc(ctx, cfg, "table3", rates, sizes, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := w.Simulated(); got != simulated {
+		t.Errorf("re-leased cells re-simulated: %d runs after second pass, want %d", got, simulated)
+	}
+	if !bytes.Equal(first, second) {
+		t.Error("memoized document differs from the simulated one")
 	}
 }
 

@@ -46,7 +46,7 @@ func CheckpointPrefixKey(cfg Config, spec RunSpec) string {
 		Format:  checkpoint.FormatVersion,
 		Version: ReportVersion,
 		Config:  cc,
-		Spec:    spec,
+		Spec:    spec.Normalized(),
 	}
 	b, err := json.Marshal(doc)
 	if err != nil {
@@ -86,15 +86,21 @@ type SweepPlan struct {
 // so workers spend the sweep's wall-clock on the genuinely cold cells.
 // With no store attached every cell is cold and grid order is kept.
 func PlanSweep(cfg Config, system SystemKind, rates, sizes []uint64, switchTrace bool) SweepPlan {
+	return PlanSweepSpec(cfg, RunSpec{System: system, SwitchTrace: switchTrace}, rates, sizes)
+}
+
+// PlanSweepSpec is PlanSweep over an arbitrary base spec: every grid
+// cell copies base with its rate and size substituted, so swept
+// dimensions beyond the classic four (replacement policy, DRAM model,
+// ...) ride along.
+func PlanSweepSpec(cfg Config, base RunSpec, rates, sizes []uint64) SweepPlan {
 	specs := make([]RunSpec, 0, len(rates)*len(sizes))
 	for _, rate := range rates {
 		for _, size := range sizes {
-			specs = append(specs, RunSpec{
-				System:      system,
-				IssueMHz:    rate,
-				SizeBytes:   size,
-				SwitchTrace: switchTrace,
-			})
+			spec := base
+			spec.IssueMHz = rate
+			spec.SizeBytes = size
+			specs = append(specs, spec)
 		}
 	}
 	return PlanCells(cfg, specs)

@@ -70,6 +70,7 @@ func hashKey(doc keyDoc) string {
 // RunKey returns the content-address of one single-run request: the
 // hex SHA-256 of the canonical (config, spec) encoding.
 func RunKey(cfg Config, spec RunSpec) string {
+	spec = spec.Normalized()
 	return hashKey(keyDoc{Version: ReportVersion, Kind: "run", Config: canonicalOf(cfg), Spec: &spec})
 }
 

@@ -7,6 +7,7 @@ import (
 	"io"
 
 	"rampage/internal/metrics"
+	"rampage/internal/policy"
 	"rampage/internal/stats"
 )
 
@@ -147,18 +148,37 @@ type ExperimentDoc struct {
 
 // jsonExperiments maps the experiments with a JSON form to their sweep
 // structure: which systems run, whether the switch trace is inserted,
-// and any fixed issue rate (0 = the full rate sweep).
+// any fixed issue rate (0 = the full rate sweep), and the per-system
+// replacement policy (nil = clock throughout).
 var jsonExperiments = map[string]struct {
 	systems     []SystemKind
 	switchTrace []bool
 	fixedMHz    uint64
+	policies    []string
 }{
-	"table3": {[]SystemKind{BaselineDM, RAMpage}, []bool{false, false}, 0},
-	"table4": {[]SystemKind{RAMpageCS, RAMpage}, []bool{true, false}, 0},
-	"table5": {[]SystemKind{TwoWayL2}, []bool{true}, 0},
-	"fig2":   {[]SystemKind{BaselineDM, RAMpage}, []bool{false, false}, 200},
-	"fig3":   {[]SystemKind{BaselineDM, RAMpage}, []bool{false, false}, 4000},
-	"fig4":   {[]SystemKind{BaselineDM, RAMpage}, []bool{false, false}, 1000},
+	"table3": {[]SystemKind{BaselineDM, RAMpage}, []bool{false, false}, 0, nil},
+	"table4": {[]SystemKind{RAMpageCS, RAMpage}, []bool{true, false}, 0, nil},
+	"table5": {[]SystemKind{TwoWayL2}, []bool{true}, 0, nil},
+	"fig2":   {[]SystemKind{BaselineDM, RAMpage}, []bool{false, false}, 200, nil},
+	"fig3":   {[]SystemKind{BaselineDM, RAMpage}, []bool{false, false}, 4000, nil},
+	"fig4":   {[]SystemKind{BaselineDM, RAMpage}, []bool{false, false}, 1000, nil},
+	// The policy lab: the RAMpage machine at the paper's 1 GHz midpoint
+	// under every replacement policy, swept across the page sizes.
+	"policies": {
+		[]SystemKind{RAMpage, RAMpage, RAMpage, RAMpage, RAMpage},
+		[]bool{false, false, false, false, false},
+		1000,
+		[]string{policy.Clock, policy.FIFO, policy.Random, policy.AWRP, policy.Bandwidth},
+	},
+}
+
+// systemLabel names one sweep grid: the system, suffixed with the
+// replacement policy when it is not the default clock.
+func systemLabel(system SystemKind, pol string) string {
+	if p := policy.Normalize(pol); p != "" {
+		return system.String() + "+" + p
+	}
+	return system.String()
 }
 
 // HasJSONForm reports whether BuildExperimentDoc supports the
@@ -204,9 +224,11 @@ type ExperimentShape struct {
 	Title      string
 	RatesMHz   []uint64
 	SizesBytes []uint64
-	// Systems and SwitchTrace are parallel: one sweep grid per entry.
+	// Systems, SwitchTrace and Policies are parallel: one sweep grid
+	// per entry. An empty policy string means clock.
 	Systems     []SystemKind
 	SwitchTrace []bool
+	Policies    []string
 }
 
 // ShapeOf resolves an experiment's sweep shape under a requested grid
@@ -222,6 +244,12 @@ func ShapeOf(id string, rates, sizes []uint64) (ExperimentShape, error) {
 		return ExperimentShape{}, fmt.Errorf("harness: unknown experiment %q", id)
 	}
 	rates, sizes = normalizeExperimentGrid(id, rates, sizes)
+	policies := make([]string, len(shape.systems))
+	for i := range policies {
+		if shape.policies != nil {
+			policies[i] = policy.Normalize(shape.policies[i])
+		}
+	}
 	return ExperimentShape{
 		ID:          id,
 		Title:       exp.Title,
@@ -229,6 +257,7 @@ func ShapeOf(id string, rates, sizes []uint64) (ExperimentShape, error) {
 		SizesBytes:  sizes,
 		Systems:     shape.systems,
 		SwitchTrace: shape.switchTrace,
+		Policies:    policies,
 	}, nil
 }
 
@@ -245,6 +274,7 @@ func (sh ExperimentShape) CellSpecs() []RunSpec {
 					IssueMHz:    rate,
 					SizeBytes:   size,
 					SwitchTrace: sh.SwitchTrace[i],
+					Policy:      sh.Policies[i],
 				})
 			}
 		}
@@ -280,7 +310,7 @@ func (sh ExperimentShape) Doc(reports []ReportJSON) (ExperimentDoc, error) {
 			}
 		}
 		doc.Systems = append(doc.Systems, SystemGrid{
-			System:      system.String(),
+			System:      systemLabel(system, sh.Policies[i]),
 			SwitchTrace: sh.SwitchTrace[i],
 			Rows:        rows,
 		})
@@ -307,7 +337,8 @@ func BuildExperimentDoc(ctx context.Context, cfg Config, id string, rates, sizes
 	}
 	for i, system := range sh.Systems {
 		st := sh.SwitchTrace[i]
-		grid, err := Sweep(ctx, cfg, system, sh.RatesMHz, sh.SizesBytes, st)
+		base := RunSpec{System: system, SwitchTrace: st, Policy: sh.Policies[i]}
+		grid, err := SweepSpec(ctx, cfg, base, sh.RatesMHz, sh.SizesBytes)
 		if err != nil {
 			return ExperimentDoc{}, err
 		}
@@ -319,7 +350,7 @@ func BuildExperimentDoc(ctx context.Context, cfg Config, id string, rates, sizes
 			}
 		}
 		doc.Systems = append(doc.Systems, SystemGrid{
-			System:      system.String(),
+			System:      systemLabel(system, sh.Policies[i]),
 			SwitchTrace: st,
 			Rows:        rows,
 		})

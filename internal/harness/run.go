@@ -12,6 +12,7 @@ import (
 	"rampage/internal/dram"
 	"rampage/internal/mem"
 	"rampage/internal/oracle"
+	"rampage/internal/policy"
 	"rampage/internal/sim"
 	"rampage/internal/stats"
 	"rampage/internal/synth"
@@ -89,6 +90,11 @@ type RunSpec struct {
 	// open-row RDRAM model (§6.3 "more sophisticated Direct Rambus
 	// simulation").
 	BankedDRAM bool
+	// Policy selects the SRAM page-replacement policy on the RAMpage
+	// systems (see package policy). Empty means clock, the paper's
+	// default; the field is omitted from hashing when empty so clock
+	// runs keep their pre-policy cache keys and checkpoint prefixes.
+	Policy string `json:",omitempty"`
 }
 
 // Validate checks a simulation point for configuration mistakes the
@@ -125,7 +131,21 @@ func (s RunSpec) Validate() error {
 	if s.AdaptivePages && s.System != RAMpage && s.System != RAMpageCS {
 		return fmt.Errorf("harness: adaptive pages require a RAMpage system, got %s", s.System)
 	}
+	pol, err := policy.Parse(s.Policy)
+	if err != nil {
+		return fmt.Errorf("harness: %w", err)
+	}
+	if pol != "" && s.System != RAMpage && s.System != RAMpageCS {
+		return fmt.Errorf("harness: replacement policy %q applies to RAMpage systems only, got %s", s.Policy, s.System)
+	}
 	return nil
+}
+
+// Normalized returns the spec with its policy name canonicalized
+// ("clock" becomes "", the default spelling that hashing omits).
+func (s RunSpec) Normalized() RunSpec {
+	s.Policy = policy.Normalize(s.Policy)
+	return s
 }
 
 // Run executes one simulation point under the given configuration and
@@ -149,6 +169,7 @@ func runWithReaders(ctx context.Context, cfg Config, spec RunSpec, readers []tra
 	if err := spec.Validate(); err != nil {
 		return nil, err
 	}
+	spec = spec.Normalized()
 	params := sim.DefaultParams(spec.IssueMHz)
 	params.Seed = cfg.Seed
 	if spec.TLBEntries > 0 {
@@ -181,16 +202,16 @@ func runWithReaders(ctx context.Context, cfg Config, spec RunSpec, readers []tra
 	var machine sim.Machine
 	switch spec.System {
 	case BaselineDM, TwoWayL2:
-		assoc, policy := 1, cache.LRU
+		assoc, l2pol := 1, cache.LRU
 		if spec.System == TwoWayL2 {
-			assoc, policy = 2, cache.RandomRepl
+			assoc, l2pol = 2, cache.RandomRepl
 		}
 		b, err := sim.NewBaseline(sim.BaselineConfig{
 			Params:        params,
 			L2Bytes:       cfg.L2Bytes,
 			L2Block:       spec.SizeBytes,
 			L2Assoc:       assoc,
-			L2Policy:      policy,
+			L2Policy:      l2pol,
 			DRAMBytes:     cfg.DRAMBytes,
 			VictimEntries: spec.VictimEntries,
 		})
@@ -205,6 +226,7 @@ func runWithReaders(ctx context.Context, cfg Config, spec RunSpec, readers []tra
 			PageBytes:    spec.SizeBytes,
 			SwitchOnMiss: spec.System == RAMpageCS,
 			PrefetchNext: spec.PrefetchNext,
+			Policy:       spec.Policy,
 		}
 		if spec.AdaptivePages {
 			// One epoch should cover a full round-robin rotation so
@@ -408,6 +430,14 @@ func preloadWorkload(cfg Config) []*trace.ColumnarBuffer {
 // Cancelling ctx abandons unstarted cells, stops in-flight ones at the
 // next batch boundary, and returns ctx.Err().
 func Sweep(ctx context.Context, cfg Config, system SystemKind, rates, sizes []uint64, switchTrace bool) ([][]*stats.Report, error) {
+	return SweepSpec(ctx, cfg, RunSpec{System: system, SwitchTrace: switchTrace}, rates, sizes)
+}
+
+// SweepSpec is Sweep over an arbitrary base spec: every grid cell
+// copies base with its issue rate and size substituted, so extra spec
+// dimensions — replacement policy, DRAM model, prefetch — sweep along
+// without widening Sweep's signature for each.
+func SweepSpec(ctx context.Context, cfg Config, base RunSpec, rates, sizes []uint64) ([][]*stats.Report, error) {
 	if ctx == nil {
 		ctx = context.Background()
 	}
@@ -442,7 +472,7 @@ func Sweep(ctx context.Context, cfg Config, system SystemKind, rates, sizes []ui
 		for j, s := range sizes {
 			sizeIdx[s] = j
 		}
-		for _, pc := range PlanSweep(cfg, system, rates, sizes, switchTrace).Cells {
+		for _, pc := range PlanSweepSpec(cfg, base, rates, sizes).Cells {
 			order = append(order, cell{rateIdx[pc.Spec.IssueMHz], sizeIdx[pc.Spec.SizeBytes]})
 		}
 	} else {
@@ -479,12 +509,10 @@ func Sweep(ctx context.Context, cfg Config, system SystemKind, rates, sizes []ui
 					failed.Store(true)
 					continue
 				}
-				rep, err := cellRun(RunSpec{
-					System:      system,
-					IssueMHz:    rates[c.i],
-					SizeBytes:   sizes[c.j],
-					SwitchTrace: switchTrace,
-				})
+				spec := base
+				spec.IssueMHz = rates[c.i]
+				spec.SizeBytes = sizes[c.j]
+				rep, err := cellRun(spec)
 				if err != nil {
 					errOnce.Do(func() { firstErr = err })
 					failed.Store(true)

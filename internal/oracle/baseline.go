@@ -72,7 +72,7 @@ func NewBaseline(cfg sim.BaselineConfig) (*Baseline, error) {
 	// Random page placement, like the production machine: it is what
 	// exposes the direct-mapped L2 to conflict misses.
 	pt, err := newRefPageTable(cfg.DRAMBytes/dramPageBytes, dramPageBytes,
-		synth.KernelBase+synth.KernelFixedBytes, true, cfg.Seed)
+		synth.KernelBase+synth.KernelFixedBytes, true, cfg.Seed, "clock", 0)
 	if err != nil {
 		return nil, err
 	}
@@ -335,6 +335,6 @@ func (b *Baseline) StateSummary() string {
 	l1dv, l1dd := b.l1d.countValid()
 	l2v, l2d := b.l2.countValid()
 	ptv, ptp := b.pt.countValid()
-	return fmt.Sprintf("l1i %d lines (%d dirty), l1d %d lines (%d dirty), l2 %d lines (%d dirty), tlb %d entries, pt %d mapped (%d pinned), clock hand %d",
-		l1iv, l1id, l1dv, l1dd, l2v, l2d, b.tlb.countValid(), ptv, ptp, b.pt.hand)
+	return fmt.Sprintf("l1i %d lines (%d dirty), l1d %d lines (%d dirty), l2 %d lines (%d dirty), tlb %d entries, pt %d mapped (%d pinned), %s",
+		l1iv, l1id, l1dv, l1dd, l2v, l2d, b.tlb.countValid(), ptv, ptp, b.pt.pol.stateSummary())
 }

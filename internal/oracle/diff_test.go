@@ -22,7 +22,7 @@ func TestSeededFaultCaught(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	orc.mm.pt.skewHand = true
+	orc.mm.pt.pol.setSkew(true)
 	subj, err := sim.NewRAMpage(cfg)
 	if err != nil {
 		t.Fatal(err)
@@ -60,7 +60,7 @@ func TestSeededFaultCaughtBatched(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	orc.mm.pt.skewHand = true
+	orc.mm.pt.pol.setSkew(true)
 	subj, err := sim.NewRAMpage(cfg)
 	if err != nil {
 		t.Fatal(err)

@@ -24,12 +24,11 @@ type refPageTable struct {
 	hatMask   uint64
 	freeHead  int32
 	freeNext  []int32
-	hand      uint64
 
-	// skewHand is a test-only seeded fault: when set, every victim
-	// selection pre-advances the clock hand by one entry — the
-	// off-by-one the differential engine must catch.
-	skewHand bool
+	// pol ranks frames for replacement; the clock mirror is the
+	// default. Its setSkew knob plants the test-only seeded faults the
+	// differential engine must catch.
+	pol refPolicy
 }
 
 type refPTEntry struct {
@@ -49,9 +48,13 @@ const (
 	refHATEntryBytes = 4
 )
 
-func newRefPageTable(frames, pageBytes, tableBase uint64, scramble bool, scrambleSeed uint64) (*refPageTable, error) {
+func newRefPageTable(frames, pageBytes, tableBase uint64, scramble bool, scrambleSeed uint64, policyName string, policySeed uint64) (*refPageTable, error) {
 	if frames == 0 {
 		return nil, fmt.Errorf("oracle: page table with zero frames")
+	}
+	pol, err := newRefPolicy(policyName, frames, policySeed)
+	if err != nil {
+		return nil, err
 	}
 	if pageBytes == 0 || !mem.IsPow2(pageBytes) {
 		return nil, fmt.Errorf("oracle: page size %d is not a power of two", pageBytes)
@@ -68,6 +71,7 @@ func newRefPageTable(frames, pageBytes, tableBase uint64, scramble bool, scrambl
 		hat:       make([]int32, hatSize),
 		hatMask:   hatSize - 1,
 		freeNext:  make([]int32, frames),
+		pol:       pol,
 	}
 	for i := range pt.hat {
 		pt.hat[i] = -1
@@ -119,6 +123,7 @@ func (pt *refPageTable) lookup(pid mem.PID, vpn uint64, probes []uint64) (uint64
 		e := &pt.entries[idx]
 		if e.valid && e.pid == pid && e.vpn == vpn {
 			e.used = true
+			pt.pol.touch(uint64(idx))
 			return uint64(idx), probes, true
 		}
 	}
@@ -172,31 +177,11 @@ func (pt *refPageTable) setDirty(frame uint64) { pt.entries[frame].dirty = true 
 func (pt *refPageTable) pin(frame uint64)      { pt.entries[frame].pinned = true }
 func (pt *refPageTable) unpin(frame uint64)    { pt.entries[frame].pinned = false }
 
-// clockSelect runs the clock hand: clear use bits on referenced pages,
-// stop at the first unreferenced, unpinned, valid frame. Two full
-// sweeps suffice; exhausting them means everything is pinned or
-// invalid. scanAddrs accumulates the entry address of every frame the
-// hand examined.
-func (pt *refPageTable) clockSelect(scanAddrs []uint64) (uint64, []uint64, bool) {
-	n := pt.frames
-	if pt.skewHand {
-		pt.hand = (pt.hand + 1) % n
-	}
-	for i := uint64(0); i < 2*n; i++ {
-		f := pt.hand
-		pt.hand = (pt.hand + 1) % n
-		e := &pt.entries[f]
-		scanAddrs = append(scanAddrs, pt.entryAddr(f))
-		if !e.valid || e.pinned {
-			continue
-		}
-		if e.used {
-			e.used = false
-			continue
-		}
-		return f, scanAddrs, true
-	}
-	return 0, scanAddrs, false
+// selectVictim delegates victim choice to the replacement policy,
+// accumulating each policy's scan-address convention into scanAddrs
+// (the clock clears use bits as it sweeps; see refPolicy).
+func (pt *refPageTable) selectVictim(scanAddrs []uint64) (uint64, []uint64, bool) {
+	return pt.pol.selectVictim(pt, scanAddrs)
 }
 
 // countValid reports mapped and pinned frame counts, for state

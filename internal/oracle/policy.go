@@ -1,0 +1,328 @@
+package oracle
+
+import (
+	"fmt"
+
+	"rampage/internal/xrand"
+)
+
+// refPolicy is the reference model of a page-replacement policy,
+// hand-written against the AoS refPTEntry table (the production
+// policies in internal/policy rank over the packed flags column). Each
+// mirror carries a test-only seeded-fault knob: setSkew plants a small
+// deterministic deviation in victim selection — the subtlest class of
+// replacement bug — that the differential engine must catch.
+type refPolicy interface {
+	name() string
+	// selectVictim mirrors policy.ReplacementPolicy.SelectVictim,
+	// including each policy's scan-address convention: the clock and
+	// bandwidth hands report every entry examined; fifo, random and
+	// awrp rank without a table walk and report only the victim entry.
+	selectVictim(pt *refPageTable, scanAddrs []uint64) (uint64, []uint64, bool)
+	touch(frame uint64)
+	insert(frame uint64, refault bool)
+	setSkew(bool)
+	stateSummary() string
+}
+
+func refEligible(e *refPTEntry) bool { return e.valid && !e.pinned }
+
+// newRefPolicy builds the reference mirror of the named policy
+// (normalized or display spelling; empty means clock).
+func newRefPolicy(name string, frames, seed uint64) (refPolicy, error) {
+	switch name {
+	case "", "clock":
+		return &refClockPolicy{frames: frames}, nil
+	case "fifo":
+		return &refFIFOPolicy{frames: frames, stamps: make([]uint64, frames)}, nil
+	case "random":
+		p := &refRandomPolicy{frames: frames}
+		p.rng.SetState(seed ^ 0xA17C9E4D5B36F208)
+		return p, nil
+	case "awrp":
+		return &refAWRPPolicy{
+			frames: frames,
+			last:   make([]uint64, frames),
+			freq:   make([]uint8, frames),
+			wR:     4,
+			dir:    1,
+		}, nil
+	case "bandwidth":
+		return &refBandwidthPolicy{frames: frames, reuse: make([]uint8, frames)}, nil
+	}
+	return nil, fmt.Errorf("oracle: replacement policy %q has no reference model", name)
+}
+
+// refClockPolicy is the §4.5 clock: advance the hand clearing use bits
+// until an unused eligible frame turns up. skew pre-advances the hand
+// one position per selection — the historical off-by-one seeded fault.
+type refClockPolicy struct {
+	frames uint64
+	hand   uint64
+	skew   bool
+}
+
+func (p *refClockPolicy) name() string { return "clock" }
+
+func (p *refClockPolicy) selectVictim(pt *refPageTable, scanAddrs []uint64) (uint64, []uint64, bool) {
+	n := p.frames
+	if p.skew {
+		p.hand = (p.hand + 1) % n
+	}
+	for i := uint64(0); i < 2*n; i++ {
+		f := p.hand
+		p.hand = (p.hand + 1) % n
+		e := &pt.entries[f]
+		scanAddrs = append(scanAddrs, pt.entryAddr(f))
+		if !refEligible(e) {
+			continue
+		}
+		if e.used {
+			e.used = false
+			continue
+		}
+		return f, scanAddrs, true
+	}
+	return 0, scanAddrs, false
+}
+
+func (p *refClockPolicy) touch(uint64)        {}
+func (p *refClockPolicy) insert(uint64, bool) {}
+func (p *refClockPolicy) setSkew(s bool)      { p.skew = s }
+func (p *refClockPolicy) stateSummary() string {
+	return fmt.Sprintf("clock hand %d", p.hand)
+}
+
+// refFIFOPolicy evicts the eligible frame with the oldest insertion
+// stamp (lowest index on ties). skew inverts the ranking to LIFO.
+type refFIFOPolicy struct {
+	frames uint64
+	next   uint64
+	stamps []uint64
+	skew   bool
+}
+
+func (p *refFIFOPolicy) name() string { return "fifo" }
+
+func (p *refFIFOPolicy) selectVictim(pt *refPageTable, scanAddrs []uint64) (uint64, []uint64, bool) {
+	var best uint64
+	found := false
+	for f := uint64(0); f < p.frames; f++ {
+		if !refEligible(&pt.entries[f]) {
+			continue
+		}
+		older := p.stamps[f] < p.stamps[best]
+		if p.skew {
+			older = p.stamps[f] > p.stamps[best]
+		}
+		if !found || older {
+			found, best = true, f
+		}
+	}
+	if !found {
+		return 0, scanAddrs, false
+	}
+	return best, append(scanAddrs, pt.entryAddr(best)), true
+}
+
+func (p *refFIFOPolicy) touch(uint64) {}
+
+func (p *refFIFOPolicy) insert(frame uint64, _ bool) {
+	p.next++
+	p.stamps[frame] = p.next
+}
+
+func (p *refFIFOPolicy) setSkew(s bool) { p.skew = s }
+func (p *refFIFOPolicy) stateSummary() string {
+	return fmt.Sprintf("fifo stamp %d", p.next)
+}
+
+// refRandomPolicy draws a uniform eligible frame from the same salted
+// SplitMix64 stream the production policy uses: one value per
+// successful selection, none on failure. skew burns one extra draw
+// before each selection, skewing the stream.
+type refRandomPolicy struct {
+	frames uint64
+	rng    xrand.RNG
+	skew   bool
+}
+
+func (p *refRandomPolicy) name() string { return "random" }
+
+func (p *refRandomPolicy) selectVictim(pt *refPageTable, scanAddrs []uint64) (uint64, []uint64, bool) {
+	var count uint64
+	for f := uint64(0); f < p.frames; f++ {
+		if refEligible(&pt.entries[f]) {
+			count++
+		}
+	}
+	if count == 0 {
+		return 0, scanAddrs, false
+	}
+	if p.skew {
+		p.rng.Next()
+	}
+	k := p.rng.Uintn(count)
+	for f := uint64(0); f < p.frames; f++ {
+		if !refEligible(&pt.entries[f]) {
+			continue
+		}
+		if k == 0 {
+			return f, append(scanAddrs, pt.entryAddr(f)), true
+		}
+		k--
+	}
+	panic("oracle: random candidate count drifted during selection")
+}
+
+func (p *refRandomPolicy) touch(uint64)        {}
+func (p *refRandomPolicy) insert(uint64, bool) {}
+func (p *refRandomPolicy) setSkew(s bool)      { p.skew = s }
+func (p *refRandomPolicy) stateSummary() string {
+	return fmt.Sprintf("random rng %#x", p.rng.State())
+}
+
+// refAWRPPolicy mirrors the adaptive weight-ranking policy: score =
+// (wR+1)*age / (1 + freq*(8-wR)), maximum-score victim, hill-climbing
+// wR on per-window refault rate. skew inverts the ranking (evicts the
+// minimum-score frame).
+type refAWRPPolicy struct {
+	frames uint64
+	tick   uint64
+	last   []uint64
+	freq   []uint8
+
+	wR  uint32
+	dir int32
+
+	winIns, winRef   uint64
+	prevIns, prevRef uint64
+
+	skew bool
+}
+
+func (p *refAWRPPolicy) name() string { return "awrp" }
+
+func (p *refAWRPPolicy) score(f uint64) uint64 {
+	age := p.tick - p.last[f]
+	return (uint64(p.wR) + 1) * age / (1 + uint64(p.freq[f])*uint64(8-p.wR))
+}
+
+func (p *refAWRPPolicy) selectVictim(pt *refPageTable, scanAddrs []uint64) (uint64, []uint64, bool) {
+	var best, bestScore uint64
+	found := false
+	for f := uint64(0); f < p.frames; f++ {
+		if !refEligible(&pt.entries[f]) {
+			continue
+		}
+		s := p.score(f)
+		better := s > bestScore
+		if p.skew {
+			better = s < bestScore
+		}
+		if !found || better {
+			found, best, bestScore = true, f, s
+		}
+	}
+	if !found {
+		return 0, scanAddrs, false
+	}
+	return best, append(scanAddrs, pt.entryAddr(best)), true
+}
+
+func (p *refAWRPPolicy) touch(frame uint64) {
+	p.tick++
+	p.last[frame] = p.tick
+	if p.freq[frame] < 255 {
+		p.freq[frame]++
+	}
+}
+
+func (p *refAWRPPolicy) insert(frame uint64, refault bool) {
+	p.tick++
+	p.last[frame] = p.tick
+	p.freq[frame] = 1
+	p.winIns++
+	if refault {
+		p.winRef++
+	}
+	if p.winIns >= 256 {
+		if p.prevIns > 0 && p.winRef*p.prevIns > p.prevRef*p.winIns {
+			p.dir = -p.dir
+		}
+		next := int64(p.wR) + int64(p.dir)
+		if next < 0 || next > 8 {
+			p.dir = -p.dir
+			next = int64(p.wR) + int64(p.dir)
+		}
+		p.wR = uint32(next)
+		p.prevIns, p.prevRef = p.winIns, p.winRef
+		p.winIns, p.winRef = 0, 0
+	}
+}
+
+func (p *refAWRPPolicy) setSkew(s bool) { p.skew = s }
+func (p *refAWRPPolicy) stateSummary() string {
+	return fmt.Sprintf("awrp tick %d wR %d", p.tick, p.wR)
+}
+
+// refBandwidthPolicy mirrors the Banshee-style policy: a hand sweep
+// that evicts the first zero-credit eligible frame, decaying survivors,
+// falling back to the minimum post-decay credit. skew pre-advances the
+// hand like the clock fault.
+type refBandwidthPolicy struct {
+	frames uint64
+	hand   uint64
+	reuse  []uint8
+	skew   bool
+}
+
+func (p *refBandwidthPolicy) name() string { return "bandwidth" }
+
+func (p *refBandwidthPolicy) selectVictim(pt *refPageTable, scanAddrs []uint64) (uint64, []uint64, bool) {
+	n := p.frames
+	if p.skew {
+		p.hand = (p.hand + 1) % n
+	}
+	var best uint64
+	var bestCredit uint8
+	found := false
+	for i := uint64(0); i < 2*n; i++ {
+		f := p.hand
+		p.hand = (p.hand + 1) % n
+		scanAddrs = append(scanAddrs, pt.entryAddr(f))
+		if !refEligible(&pt.entries[f]) {
+			continue
+		}
+		if p.reuse[f] == 0 {
+			return f, scanAddrs, true
+		}
+		p.reuse[f]--
+		if !found || p.reuse[f] < bestCredit {
+			found, best, bestCredit = true, f, p.reuse[f]
+		}
+	}
+	if !found {
+		return 0, scanAddrs, false
+	}
+	return best, scanAddrs, true
+}
+
+func (p *refBandwidthPolicy) touch(frame uint64) {
+	if p.reuse[frame] < 15 {
+		p.reuse[frame]++
+	}
+}
+
+func (p *refBandwidthPolicy) insert(frame uint64, refault bool) {
+	if refault {
+		p.reuse[frame] = 2
+	} else {
+		p.reuse[frame] = 0
+	}
+}
+
+func (p *refBandwidthPolicy) setSkew(s bool) { p.skew = s }
+func (p *refBandwidthPolicy) stateSummary() string {
+	return fmt.Sprintf("bandwidth hand %d", p.hand)
+}

@@ -52,7 +52,7 @@ type refOutcome struct {
 	fault    *refFault
 }
 
-func newRefMemory(totalBytes, pageBytes uint64, tlbEntries, tlbAssoc int, seed uint64) (*refMemory, error) {
+func newRefMemory(totalBytes, pageBytes uint64, tlbEntries, tlbAssoc int, seed uint64, policyName string) (*refMemory, error) {
 	if pageBytes == 0 || !mem.IsPow2(pageBytes) {
 		return nil, fmt.Errorf("oracle: page size %d is not a power of two", pageBytes)
 	}
@@ -60,7 +60,7 @@ func newRefMemory(totalBytes, pageBytes uint64, tlbEntries, tlbAssoc int, seed u
 		return nil, fmt.Errorf("oracle: SRAM size %d is not a multiple of page size %d", totalBytes, pageBytes)
 	}
 	frames := totalBytes / pageBytes
-	pt, err := newRefPageTable(frames, pageBytes, synth.KernelBase+synth.KernelFixedBytes, false, 0)
+	pt, err := newRefPageTable(frames, pageBytes, synth.KernelBase+synth.KernelFixedBytes, false, 0, policyName, seed)
 	if err != nil {
 		return nil, err
 	}
@@ -153,7 +153,7 @@ func (m *refMemory) pageFault(pid mem.PID, vpn uint64) (uint64, *refFault, error
 	fault := &refFault{}
 	frame, free := m.pt.allocFree()
 	if !free {
-		victim, scans, ok := m.pt.clockSelect(nil)
+		victim, scans, ok := m.pt.selectVictim(nil)
 		if !ok {
 			return 0, nil, fmt.Errorf("oracle: no replaceable SRAM page (all pinned)")
 		}
@@ -184,6 +184,7 @@ func (m *refMemory) pageFault(pid mem.PID, vpn uint64) (uint64, *refFault, error
 		fault.firstTouch = true
 	}
 	fault.pageDRAMAddr = dramAddr
+	m.pt.pol.insert(frame, !fault.firstTouch)
 	return frame, fault, nil
 }
 
@@ -260,13 +261,16 @@ func NewRAMpage(cfg sim.RAMpageConfig) (*RAMpage, error) {
 	if err != nil {
 		return nil, err
 	}
-	mm, err := newRefMemory(cfg.SRAMBytes, cfg.PageBytes, cfg.TLBEntries, cfg.TLBAssoc, cfg.Seed+6)
+	mm, err := newRefMemory(cfg.SRAMBytes, cfg.PageBytes, cfg.TLBEntries, cfg.TLBAssoc, cfg.Seed+6, cfg.Policy)
 	if err != nil {
 		return nil, err
 	}
 	name := "rampage"
 	if cfg.SwitchOnMiss {
 		name = "rampage-cs"
+	}
+	if pol := mm.pt.pol.name(); pol != "clock" {
+		name += "+" + pol
 	}
 	return &RAMpage{
 		cfg:    cfg,
@@ -529,6 +533,6 @@ func (r *RAMpage) StateSummary() string {
 	l1iv, l1id := r.l1i.countValid()
 	l1dv, l1dd := r.l1d.countValid()
 	ptv, ptp := r.mm.pt.countValid()
-	return fmt.Sprintf("l1i %d lines (%d dirty), l1d %d lines (%d dirty), tlb %d entries, pt %d mapped (%d pinned), clock hand %d, %d in flight, chan free at %d",
-		l1iv, l1id, l1dv, l1dd, r.mm.tlb.countValid(), ptv, ptp, r.mm.pt.hand, len(r.inFlight), r.chanFreeAt)
+	return fmt.Sprintf("l1i %d lines (%d dirty), l1d %d lines (%d dirty), tlb %d entries, pt %d mapped (%d pinned), %s, %d in flight, chan free at %d",
+		l1iv, l1id, l1dv, l1dd, r.mm.tlb.countValid(), ptv, ptp, r.mm.pt.pol.stateSummary(), len(r.inFlight), r.chanFreeAt)
 }

@@ -6,9 +6,11 @@ import (
 )
 
 // EncodeState serializes the table's complete mutable state: the
-// columnar frame entries, hash anchors, free list, clock hand and
-// counters. Geometry (frame count, HAT size) is implied by the
-// configuration and is validated, not serialized.
+// columnar frame entries, hash anchors, free list, replacement-policy
+// state and counters. Geometry (frame count, HAT size) is implied by
+// the configuration and is validated, not serialized. The clock
+// policy's state is exactly the one U64 hand this slot has always
+// held, so pre-policy checkpoints stay valid.
 func (pt *Inverted) EncodeState(e *checkpoint.Enc) {
 	e.Marker(checkpoint.MarkPageTable)
 	e.U64s(pt.vpns)
@@ -22,7 +24,7 @@ func (pt *Inverted) EncodeState(e *checkpoint.Enc) {
 	e.I32s(pt.hat)
 	e.I32(pt.freeHead)
 	e.I32s(pt.freeNext)
-	e.U64(pt.hand)
+	pt.pol.EncodeState(e)
 	e.U64(pt.stats.Lookups)
 	e.U64(pt.stats.Hits)
 	e.U64(pt.stats.Probes)
@@ -48,7 +50,7 @@ func (pt *Inverted) DecodeState(d *checkpoint.Dec) {
 	d.I32sInto(pt.hat)
 	pt.freeHead = d.I32()
 	d.I32sInto(pt.freeNext)
-	pt.hand = d.U64()
+	pt.pol.DecodeState(d)
 	pt.stats.Lookups = d.U64()
 	pt.stats.Hits = d.U64()
 	pt.stats.Probes = d.U64()

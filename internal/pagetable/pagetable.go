@@ -13,10 +13,13 @@
 // the simulated caches — the probe cost is the paper's "inverted page
 // table is slower on lookup than a forward page table".
 //
-// Replacement uses the standard clock algorithm of §4.5: "a clock hand
-// advances through the page table, marking each page that has
-// previously been marked as 'in use' as 'unused', until an 'unused'
-// page is found."
+// Replacement is pluggable (package policy). The default is the
+// standard clock algorithm of §4.5: "a clock hand advances through the
+// page table, marking each page that has previously been marked as 'in
+// use' as 'unused', until an 'unused' page is found." Config.Policy
+// selects fifo, random, awrp or bandwidth instead; the table keeps
+// owning the per-frame flag bits and reports reference/insert events
+// to the policy through its hooks.
 //
 // Storage is columnar (parallel vpn/pid/flag/link columns) and arena-
 // backed: every table's columns are carved from a pair of slabs sized
@@ -32,6 +35,7 @@ import (
 
 	"rampage/internal/mem"
 	"rampage/internal/metrics"
+	"rampage/internal/policy"
 	"rampage/internal/xrand"
 )
 
@@ -64,6 +68,12 @@ type Config struct {
 	// shuffle deterministic.
 	Scramble     bool
 	ScrambleSeed uint64
+	// Policy selects the replacement policy ("" or "clock" is the
+	// paper's clock algorithm; see package policy for the vocabulary).
+	Policy string
+	// PolicySeed feeds the seeded policies (random); deterministic
+	// policies ignore it.
+	PolicySeed uint64
 }
 
 // Validate checks the configuration.
@@ -73,6 +83,9 @@ func (c Config) Validate() error {
 	}
 	if c.PageBytes == 0 || !mem.IsPow2(c.PageBytes) {
 		return fmt.Errorf("pagetable: page size %d is not a power of two", c.PageBytes)
+	}
+	if _, err := policy.Parse(c.Policy); err != nil {
+		return err
 	}
 	return nil
 }
@@ -87,12 +100,13 @@ type Stats struct {
 	Unmaps     uint64
 }
 
-// Entry flag bits in the flags column.
+// Entry flag bits in the flags column (canonical values live in
+// package policy, which ranks frames by reading this column).
 const (
-	flagValid  = 1 << iota // frame maps a page
-	flagUsed               // clock reference bit
-	FlagDirty              // page must be written back on replacement
-	flagPinned             // excluded from clock replacement
+	flagValid  = policy.FlagValid  // frame maps a page
+	flagUsed   = policy.FlagUsed   // clock reference bit
+	FlagDirty  = policy.FlagDirty  // page must be written back on replacement
+	flagPinned = policy.FlagPinned // excluded from replacement
 )
 
 // Inverted is the inverted page table. It is not safe for concurrent
@@ -108,7 +122,8 @@ type Inverted struct {
 	hatMask  uint64
 	freeHead int32
 	freeNext []int32 // free-list links
-	hand     uint64  // clock hand
+	pol      policy.ReplacementPolicy
+	view     policy.View
 	stats    Stats
 	obs      metrics.Observer // nil unless probing is attached
 	slab     *slab            // backing storage, returned to the arena by Recycle
@@ -200,6 +215,16 @@ func New(cfg Config) (*Inverted, error) {
 		freeNext: s.i32[hatSize+cfg.Frames:],
 		hatMask:  hatSize - 1,
 		slab:     s,
+	}
+	pol, err := policy.New(cfg.Policy, cfg.Frames, cfg.PolicySeed)
+	if err != nil {
+		return nil, err
+	}
+	pt.pol = pol
+	pt.view = policy.View{
+		Flags:     pt.flags,
+		EntryBase: cfg.TableBase + hatSize*HATEntryBytes,
+		EntrySize: EntryBytes,
 	}
 	for i := range pt.hat {
 		pt.hat[i] = -1
@@ -321,6 +346,7 @@ func (pt *Inverted) lookup(pid mem.PID, vpn uint64, probes []uint64) (uint64, []
 		if pt.flags[idx]&flagValid != 0 && pt.pids[idx] == pid && pt.vpns[idx] == vpn {
 			pt.stats.Hits++
 			pt.flags[idx] |= flagUsed
+			pt.pol.Touch(uint64(idx))
 			if pt.obs != nil {
 				pt.obs.Observe(metrics.EvPTProbes, chain)
 			}
@@ -406,18 +432,34 @@ func (pt *Inverted) Release(frame uint64) {
 	pt.freeHead = int32(frame)
 }
 
-// Touch sets the frame's clock reference bit.
-func (pt *Inverted) Touch(frame uint64) { pt.flags[frame] |= flagUsed }
+// Touch sets the frame's reference bit and reports the reference to
+// the replacement policy.
+func (pt *Inverted) Touch(frame uint64) {
+	pt.flags[frame] |= flagUsed
+	pt.pol.Touch(frame)
+}
+
+// PolicyInsert reports to the replacement policy that a page fault
+// installed a page into frame; refault is true when the page had been
+// resident before. Callers invoke it after Map during fault handling
+// (the pinned OS mappings built at construction never enter the
+// replacement ranking).
+func (pt *Inverted) PolicyInsert(frame uint64, refault bool) {
+	pt.pol.Insert(frame, refault)
+}
 
 // SetDirty marks the frame's page dirty (it must be written back on
 // replacement).
 func (pt *Inverted) SetDirty(frame uint64) { pt.flags[frame] |= FlagDirty }
 
-// Pin excludes the frame from clock replacement — the §4.5/§2.3
-// mechanism that keeps the page table, handler code and context-switch
+// Pin excludes the frame from replacement — the §4.5/§2.3 mechanism
+// that keeps the page table, handler code and context-switch
 // structures resident in SRAM. It is also used transiently to protect
 // a frame whose page transfer is still in flight (switch-on-miss).
-func (pt *Inverted) Pin(frame uint64) { pt.flags[frame] |= flagPinned }
+func (pt *Inverted) Pin(frame uint64) {
+	pt.flags[frame] |= flagPinned
+	pt.pol.Pin(frame)
+}
 
 // Unpin makes the frame replaceable again (the transfer that pinned it
 // has completed).
@@ -430,39 +472,51 @@ func (pt *Inverted) FrameInfo(frame uint64) (pid mem.PID, vpn uint64, valid, dir
 }
 
 // Hand returns the clock hand's current position, for invariant
-// checking (the hand must always index a valid frame).
-func (pt *Inverted) Hand() uint64 { return pt.hand }
+// checking on clock-policy tables (the hand must always index a valid
+// frame). Non-clock policies report zero; use CheckPolicyState for
+// the policy-aware invariant.
+func (pt *Inverted) Hand() uint64 {
+	if c, ok := pt.pol.(clockHand); ok {
+		return c.Hand()
+	}
+	return 0
+}
 
-// ClockSelect runs the clock hand to choose a victim frame: it clears
-// use bits on referenced pages and stops at the first unreferenced,
-// unpinned, valid frame. scanAddrs lists the entry addresses the hand
-// examined (each is a read-modify-write in the fault handler trace).
-// ok is false when every frame is pinned or recently used twice around
-// (pathological; callers treat it as "no victim").
+// clockHand is implemented by the clock policy.
+type clockHand interface {
+	policy.ReplacementPolicy
+	Hand() uint64
+}
+
+// PolicyName returns the replacement policy's display name.
+func (pt *Inverted) PolicyName() string { return policy.Label(pt.pol.Name()) }
+
+// CheckPolicyState validates the replacement policy's internal bounds
+// — the policy-aware generalization of the clock-hand invariant.
+func (pt *Inverted) CheckPolicyState() error { return pt.pol.CheckState(pt.cfg.Frames) }
+
+// ClockSelect asks the replacement policy for a victim frame: a valid,
+// unpinned frame chosen by the configured ranking (for the default
+// clock policy, the §4.5 hand sweep that clears use bits as it goes).
+// scanAddrs lists the entry addresses the selection examined (each is
+// a read-modify-write in the fault handler trace). ok is false when
+// every frame is pinned or invalid (pathological; callers treat it as
+// "no victim"). The name predates the policy abstraction and is kept
+// for the call sites and the paper's vocabulary.
+//
+// The observer sees one EvClockSweep observation per selection whose
+// value is exactly the number of entries examined, so the histogram
+// sum always equals the ClockScans counter.
 func (pt *Inverted) ClockSelect(scanAddrs []uint64) (victim uint64, _ []uint64, ok bool) {
-	n := pt.cfg.Frames
-	// Two full sweeps suffice: the first clears use bits, the second
-	// must find a clear one unless everything is pinned or invalid.
-	for i := uint64(0); i < 2*n; i++ {
-		f := pt.hand
-		pt.hand = (pt.hand + 1) % n
-		pt.stats.ClockScans++
-		scanAddrs = append(scanAddrs, pt.EntryAddr(f))
-		fl := pt.flags[f]
-		if fl&flagValid == 0 || fl&flagPinned != 0 {
-			continue
-		}
-		if fl&flagUsed != 0 {
-			pt.flags[f] = fl &^ flagUsed
-			continue
-		}
-		if pt.obs != nil {
-			pt.obs.Observe(metrics.EvClockSweep, i+1)
-		}
-		return f, scanAddrs, true
-	}
+	before := len(scanAddrs)
+	victim, scanAddrs, ok = pt.pol.SelectVictim(pt.view, scanAddrs)
+	examined := uint64(len(scanAddrs) - before)
+	pt.stats.ClockScans += examined
 	if pt.obs != nil {
-		pt.obs.Observe(metrics.EvClockSweep, 2*n)
+		pt.obs.Observe(metrics.EvClockSweep, examined)
 	}
-	return 0, scanAddrs, false
+	if ok {
+		policy.CountEviction(pt.pol.Name())
+	}
+	return victim, scanAddrs, ok
 }

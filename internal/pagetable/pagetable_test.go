@@ -5,6 +5,8 @@ import (
 	"testing/quick"
 
 	"rampage/internal/mem"
+	"rampage/internal/metrics"
+	"rampage/internal/policy"
 )
 
 func small(t *testing.T, frames uint64) *Inverted {
@@ -375,5 +377,65 @@ func TestRecycleReusesSlabs(t *testing.T) {
 	})
 	if allocs > 2 {
 		t.Errorf("New+Recycle allocates %.1f times in steady state; arena is not reusing slabs", allocs)
+	}
+}
+
+// TestClockScanObservationMatchesCounter pins the scan accounting
+// contract: across every replacement policy and every selection
+// outcome — immediate hit, use-clearing sweep, all-pinned failure —
+// the EvClockSweep histogram sum equals the ClockScans counter
+// exactly, because both are fed the same examined-entry count per
+// selection.
+func TestClockScanObservationMatchesCounter(t *testing.T) {
+	for _, pol := range policy.Names() {
+		t.Run(pol, func(t *testing.T) {
+			pt, err := New(Config{Frames: 8, PageBytes: 4096, TableBase: 0xF010_0000, Policy: pol, PolicySeed: 7})
+			if err != nil {
+				t.Fatal(err)
+			}
+			col := metrics.NewCollector(0)
+			pt.SetObserver(col)
+
+			check := func(stage string) {
+				t.Helper()
+				h := col.Hist(metrics.EvClockSweep)
+				if h.Sum != pt.Stats().ClockScans {
+					t.Fatalf("%s: observed scan sum %d != ClockScans %d", stage, h.Sum, pt.Stats().ClockScans)
+				}
+			}
+
+			// Map every frame (each arrives used).
+			for f := uint64(0); f < 8; f++ {
+				if err := pt.Map(1, f, f); err != nil {
+					t.Fatal(err)
+				}
+			}
+			// Use-clearing path: all frames start used, so the clock
+			// must sweep; ranking policies pick directly.
+			if _, _, ok := pt.ClockSelect(nil); !ok {
+				t.Fatal("no victim in a fully mapped table")
+			}
+			check("use-clearing selection")
+
+			// Immediate path: a second selection right away.
+			if _, _, ok := pt.ClockSelect(nil); !ok {
+				t.Fatal("no victim on second selection")
+			}
+			check("immediate selection")
+
+			// Failure path: pin everything; the selection must fail but
+			// still account every examined entry identically.
+			for f := uint64(0); f < 8; f++ {
+				pt.Pin(f)
+			}
+			if _, _, ok := pt.ClockSelect(nil); ok {
+				t.Fatal("victim selected from an all-pinned table")
+			}
+			check("all-pinned failure")
+
+			if pt.Stats().ClockScans == 0 {
+				t.Error("selections examined zero entries total")
+			}
+		})
 	}
 }

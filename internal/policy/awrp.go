@@ -1,0 +1,185 @@
+package policy
+
+import (
+	"fmt"
+
+	"rampage/internal/checkpoint"
+)
+
+// awrpWindow is the adaptation interval: the recency/frequency weight
+// is re-evaluated every this many inserts.
+const awrpWindow = 256
+
+// awrpWeightMax bounds the recency weight; the frequency weight is the
+// complement (awrpWeightMax - wR), so the two always sum to the same
+// fixed-point budget.
+const awrpWeightMax = 8
+
+// awrpPolicy is an adaptive weight-ranking policy in the AWRP mold:
+// every eligible frame is scored by a blend of recency (age since last
+// touch) and frequency (a saturating access counter), and the blend's
+// weighting adapts online. The score is
+//
+//	score(f) = (wR+1) * age(f) / (1 + freq(f)*(8-wR))
+//
+// in integer arithmetic: at wR=8 the divisor is 1 and the policy
+// degenerates to strict LRU; at wR=0 frequent pages divide their age
+// by up to 1+8*255 and are almost never chosen. The victim is the
+// maximum-score frame (lowest index on ties).
+//
+// Adaptation is a hill climb on the refault rate: Insert reports
+// whether the faulting page had been resident before, and every
+// awrpWindow inserts the policy compares the window's refault rate
+// against the previous window's (cross-multiplied, no floating
+// point). A worsening rate flips the adjustment direction; the weight
+// then steps one unit, bouncing at the [0, 8] bounds.
+type awrpPolicy struct {
+	frames uint64
+	tick   uint64   // logical time, advanced by Touch and Insert
+	last   []uint64 // per-frame tick of the most recent touch/insert
+	freq   []uint8  // per-frame saturating access counter
+
+	wR  uint32 // recency weight in [0, awrpWeightMax]
+	dir int32  // current hill-climb direction, +1 or -1
+
+	winIns, winRef   uint64 // current adaptation window
+	prevIns, prevRef uint64 // previous completed window
+}
+
+func newAWRP(frames uint64) *awrpPolicy {
+	return &awrpPolicy{
+		frames: frames,
+		last:   make([]uint64, frames),
+		freq:   make([]uint8, frames),
+		wR:     awrpWeightMax / 2,
+		dir:    1,
+	}
+}
+
+func (p *awrpPolicy) Name() string { return AWRP }
+
+// score ranks a frame for eviction: older and less frequently touched
+// pages score higher.
+func (p *awrpPolicy) score(f uint64) uint64 {
+	age := p.tick - p.last[f]
+	return (uint64(p.wR) + 1) * age / (1 + uint64(p.freq[f])*uint64(awrpWeightMax-p.wR))
+}
+
+// SelectVictim picks the maximum-score eligible frame. Only the
+// victim's table entry is reported as examined.
+func (p *awrpPolicy) SelectVictim(v View, scanAddrs []uint64) (uint64, []uint64, bool) {
+	var best, bestScore uint64
+	found := false
+	for f := uint64(0); f < p.frames; f++ {
+		if !v.eligible(f) {
+			continue
+		}
+		if s := p.score(f); !found || s > bestScore {
+			found, best, bestScore = true, f, s
+		}
+	}
+	if !found {
+		return 0, scanAddrs, false
+	}
+	return best, append(scanAddrs, v.EntryAddr(best)), true
+}
+
+// Touch refreshes the frame's recency and bumps its saturating
+// frequency counter.
+func (p *awrpPolicy) Touch(frame uint64) {
+	p.tick++
+	p.last[frame] = p.tick
+	if p.freq[frame] < 255 {
+		p.freq[frame]++
+	}
+}
+
+// Insert seeds the frame's score state and advances the adaptation
+// window; refault inserts are the signal the hill climb minimizes.
+func (p *awrpPolicy) Insert(frame uint64, refault bool) {
+	p.tick++
+	p.last[frame] = p.tick
+	p.freq[frame] = 1
+	p.winIns++
+	if refault {
+		p.winRef++
+	}
+	if p.winIns >= awrpWindow {
+		p.adapt()
+	}
+}
+
+// adapt closes the window: if the refault rate worsened relative to
+// the previous window (winRef/winIns > prevRef/prevIns, compared by
+// cross-multiplication), the climb direction flips; then the weight
+// steps, bouncing off the bounds.
+func (p *awrpPolicy) adapt() {
+	if p.prevIns > 0 && p.winRef*p.prevIns > p.prevRef*p.winIns {
+		p.dir = -p.dir
+	}
+	next := int64(p.wR) + int64(p.dir)
+	if next < 0 || next > awrpWeightMax {
+		p.dir = -p.dir
+		next = int64(p.wR) + int64(p.dir)
+	}
+	p.wR = uint32(next)
+	p.prevIns, p.prevRef = p.winIns, p.winRef
+	p.winIns, p.winRef = 0, 0
+}
+
+func (p *awrpPolicy) Pin(uint64) {}
+
+func (p *awrpPolicy) EncodeState(e *checkpoint.Enc) {
+	e.U64(p.tick)
+	e.U32(p.wR)
+	e.I32(p.dir)
+	e.U64(p.winIns)
+	e.U64(p.winRef)
+	e.U64(p.prevIns)
+	e.U64(p.prevRef)
+	e.U64s(p.last)
+	e.U8s(p.freq)
+}
+
+func (p *awrpPolicy) DecodeState(d *checkpoint.Dec) {
+	p.tick = d.U64()
+	p.wR = d.U32()
+	p.dir = d.I32()
+	p.winIns = d.U64()
+	p.winRef = d.U64()
+	p.prevIns = d.U64()
+	p.prevRef = d.U64()
+	d.U64sInto(p.last)
+	d.U8sInto(p.freq)
+	if d.Err() != nil {
+		return
+	}
+	if err := p.CheckState(p.frames); err != nil {
+		d.Fail("%v", err)
+	}
+}
+
+func (p *awrpPolicy) CheckState(frames uint64) error {
+	if uint64(len(p.last)) != frames {
+		return fmt.Errorf("policy: awrp tracks %d frames, table has %d", len(p.last), frames)
+	}
+	if p.wR > awrpWeightMax {
+		return fmt.Errorf("policy: awrp recency weight %d out of range [0, %d]", p.wR, awrpWeightMax)
+	}
+	if p.dir != 1 && p.dir != -1 {
+		return fmt.Errorf("policy: awrp climb direction %d is not ±1", p.dir)
+	}
+	if p.winIns >= awrpWindow {
+		return fmt.Errorf("policy: awrp open window holds %d inserts (limit %d)", p.winIns, awrpWindow)
+	}
+	if p.winRef > p.winIns || p.prevRef > p.prevIns {
+		return fmt.Errorf("policy: awrp refault count exceeds insert count (%d/%d, prev %d/%d)",
+			p.winRef, p.winIns, p.prevRef, p.prevIns)
+	}
+	for f, l := range p.last {
+		if l > p.tick {
+			return fmt.Errorf("policy: awrp frame %d touched at tick %d, after current tick %d", f, l, p.tick)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,118 @@
+package policy
+
+import (
+	"fmt"
+
+	"rampage/internal/checkpoint"
+)
+
+// bandwidthReuseCap saturates the per-frame reuse counters (Banshee's
+// frequency counters are similarly small).
+const bandwidthReuseCap = 15
+
+// bandwidthRefaultCredit is the reuse credit a refaulting page arrives
+// with: a page that keeps coming back has demonstrated benefit, so the
+// policy protects it immediately instead of making it re-earn credit.
+const bandwidthRefaultCredit = 2
+
+// bandwidthPolicy is a Banshee-style bandwidth-aware replacement
+// policy: per-frame saturating reuse counters track how much benefit
+// keeping a page has produced, and victim selection preferentially
+// evicts zero-reuse pages — streaming data that would churn the
+// SRAM⇄DRAM channel for no benefit — while the hand's pass decays the
+// survivors so stale credit drains away. First-touch pages start at
+// zero credit (immediately evictable: low-benefit movement is
+// suppressed by making it cheap to undo), refaulting pages start with
+// credit.
+type bandwidthPolicy struct {
+	frames uint64
+	hand   uint64
+	reuse  []uint8 // per-frame saturating reuse credit
+}
+
+func newBandwidth(frames uint64) *bandwidthPolicy {
+	return &bandwidthPolicy{frames: frames, reuse: make([]uint8, frames)}
+}
+
+func (p *bandwidthPolicy) Name() string { return Bandwidth }
+
+// SelectVictim advances the hand looking for a zero-credit eligible
+// frame, decaying the credit of every eligible frame it passes. If two
+// full sweeps find none (every resident page has demonstrated reuse),
+// the minimum-credit frame seen — post-decay — is the victim.
+func (p *bandwidthPolicy) SelectVictim(v View, scanAddrs []uint64) (uint64, []uint64, bool) {
+	n := p.frames
+	var best uint64
+	var bestCredit uint8
+	found := false
+	for i := uint64(0); i < 2*n; i++ {
+		f := p.hand
+		p.hand = (p.hand + 1) % n
+		scanAddrs = append(scanAddrs, v.EntryAddr(f))
+		if !v.eligible(f) {
+			continue
+		}
+		if p.reuse[f] == 0 {
+			return f, scanAddrs, true
+		}
+		p.reuse[f]--
+		if !found || p.reuse[f] < bestCredit {
+			found, best, bestCredit = true, f, p.reuse[f]
+		}
+	}
+	if !found {
+		return 0, scanAddrs, false
+	}
+	return best, scanAddrs, true
+}
+
+// Touch earns the frame one unit of reuse credit, saturating at the
+// cap.
+func (p *bandwidthPolicy) Touch(frame uint64) {
+	if p.reuse[frame] < bandwidthReuseCap {
+		p.reuse[frame]++
+	}
+}
+
+// Insert seeds the frame's credit: zero on first touch, a protective
+// credit on refault.
+func (p *bandwidthPolicy) Insert(frame uint64, refault bool) {
+	if refault {
+		p.reuse[frame] = bandwidthRefaultCredit
+	} else {
+		p.reuse[frame] = 0
+	}
+}
+
+func (p *bandwidthPolicy) Pin(uint64) {}
+
+func (p *bandwidthPolicy) EncodeState(e *checkpoint.Enc) {
+	e.U64(p.hand)
+	e.U8s(p.reuse)
+}
+
+func (p *bandwidthPolicy) DecodeState(d *checkpoint.Dec) {
+	p.hand = d.U64()
+	d.U8sInto(p.reuse)
+	if d.Err() != nil {
+		return
+	}
+	if err := p.CheckState(p.frames); err != nil {
+		d.Fail("%v", err)
+	}
+}
+
+func (p *bandwidthPolicy) CheckState(frames uint64) error {
+	if uint64(len(p.reuse)) != frames {
+		return fmt.Errorf("policy: bandwidth tracks %d frames, table has %d", len(p.reuse), frames)
+	}
+	if p.hand >= frames {
+		return fmt.Errorf("policy: bandwidth hand %d out of range (%d frames)", p.hand, frames)
+	}
+	for f, c := range p.reuse {
+		if c > bandwidthReuseCap {
+			return fmt.Errorf("policy: bandwidth reuse credit %d on frame %d exceeds cap %d", c, f, bandwidthReuseCap)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,81 @@
+package policy
+
+import (
+	"fmt"
+
+	"rampage/internal/checkpoint"
+)
+
+// clockPolicy is the §4.5 clock algorithm, extracted verbatim from the
+// page table: "a clock hand advances through the page table, marking
+// each page that has previously been marked as 'in use' as 'unused',
+// until an 'unused' page is found." The use bit lives in the table's
+// flags column (set by the table on lookup hits and maps); the policy
+// owns only the hand.
+type clockPolicy struct {
+	frames uint64
+	hand   uint64
+}
+
+func newClock(frames uint64) *clockPolicy { return &clockPolicy{frames: frames} }
+
+func (p *clockPolicy) Name() string { return Clock }
+
+// SelectVictim runs the clock hand: clear use bits on referenced
+// pages, stop at the first unreferenced, unpinned, valid frame. Two
+// full sweeps suffice: the first clears use bits, the second must find
+// a clear one unless everything is pinned or invalid.
+func (p *clockPolicy) SelectVictim(v View, scanAddrs []uint64) (uint64, []uint64, bool) {
+	n := p.frames
+	for i := uint64(0); i < 2*n; i++ {
+		f := p.hand
+		p.hand = (p.hand + 1) % n
+		scanAddrs = append(scanAddrs, v.EntryAddr(f))
+		fl := v.Flags[f]
+		if fl&FlagValid == 0 || fl&FlagPinned != 0 {
+			continue
+		}
+		if fl&FlagUsed != 0 {
+			v.Flags[f] = fl &^ FlagUsed
+			continue
+		}
+		return f, scanAddrs, true
+	}
+	return 0, scanAddrs, false
+}
+
+// Touch is a no-op: the clock's reference bit is the table's FlagUsed,
+// which the table sets itself.
+func (p *clockPolicy) Touch(uint64) {}
+
+// Insert is a no-op: a mapped frame arrives with FlagUsed already set.
+func (p *clockPolicy) Insert(uint64, bool) {}
+
+// Pin is a no-op: the hand skips pinned frames via the View.
+func (p *clockPolicy) Pin(uint64) {}
+
+// EncodeState writes exactly the one U64 (the hand) the page table
+// wrote before the policy extraction, keeping checkpoint bytes
+// identical for clock configurations.
+func (p *clockPolicy) EncodeState(e *checkpoint.Enc) { e.U64(p.hand) }
+
+// DecodeState restores the hand, rejecting out-of-range values.
+func (p *clockPolicy) DecodeState(d *checkpoint.Dec) {
+	p.hand = d.U64()
+	if d.Err() == nil && p.hand >= p.frames {
+		d.Fail("policy: clock hand %d out of range (%d frames)", p.hand, p.frames)
+	}
+}
+
+// CheckState validates the hand bound — the original clock-hand
+// invariant.
+func (p *clockPolicy) CheckState(frames uint64) error {
+	if p.hand >= frames {
+		return fmt.Errorf("policy: clock hand %d out of range (%d frames)", p.hand, frames)
+	}
+	return nil
+}
+
+// Hand exposes the hand position for invariant checks and state
+// summaries.
+func (p *clockPolicy) Hand() uint64 { return p.hand }

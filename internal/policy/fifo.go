@@ -1,0 +1,88 @@
+package policy
+
+import (
+	"fmt"
+
+	"rampage/internal/checkpoint"
+)
+
+// fifoPolicy evicts the oldest resident page by insertion order — the
+// classic first-in-first-out baseline. Each Insert stamps the frame
+// with a monotonically increasing sequence number; the victim is the
+// eligible frame with the smallest stamp (lowest frame index on ties,
+// which also covers the never-inserted pinned OS frames at stamp 0).
+type fifoPolicy struct {
+	frames uint64
+	next   uint64   // sequence counter; the next Insert gets next+1
+	stamps []uint64 // per-frame insertion stamp
+}
+
+func newFIFO(frames uint64) *fifoPolicy {
+	return &fifoPolicy{frames: frames, stamps: make([]uint64, frames)}
+}
+
+func (p *fifoPolicy) Name() string { return FIFO }
+
+// SelectVictim scans for the eligible frame with the oldest insertion
+// stamp. Only the chosen victim's table entry is reported as examined:
+// a real FIFO keeps its queue head at hand, it does not walk the
+// table.
+func (p *fifoPolicy) SelectVictim(v View, scanAddrs []uint64) (uint64, []uint64, bool) {
+	var best uint64
+	var bestStamp uint64
+	found := false
+	for f := uint64(0); f < p.frames; f++ {
+		if !v.eligible(f) {
+			continue
+		}
+		if !found || p.stamps[f] < bestStamp {
+			found, best, bestStamp = true, f, p.stamps[f]
+		}
+	}
+	if !found {
+		return 0, scanAddrs, false
+	}
+	return best, append(scanAddrs, v.EntryAddr(best)), true
+}
+
+// Touch is a no-op: FIFO ignores references after insertion.
+func (p *fifoPolicy) Touch(uint64) {}
+
+// Insert stamps the frame with the next sequence number.
+func (p *fifoPolicy) Insert(frame uint64, refault bool) {
+	p.next++
+	p.stamps[frame] = p.next
+}
+
+func (p *fifoPolicy) Pin(uint64) {}
+
+func (p *fifoPolicy) EncodeState(e *checkpoint.Enc) {
+	e.U64(p.next)
+	e.U64s(p.stamps)
+}
+
+func (p *fifoPolicy) DecodeState(d *checkpoint.Dec) {
+	p.next = d.U64()
+	d.U64sInto(p.stamps)
+	if d.Err() != nil {
+		return
+	}
+	for f, s := range p.stamps {
+		if s > p.next {
+			d.Fail("policy: fifo stamp %d on frame %d exceeds sequence counter %d", s, f, p.next)
+			return
+		}
+	}
+}
+
+func (p *fifoPolicy) CheckState(frames uint64) error {
+	if uint64(len(p.stamps)) != frames {
+		return fmt.Errorf("policy: fifo tracks %d frames, table has %d", len(p.stamps), frames)
+	}
+	for f, s := range p.stamps {
+		if s > p.next {
+			return fmt.Errorf("policy: fifo stamp %d on frame %d exceeds sequence counter %d", s, f, p.next)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,222 @@
+// Package policy implements pluggable page-replacement policies for
+// the inverted page table. The §4.5 clock algorithm the paper
+// hardwires is one implementation among several: the package asks the
+// paper's question — which memory-management algorithm wins as the
+// CPU–DRAM gap grows — forward, with FIFO and seeded-random baselines,
+// an AWRP-style adaptive recency+frequency ranking, and a
+// Banshee-style bandwidth-aware policy that protects high-reuse pages
+// to suppress low-benefit page movement between SRAM and DRAM.
+//
+// A ReplacementPolicy owns only the replacement-ranking state (clock
+// hand, insertion stamps, reuse counters, ...). The page table keeps
+// owning the per-frame flag bits — valid, used, dirty, pinned — and
+// exposes them to the policy through a read-write View, so the clock
+// policy is the literal extraction of the old pagetable.ClockSelect
+// loop, byte-identical in behaviour and in checkpoint encoding.
+//
+// Hook contract, mirrored exactly by the reference models in
+// internal/oracle:
+//
+//   - Touch(frame) fires on every page-table lookup hit — TLB-miss
+//     granularity, not per reference, so the TLB-filtered fast paths
+//     stay policy-free. (The clock's use bit is likewise set by the
+//     table on lookup hits.)
+//   - Insert(frame, refault) fires after a fault maps a page; refault
+//     reports whether the page had been resident before (it is false
+//     on first touch).
+//   - Pin(frame) fires when a frame is pinned; eligibility itself is
+//     read from the View's pin flag, so implementations may ignore it.
+//
+// Every policy's state is deterministic and encodable: EncodeState /
+// DecodeState plug into the pagetable section of the versioned
+// checkpoint codec, and CheckState is the policy-aware generalization
+// of the old clock-hand-bounds invariant.
+package policy
+
+import (
+	"fmt"
+	"sort"
+	"sync/atomic"
+
+	"rampage/internal/checkpoint"
+)
+
+// Per-frame flag bits of the page-table flags column, shared with
+// package pagetable (which aliases these values).
+const (
+	FlagValid  = 1 << iota // frame maps a page
+	FlagUsed               // reference bit (set by the table on lookup hits)
+	FlagDirty              // page must be written back on replacement
+	FlagPinned             // excluded from replacement
+)
+
+// View is the policy's window into the page table: the live per-frame
+// flags column and the geometry needed to synthesize the table-entry
+// addresses a victim scan touches (they become the fault handler's
+// data references).
+type View struct {
+	// Flags aliases the table's live flags column; policies may clear
+	// FlagUsed (the clock does) but must not touch other bits.
+	Flags []uint8
+	// EntryBase is the virtual address of frame 0's table entry;
+	// entries are EntrySize bytes apart.
+	EntryBase uint64
+	EntrySize uint64
+}
+
+// EntryAddr returns the virtual address of a frame's table entry.
+func (v View) EntryAddr(frame uint64) uint64 {
+	return v.EntryBase + frame*v.EntrySize
+}
+
+// eligible reports whether a frame may be chosen as a victim.
+func (v View) eligible(frame uint64) bool {
+	fl := v.Flags[frame]
+	return fl&FlagValid != 0 && fl&FlagPinned == 0
+}
+
+// ReplacementPolicy chooses victim frames for page replacement. A
+// policy is deterministic: the same construction parameters and the
+// same hook/selection sequence produce the same victims and the same
+// encoded state. Implementations are not safe for concurrent use.
+type ReplacementPolicy interface {
+	// Name returns the canonical policy name ("clock", "fifo", ...).
+	Name() string
+	// SelectVictim picks a replaceable frame (valid, unpinned),
+	// appending the table-entry address of every frame it examined to
+	// scanAddrs. ok is false when no frame is replaceable.
+	SelectVictim(v View, scanAddrs []uint64) (victim uint64, _ []uint64, ok bool)
+	// Touch records a reference to a resident frame (lookup-hit
+	// granularity).
+	Touch(frame uint64)
+	// Insert records that a fault installed a page into frame; refault
+	// is true when the page had been resident before.
+	Insert(frame uint64, refault bool)
+	// Pin records that the frame was pinned. Eligibility is enforced
+	// through the View's pin flag, so this is advisory.
+	Pin(frame uint64)
+	// EncodeState serializes the policy's mutable state. The clock
+	// policy emits exactly the eight bytes (one U64, the hand) the
+	// page table historically wrote, keeping old checkpoints valid.
+	EncodeState(e *checkpoint.Enc)
+	// DecodeState restores state written by EncodeState.
+	DecodeState(d *checkpoint.Dec)
+	// CheckState validates internal bounds (the policy-aware
+	// generalization of the clock-hand invariant) for a table with the
+	// given frame count.
+	CheckState(frames uint64) error
+}
+
+// Canonical policy names. Clock is the paper's default; an empty name
+// means clock everywhere a policy is specified.
+const (
+	Clock     = "clock"
+	FIFO      = "fifo"
+	Random    = "random"
+	AWRP      = "awrp"
+	Bandwidth = "bandwidth"
+)
+
+// Names returns the canonical policy names in a fixed order (clock
+// first, then alphabetical).
+func Names() []string {
+	return []string{Clock, AWRP, Bandwidth, FIFO, Random}
+}
+
+// Normalize maps a policy spelling to its canonical name, with the
+// empty string (and "clock") normalizing to "" — the default-policy
+// spelling that keeps config hashes and cache keys identical to the
+// pre-policy era. It does not validate: use Parse for that.
+func Normalize(name string) string {
+	if name == Clock {
+		return ""
+	}
+	return name
+}
+
+// Label returns the display name for a (possibly normalized) policy.
+func Label(name string) string {
+	if name == "" {
+		return Clock
+	}
+	return name
+}
+
+// Parse validates a policy name and returns its normalized form (""
+// for clock). Unknown names are errors listing the vocabulary.
+func Parse(name string) (string, error) {
+	switch name {
+	case "", Clock:
+		return "", nil
+	case FIFO, Random, AWRP, Bandwidth:
+		return name, nil
+	}
+	return "", fmt.Errorf("policy: unknown replacement policy %q (want one of clock, fifo, random, awrp, bandwidth)", name)
+}
+
+// New constructs the named policy for a table with the given frame
+// count. seed feeds the seeded policies (random); deterministic
+// policies ignore it. The empty name selects clock.
+func New(name string, frames, seed uint64) (ReplacementPolicy, error) {
+	norm, err := Parse(name)
+	if err != nil {
+		return nil, err
+	}
+	if frames == 0 {
+		return nil, fmt.Errorf("policy: zero frames")
+	}
+	switch norm {
+	case "":
+		return newClock(frames), nil
+	case FIFO:
+		return newFIFO(frames), nil
+	case Random:
+		return newRandom(frames, seed), nil
+	case AWRP:
+		return newAWRP(frames), nil
+	case Bandwidth:
+		return newBandwidth(frames), nil
+	}
+	panic("unreachable")
+}
+
+// Per-policy eviction counters. These are process-global atomics — the
+// /metricsz vocabulary is fixed per policy name, not per machine — and
+// are bumped by the page table on every successful victim selection.
+var evictions [5]atomic.Uint64
+
+func evictionIndex(name string) int {
+	switch Label(name) {
+	case Clock:
+		return 0
+	case FIFO:
+		return 1
+	case Random:
+		return 2
+	case AWRP:
+		return 3
+	case Bandwidth:
+		return 4
+	}
+	return -1
+}
+
+// CountEviction records one successful victim selection under the
+// named policy.
+func CountEviction(name string) {
+	if i := evictionIndex(name); i >= 0 {
+		evictions[i].Add(1)
+	}
+}
+
+// EvictionsSnapshot returns the per-policy eviction totals, keyed by
+// display name, in sorted key order when ranged with sorted keys.
+func EvictionsSnapshot() map[string]uint64 {
+	names := Names()
+	sort.Strings(names)
+	out := make(map[string]uint64, len(names))
+	for _, n := range names {
+		out[n] = evictions[evictionIndex(n)].Load()
+	}
+	return out
+}

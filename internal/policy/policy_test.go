@@ -1,0 +1,247 @@
+package policy
+
+import (
+	"bytes"
+	"testing"
+
+	"rampage/internal/checkpoint"
+)
+
+const testFrames = 16
+
+// newView builds a standalone flags column with every frame valid and
+// used — the state of a freshly filled table.
+func newView() View {
+	v := View{Flags: make([]uint8, testFrames), EntryBase: 0xF010_1000, EntrySize: 16}
+	for f := range v.Flags {
+		v.Flags[f] = FlagValid | FlagUsed
+	}
+	return v
+}
+
+// exercise drives a policy through a deterministic mix of hooks and
+// selections, the way the fault handler would: touch, insert, select,
+// re-mark the victim used (a new page arrived in its frame).
+func exercise(p ReplacementPolicy, v View, rounds int) []uint64 {
+	var victims []uint64
+	for i := 0; i < rounds; i++ {
+		f := uint64(i) % testFrames
+		p.Touch(f)
+		p.Insert(f, i%3 != 0)
+		if victim, _, ok := p.SelectVictim(v, nil); ok {
+			victims = append(victims, victim)
+			v.Flags[victim] |= FlagUsed
+		}
+	}
+	return victims
+}
+
+func encoded(p ReplacementPolicy) []byte {
+	e := checkpoint.NewEnc()
+	p.EncodeState(e)
+	return e.Bytes()
+}
+
+// TestPolicyCheckpointRoundTrip drives every policy, snapshots its
+// state through the checkpoint codec, restores it into a fresh
+// instance, and requires (a) the decode to succeed with the buffer
+// fully consumed, (b) the restored policy to produce byte-identical
+// state and identical victims from there on, and (c) truncated and
+// semantically corrupted buffers to be rejected.
+func TestPolicyCheckpointRoundTrip(t *testing.T) {
+	for _, name := range Names() {
+		t.Run(name, func(t *testing.T) {
+			p, err := New(name, testFrames, 99)
+			if err != nil {
+				t.Fatal(err)
+			}
+			v := newView()
+			exercise(p, v, 37)
+			snap := encoded(p)
+
+			fresh, err := New(name, testFrames, 0) // seed must come from the snapshot, not construction
+			if err != nil {
+				t.Fatal(err)
+			}
+			d := checkpoint.NewDec(snap)
+			fresh.DecodeState(d)
+			if err := d.Err(); err != nil {
+				t.Fatalf("decode: %v", err)
+			}
+			if d.Remaining() != 0 {
+				t.Fatalf("decode left %d bytes unread", d.Remaining())
+			}
+			if got := encoded(fresh); !bytes.Equal(got, snap) {
+				t.Fatalf("re-encoded state differs from snapshot (%d vs %d bytes)", len(got), len(snap))
+			}
+			if err := fresh.CheckState(testFrames); err != nil {
+				t.Fatalf("restored state invalid: %v", err)
+			}
+
+			// Both copies must continue identically: clone the flags so
+			// use-bit clearing stays independent per copy.
+			v2 := newView()
+			copy(v2.Flags, v.Flags)
+			wantVictims := exercise(p, v, 23)
+			gotVictims := exercise(fresh, v2, 23)
+			if len(wantVictims) != len(gotVictims) {
+				t.Fatalf("restored policy chose %d victims, original %d", len(gotVictims), len(wantVictims))
+			}
+			for i := range wantVictims {
+				if wantVictims[i] != gotVictims[i] {
+					t.Fatalf("victim %d: restored chose frame %d, original %d", i, gotVictims[i], wantVictims[i])
+				}
+			}
+			if !bytes.Equal(encoded(p), encoded(fresh)) {
+				t.Fatal("states diverged after identical post-restore sequences")
+			}
+
+			// Truncation is always rejected.
+			for _, cut := range []int{0, 1, len(snap) / 2, len(snap) - 1} {
+				if cut >= len(snap) {
+					continue
+				}
+				trunc, err := New(name, testFrames, 0)
+				if err != nil {
+					t.Fatal(err)
+				}
+				td := checkpoint.NewDec(snap[:cut])
+				trunc.DecodeState(td)
+				if td.Err() == nil && td.Remaining() == 0 {
+					t.Errorf("truncation to %d bytes accepted", cut)
+				}
+			}
+		})
+	}
+}
+
+// TestPolicyCheckpointCorruptionRejected plants semantic corruption —
+// in-bounds bytes that violate a policy's invariants — and requires
+// the decoder (or its CheckState validation) to reject it.
+func TestPolicyCheckpointCorruptionRejected(t *testing.T) {
+	corrupt := func(name string, mutate func(snap []byte)) {
+		t.Helper()
+		p, err := New(name, testFrames, 99)
+		if err != nil {
+			t.Fatal(err)
+		}
+		v := newView()
+		exercise(p, v, 37)
+		snap := append([]byte(nil), encoded(p)...)
+		mutate(snap)
+		fresh, _ := New(name, testFrames, 0)
+		d := checkpoint.NewDec(snap)
+		fresh.DecodeState(d)
+		if d.Err() == nil {
+			if err := fresh.CheckState(testFrames); err == nil {
+				t.Errorf("%s: corrupted state accepted", name)
+			}
+		}
+	}
+	// Clock: hand out of range (first and only u64).
+	corrupt(Clock, func(s []byte) { s[0] = 0xFF })
+	// FIFO: zero the sequence counter so every stamp exceeds it.
+	corrupt(FIFO, func(s []byte) {
+		for i := 0; i < 8; i++ {
+			s[i] = 0
+		}
+	})
+	// AWRP: weight above the max (layout: tick, then wR).
+	corrupt(AWRP, func(s []byte) { s[8] = 0xFF })
+	// Bandwidth: hand out of range.
+	corrupt(Bandwidth, func(s []byte) { s[0] = 0xFF })
+}
+
+// TestPolicyDeterminism pins that two identically constructed policies
+// fed identical sequences choose identical victims — including the
+// seeded random policy, whose stream is a pure function of the seed.
+func TestPolicyDeterminism(t *testing.T) {
+	for _, name := range Names() {
+		a, err := New(name, testFrames, 1234)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, _ := New(name, testFrames, 1234)
+		va, vb := newView(), newView()
+		wa := exercise(a, va, 61)
+		wb := exercise(b, vb, 61)
+		if len(wa) != len(wb) {
+			t.Fatalf("%s: %d vs %d victims", name, len(wa), len(wb))
+		}
+		for i := range wa {
+			if wa[i] != wb[i] {
+				t.Fatalf("%s: victim %d differs (%d vs %d)", name, i, wa[i], wb[i])
+			}
+		}
+		if !bytes.Equal(encoded(a), encoded(b)) {
+			t.Fatalf("%s: encoded states differ after identical sequences", name)
+		}
+	}
+}
+
+// TestParsePolicy pins the vocabulary and the clock normalization that
+// keeps pre-policy config hashes valid.
+func TestParsePolicy(t *testing.T) {
+	for _, tc := range []struct {
+		in, want string
+		ok       bool
+	}{
+		{"", "", true},
+		{"clock", "", true},
+		{"fifo", "fifo", true},
+		{"random", "random", true},
+		{"awrp", "awrp", true},
+		{"bandwidth", "bandwidth", true},
+		{"lru", "", false},
+		{"Clock", "", false},
+		{"clock ", "", false},
+	} {
+		got, err := Parse(tc.in)
+		if (err == nil) != tc.ok {
+			t.Errorf("Parse(%q) err = %v, want ok=%v", tc.in, err, tc.ok)
+			continue
+		}
+		if err == nil && got != tc.want {
+			t.Errorf("Parse(%q) = %q, want %q", tc.in, got, tc.want)
+		}
+	}
+}
+
+// FuzzParsePolicy fuzzes the policy-name parser: it must never panic,
+// accepted names must construct, normalize idempotently and round-trip
+// through Label, and every name in the published vocabulary must be
+// accepted.
+func FuzzParsePolicy(f *testing.F) {
+	for _, n := range Names() {
+		f.Add(n)
+	}
+	f.Add("")
+	f.Add("lru")
+	f.Add("clock\x00")
+	f.Add(" fifo")
+	f.Fuzz(func(t *testing.T, name string) {
+		norm, err := Parse(name)
+		if err != nil {
+			if _, nerr := New(name, testFrames, 1); nerr == nil {
+				t.Fatalf("Parse rejects %q but New accepts it", name)
+			}
+			return
+		}
+		if norm != Normalize(name) {
+			t.Fatalf("Parse(%q) = %q but Normalize = %q", name, norm, Normalize(name))
+		}
+		if again, err := Parse(norm); err != nil || again != norm {
+			t.Fatalf("normalized form %q does not re-parse: (%q, %v)", norm, again, err)
+		}
+		if lbl, err := Parse(Label(norm)); err != nil || lbl != norm {
+			t.Fatalf("display form %q does not round-trip: (%q, %v)", Label(norm), lbl, err)
+		}
+		p, err := New(name, testFrames, 1)
+		if err != nil {
+			t.Fatalf("Parse accepts %q but New rejects it: %v", name, err)
+		}
+		if p.Name() != Label(norm) {
+			t.Fatalf("New(%q).Name() = %q, want %q", name, p.Name(), Label(norm))
+		}
+	})
+}

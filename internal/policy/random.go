@@ -1,0 +1,75 @@
+package policy
+
+import (
+	"fmt"
+
+	"rampage/internal/checkpoint"
+	"rampage/internal/xrand"
+)
+
+// randomSalt decorrelates the policy's SplitMix64 stream from the
+// other consumers of the same base seed (TLB, kernel traces, free-list
+// scramble).
+const randomSalt = 0xA17C9E4D5B36F208
+
+// randomPolicy evicts a uniformly random eligible frame, drawn from a
+// seeded SplitMix64 stream so runs stay bit-for-bit reproducible. It
+// is the memoryless baseline the adaptive policies must beat.
+type randomPolicy struct {
+	frames uint64
+	rng    xrand.RNG
+}
+
+func newRandom(frames, seed uint64) *randomPolicy {
+	p := &randomPolicy{frames: frames}
+	p.rng.SetState(seed ^ randomSalt)
+	return p
+}
+
+func (p *randomPolicy) Name() string { return Random }
+
+// SelectVictim counts the eligible frames, draws a uniform index into
+// them, and walks to it. Only the victim's table entry is reported as
+// examined. One RNG value is consumed per successful selection and
+// none on failure, which pins the stream for the oracle mirror.
+func (p *randomPolicy) SelectVictim(v View, scanAddrs []uint64) (uint64, []uint64, bool) {
+	var count uint64
+	for f := uint64(0); f < p.frames; f++ {
+		if v.eligible(f) {
+			count++
+		}
+	}
+	if count == 0 {
+		return 0, scanAddrs, false
+	}
+	k := p.rng.Uintn(count)
+	for f := uint64(0); f < p.frames; f++ {
+		if !v.eligible(f) {
+			continue
+		}
+		if k == 0 {
+			return f, append(scanAddrs, v.EntryAddr(f)), true
+		}
+		k--
+	}
+	panic("policy: random candidate count drifted during selection")
+}
+
+func (p *randomPolicy) Touch(uint64) {}
+
+func (p *randomPolicy) Insert(uint64, bool) {}
+
+func (p *randomPolicy) Pin(uint64) {}
+
+func (p *randomPolicy) EncodeState(e *checkpoint.Enc) { e.U64(p.rng.State()) }
+
+func (p *randomPolicy) DecodeState(d *checkpoint.Dec) { p.rng.SetState(d.U64()) }
+
+// CheckState has no bounds to verify beyond geometry: every RNG state
+// is valid.
+func (p *randomPolicy) CheckState(frames uint64) error {
+	if p.frames != frames {
+		return fmt.Errorf("policy: random built for %d frames, table has %d", p.frames, frames)
+	}
+	return nil
+}

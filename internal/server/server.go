@@ -28,6 +28,7 @@ import (
 	"rampage/internal/harness"
 	"rampage/internal/jobs"
 	"rampage/internal/metrics"
+	"rampage/internal/policy"
 )
 
 // Config sizes the service.
@@ -219,6 +220,7 @@ type runRequest struct {
 	IssueMHz    uint64  `json:"issue_mhz"`
 	SizeBytes   uint64  `json:"size_bytes"`
 	SwitchTrace bool    `json:"switch_trace,omitempty"`
+	Policy      string  `json:"policy,omitempty"`
 	Metrics     bool    `json:"metrics,omitempty"`
 	MaxRefs     uint64  `json:"max_refs,omitempty"`
 	ExtendRefs  uint64  `json:"extend_refs,omitempty"`
@@ -302,6 +304,7 @@ func (s *Server) runJob(req runRequest) (jobs.Request, error) {
 		IssueMHz:    req.IssueMHz,
 		SizeBytes:   req.SizeBytes,
 		SwitchTrace: req.SwitchTrace,
+		Policy:      req.Policy,
 	}
 	if err := spec.Validate(); err != nil {
 		return jobs.Request{}, errorf(http.StatusBadRequest, "%v", err)
@@ -324,9 +327,13 @@ func (s *Server) runJob(req runRequest) (jobs.Request, error) {
 		key += ":metrics"
 	}
 	withMetrics := req.Metrics
-	label := fmt.Sprintf("run:%s@%dMHz/%dB", system, spec.IssueMHz, spec.SizeBytes)
+	sysLabel := system.String()
+	if pol := policy.Normalize(spec.Policy); pol != "" {
+		sysLabel += "+" + pol
+	}
+	label := fmt.Sprintf("run:%s@%dMHz/%dB", sysLabel, spec.IssueMHz, spec.SizeBytes)
 	if req.ExtendRefs > 0 {
-		label = fmt.Sprintf("extend:%s@%dMHz/%dB+%d", system, spec.IssueMHz, spec.SizeBytes, req.ExtendRefs)
+		label = fmt.Sprintf("extend:%s@%dMHz/%dB+%d", sysLabel, spec.IssueMHz, spec.SizeBytes, req.ExtendRefs)
 	}
 	return jobs.Request{
 		Key:   key,
@@ -466,6 +473,7 @@ type jobRequest struct {
 	IssueMHz    uint64   `json:"issue_mhz,omitempty"`
 	SizeBytes   uint64   `json:"size_bytes,omitempty"`
 	SwitchTrace bool     `json:"switch_trace,omitempty"`
+	Policy      string   `json:"policy,omitempty"`
 	Metrics     bool     `json:"metrics,omitempty"`
 	MaxRefs     uint64   `json:"max_refs,omitempty"`
 	ExtendRefs  uint64   `json:"extend_refs,omitempty"`
@@ -494,7 +502,7 @@ func (s *Server) handleSubmitJob(w http.ResponseWriter, r *http.Request) {
 		jreq, err = s.runJob(runRequest{
 			Scale: req.Scale, Seed: req.Seed, System: req.System,
 			IssueMHz: req.IssueMHz, SizeBytes: req.SizeBytes,
-			SwitchTrace: req.SwitchTrace, Metrics: req.Metrics,
+			SwitchTrace: req.SwitchTrace, Policy: req.Policy, Metrics: req.Metrics,
 			MaxRefs: req.MaxRefs, ExtendRefs: req.ExtendRefs,
 		})
 	case "extend":
@@ -505,7 +513,7 @@ func (s *Server) handleSubmitJob(w http.ResponseWriter, r *http.Request) {
 		jreq, err = s.runJob(runRequest{
 			Scale: req.Scale, Seed: req.Seed, System: req.System,
 			IssueMHz: req.IssueMHz, SizeBytes: req.SizeBytes,
-			SwitchTrace: req.SwitchTrace, Metrics: req.Metrics,
+			SwitchTrace: req.SwitchTrace, Policy: req.Policy, Metrics: req.Metrics,
 			MaxRefs: req.MaxRefs, ExtendRefs: req.ExtendRefs,
 		})
 	default:
@@ -597,7 +605,8 @@ func (s *Server) handleMetricsz(w http.ResponseWriter, r *http.Request) {
 			"length":   length,
 			"capacity": capacity,
 		},
-		"fleet": s.fleet.Status(),
+		"fleet":            s.fleet.Status(),
+		"policy_evictions": policy.EvictionsSnapshot(),
 	}
 	if s.disk != nil {
 		doc["disk"] = map[string]any{

@@ -677,3 +677,110 @@ func TestServeFigsGoldenE2E(t *testing.T) {
 		}
 	}
 }
+
+// TestServePoliciesGoldenE2E extends the served-equivalence gate to
+// the policy lab: the policies experiment (RAMpage under every
+// replacement policy at 1 GHz) at the default scale must come back
+// byte-identical to the committed golden, with the repeat a pure cache
+// hit. Full default-scale sweep, so skipped under -short and run
+// explicitly by the CI golden job.
+func TestServePoliciesGoldenE2E(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full default-scale sweep; run without -short (CI golden job)")
+	}
+	golden, err := os.ReadFile(filepath.Join("..", "..", "testdata", "golden", "policies.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var stats metrics.ServiceStats
+	svc, err := server.New(server.Config{Workers: 1, QueueDepth: 4, Stats: &stats})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(svc.Handler())
+	t.Cleanup(func() {
+		ts.Close()
+		drainCtx, cancel := contextWithTimeout(time.Minute)
+		defer cancel()
+		svc.Drain(drainCtx)
+	})
+
+	code, body, _ := get(t, ts.URL+"/v1/experiments/policies?scale=default")
+	if code != http.StatusOK {
+		t.Fatalf("status %d: %.200s", code, body)
+	}
+	if !bytes.Equal(body, golden) {
+		t.Fatalf("served policies differs from testdata/golden/policies.json (%d vs %d bytes)", len(body), len(golden))
+	}
+	runsBefore := stats.Get(metrics.SvcSimRuns)
+
+	code, body2, _ := get(t, ts.URL+"/v1/experiments/policies?scale=default")
+	if code != http.StatusOK || !bytes.Equal(body2, golden) {
+		t.Fatalf("cached policies differs from golden (status %d)", code)
+	}
+	if runs := stats.Get(metrics.SvcSimRuns); runs != runsBefore {
+		t.Errorf("sim_runs grew %d -> %d on a cached request", runsBefore, runs)
+	}
+}
+
+// TestRunWithPolicy pins the run API's policy plumbing: a RAMpage run
+// under a non-clock policy succeeds and its report carries the
+// rampage+<policy> name; an unknown policy and a policy on a
+// conventional system are 400s; and /metricsz exposes the per-policy
+// eviction counters.
+func TestRunWithPolicy(t *testing.T) {
+	ts, _ := newTestServer(t, server.Config{Workers: 1, QueueDepth: 4})
+
+	code, body, _ := post(t, ts.URL+"/v1/runs",
+		`{"scale":"tiny","system":"rampage","issue_mhz":1000,"size_bytes":4096,"policy":"fifo"}`)
+	if code != http.StatusOK {
+		t.Fatalf("status %d: %.300s", code, body)
+	}
+	var doc struct {
+		Report struct {
+			Name string `json:"name"`
+		} `json:"report"`
+	}
+	if err := json.Unmarshal(body, &doc); err != nil {
+		t.Fatal(err)
+	}
+	if doc.Report.Name != "rampage+fifo" {
+		t.Errorf("report name = %q, want rampage+fifo", doc.Report.Name)
+	}
+
+	// An explicit "clock" is the default policy: same document (and
+	// cache entry) as not specifying one.
+	_, plain, _ := post(t, ts.URL+"/v1/runs",
+		`{"scale":"tiny","system":"rampage","issue_mhz":1000,"size_bytes":4096}`)
+	_, clock, _ := post(t, ts.URL+"/v1/runs",
+		`{"scale":"tiny","system":"rampage","issue_mhz":1000,"size_bytes":4096,"policy":"clock"}`)
+	if !bytes.Equal(plain, clock) {
+		t.Error("policy=clock document differs from the default-policy document")
+	}
+
+	if code, body, _ := post(t, ts.URL+"/v1/runs",
+		`{"scale":"tiny","system":"rampage","issue_mhz":1000,"size_bytes":4096,"policy":"lru"}`); code != http.StatusBadRequest {
+		t.Errorf("unknown policy: status %d: %.200s", code, body)
+	}
+	if code, body, _ := post(t, ts.URL+"/v1/runs",
+		`{"scale":"tiny","system":"baseline","issue_mhz":1000,"size_bytes":4096,"policy":"fifo"}`); code != http.StatusBadRequest {
+		t.Errorf("policy on baseline: status %d: %.200s", code, body)
+	}
+
+	code, body, _ = get(t, ts.URL+"/metricsz")
+	if code != http.StatusOK {
+		t.Fatalf("/metricsz status %d", code)
+	}
+	var mz struct {
+		PolicyEvictions map[string]uint64 `json:"policy_evictions"`
+	}
+	if err := json.Unmarshal(body, &mz); err != nil {
+		t.Fatal(err)
+	}
+	if len(mz.PolicyEvictions) != 5 {
+		t.Fatalf("policy_evictions has %d keys, want 5: %v", len(mz.PolicyEvictions), mz.PolicyEvictions)
+	}
+	if _, ok := mz.PolicyEvictions["fifo"]; !ok {
+		t.Errorf("policy_evictions missing fifo: %v", mz.PolicyEvictions)
+	}
+}

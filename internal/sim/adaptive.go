@@ -52,6 +52,7 @@ func (r *RAMpage) Resize(pageBytes, sramBytes uint64) error {
 		TLBEntries: r.cfg.TLBEntries,
 		TLBAssoc:   r.cfg.TLBAssoc,
 		Seed:       r.cfg.Seed + 6,
+		Policy:     r.cfg.Policy,
 	})
 	if err != nil {
 		return err

@@ -334,6 +334,7 @@ func (a *AdaptiveRAMpage) DecodeState(d *checkpoint.Dec) {
 			TLBEntries: a.RAMpage.cfg.TLBEntries,
 			TLBAssoc:   a.RAMpage.cfg.TLBAssoc,
 			Seed:       a.RAMpage.cfg.Seed + 6,
+			Policy:     a.RAMpage.cfg.Policy,
 		})
 		if err != nil {
 			d.Fail("sim: rebuilding SRAM at checkpoint geometry: %v", err)

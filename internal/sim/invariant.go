@@ -169,8 +169,8 @@ func (r *RAMpage) CheckInvariants() error {
 	if err := r.mm.CheckTLBConsistency(); err != nil {
 		return err
 	}
-	if hand := r.mm.ClockHand(); hand >= frames {
-		return fmt.Errorf("sim: clock hand %d out of range (%d frames)", hand, frames)
+	if err := r.mm.CheckPolicyState(); err != nil {
+		return err
 	}
 	// The OS reservation stays pinned in the lowest frames.
 	for f := uint64(0); f < r.mm.OSPages(); f++ {

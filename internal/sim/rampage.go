@@ -6,6 +6,7 @@ import (
 	"rampage/internal/core"
 	"rampage/internal/mem"
 	"rampage/internal/metrics"
+	"rampage/internal/policy"
 	"rampage/internal/stats"
 	"rampage/internal/synth"
 	"rampage/internal/tlb"
@@ -30,6 +31,10 @@ type RAMpageConfig struct {
 	// arrives before its prefetched page has landed waits only for the
 	// remainder of the transfer.
 	PrefetchNext bool
+	// Policy selects the SRAM page-replacement policy ("" means clock,
+	// the paper's §4.5 algorithm). See package policy for the
+	// vocabulary. Non-clock machines report as "rampage+<policy>".
+	Policy string
 }
 
 // RAMpage is the paper's machine: split L1 in front of a software-
@@ -82,6 +87,7 @@ func NewRAMpage(cfg RAMpageConfig) (*RAMpage, error) {
 		TLBEntries: cfg.TLBEntries,
 		TLBAssoc:   cfg.TLBAssoc,
 		Seed:       cfg.Seed + 6,
+		Policy:     cfg.Policy,
 	})
 	if err != nil {
 		return nil, err
@@ -89,6 +95,9 @@ func NewRAMpage(cfg RAMpageConfig) (*RAMpage, error) {
 	name := "rampage"
 	if cfg.SwitchOnMiss {
 		name = "rampage-cs"
+	}
+	if pol := policy.Normalize(cfg.Policy); pol != "" {
+		name += "+" + pol
 	}
 	return &RAMpage{
 		cfg:         cfg,
