@@ -25,7 +25,7 @@ vet:
 # (-short skips the service's full-scale golden test; the golden CI
 # job runs it).
 race:
-	$(GO) test -race ./internal/policy/ ./internal/harness/... ./internal/sim/...
+	$(GO) test -race ./internal/policy/ ./internal/harness/... ./internal/sim/... ./internal/regress/ ./internal/metrics/
 	$(GO) test -race -short ./internal/server/... ./internal/jobs/... ./internal/fleet/
 
 # The full multi-process fleet gate: in-process unit tests, then a real

@@ -24,6 +24,8 @@
 //	curl localhost:8080/v1/experiments
 //	curl localhost:8080/v1/experiments/table3?scale=quick
 //	curl -X POST -d '{"kind":"experiment","id":"table3"}' localhost:8080/v1/jobs
+//	curl -N localhost:8080/v1/jobs/j1/events        # live cell stream (NDJSON)
+//	curl -N -H 'Accept: text/event-stream' localhost:8080/v1/jobs/j1/events
 //	curl localhost:8080/fleet/v1/workers
 //
 // SIGINT/SIGTERM drain gracefully: the coordinator finishes in-flight
@@ -65,6 +67,8 @@ func main() {
 		storeDir     = flag.String("store-dir", "", "persistent result store directory (empty = memory-only caching)")
 		storeMB      = flag.Int64("store-mb", 1024, "persistent result store budget in MiB (0 = unlimited)")
 		leaseTTL     = flag.Duration("lease-ttl", 0, "fleet lease TTL before a silent worker's cells are requeued (0 = default 15s)")
+		tenantRate   = flag.Float64("tenant-rate", 0, "per-tenant job admissions per second (0 = no rate limiting)")
+		tenantBurst  = flag.Int("tenant-burst", 0, "per-tenant admission burst (0 = rate rounded up, min 1)")
 
 		workerMode     = flag.Bool("worker", false, "run as a fleet worker instead of a coordinator")
 		coordinatorURL = flag.String("coordinator-url", "", "coordinator base URL (worker mode), e.g. http://host:8080")
@@ -88,6 +92,8 @@ func main() {
 		DiskDir:         *storeDir,
 		DiskBytes:       *storeMB << 20,
 		FleetLeaseTTL:   *leaseTTL,
+		TenantRate:      *tenantRate,
+		TenantBurst:     *tenantBurst,
 	})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "rampage-server:", err)

@@ -353,13 +353,15 @@ func (c *Coordinator) Status() Status {
 // Execute resolves a set of cells: disk hits answer immediately,
 // duplicates collapse onto in-flight tasks, and the rest are queued
 // for workers to lease. It blocks until every cell has a result,
-// calling progress once per resolved cell, and returns the ReportJSON
-// payloads aligned with cells. If live workers disappear while cells
-// are still pending, the coordinator executes the stragglers itself so
-// the job finishes regardless.
-func (c *Coordinator) Execute(ctx context.Context, cells []CellSpec, progress func()) ([]json.RawMessage, error) {
+// calling progress once per resolved cell with the cell's index and
+// its ReportJSON payload (so callers can stream partial results in
+// arrival order), and returns the payloads aligned with cells. If
+// live workers disappear while cells are still pending, the
+// coordinator executes the stragglers itself so the job finishes
+// regardless.
+func (c *Coordinator) Execute(ctx context.Context, cells []CellSpec, progress func(i int, report json.RawMessage)) ([]json.RawMessage, error) {
 	if progress == nil {
-		progress = func() {}
+		progress = func(int, json.RawMessage) {}
 	}
 	results := make([]json.RawMessage, len(cells))
 	type wait struct {
@@ -382,7 +384,7 @@ func (c *Coordinator) Execute(ctx context.Context, cells []CellSpec, progress fu
 		if c.cfg.Disk != nil {
 			if data, ok := c.cfg.Disk.Get(cell.Key); ok {
 				results[i] = data
-				progress()
+				progress(i, data)
 				continue
 			}
 		}
@@ -414,7 +416,7 @@ func (c *Coordinator) Execute(ctx context.Context, cells []CellSpec, progress fu
 				}
 				for _, i := range w.idx {
 					results[i] = w.t.result
-					progress()
+					progress(i, w.t.result)
 				}
 			default:
 				still = append(still, w)

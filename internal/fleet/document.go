@@ -38,8 +38,9 @@ func CellsFor(cfg harness.Config, id string, rates, sizes []uint64) (harness.Exp
 // ReportJSON payloads back into the same document BuildExperimentDoc
 // in the harness would have produced — byte-identical, which the
 // equivalence tests pin. progress (may be nil) is called once per
-// resolved cell.
-func (c *Coordinator) BuildExperimentDoc(ctx context.Context, cfg harness.Config, id string, rates, sizes []uint64, progress func()) ([]byte, error) {
+// resolved cell with the cell's canonical index (CellSpecs order) and
+// its compact ReportJSON payload, so callers can stream cells live.
+func (c *Coordinator) BuildExperimentDoc(ctx context.Context, cfg harness.Config, id string, rates, sizes []uint64, progress func(i int, report json.RawMessage)) ([]byte, error) {
 	sh, cells, err := CellsFor(cfg, id, rates, sizes)
 	if err != nil {
 		return nil, err

@@ -188,7 +188,7 @@ func waitWorkers(t *testing.T, base string, n int) {
 
 func getCounters(t *testing.T, base string) map[string]uint64 {
 	t.Helper()
-	resp, err := http.Get(base + "/metricsz")
+	resp, err := http.Get(base + "/metricsz?format=json")
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -3,6 +3,7 @@ package fleet
 import (
 	"bytes"
 	"context"
+	"encoding/json"
 	"errors"
 	"net/http"
 	"net/http/httptest"
@@ -111,7 +112,7 @@ func TestWorkerExecutesExperiment(t *testing.T) {
 	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Minute)
 	defer cancel()
 	var cellsDone int
-	got, err := c.BuildExperimentDoc(ctx, cfg, "table3", rates, sizes, func() { cellsDone++ })
+	got, err := c.BuildExperimentDoc(ctx, cfg, "table3", rates, sizes, func(int, json.RawMessage) { cellsDone++ })
 	if err != nil {
 		t.Fatal(err)
 	}

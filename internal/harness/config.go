@@ -75,6 +75,15 @@ type Config struct {
 	// concurrent use. The experiment service uses it for job progress;
 	// it never influences results and is excluded from cache keys.
 	CellDone func()
+	// CellResult, when non-nil, receives each completed cell's report as
+	// the sweep produces it, tagged with the cell's canonical index:
+	// SweepSpec numbers cells rate-major (i*len(sizes)+j) and
+	// BuildExperimentDoc re-bases per system so indices match
+	// ExperimentShape.CellSpecs order. Like CellDone it is called from
+	// the worker goroutines (must be concurrency-safe), never influences
+	// results, and is excluded from cache keys. The experiment service
+	// streams these as live job events.
+	CellResult func(index int, rep ReportJSON)
 	// Checkpoints, when non-nil, attaches a warm-state checkpoint store:
 	// runs capture their final machine+scheduler state and later runs of
 	// the same warm-up prefix restore the newest dominating checkpoint

@@ -11,7 +11,7 @@ import (
 // the harness guarantees them bit-identical result documents: the key
 // covers every result-affecting field and deliberately excludes the
 // execution knobs (Workers, DisableBatching, BatchSize, Observer,
-// CellDone, Verify) that the batching-equivalence and
+// CellDone, CellResult, Verify) that the batching-equivalence and
 // observer-equivalence tests pin as having no effect on reports.
 
 // canonicalConfig is the result-affecting projection of a Config, in a

@@ -338,7 +338,14 @@ func BuildExperimentDoc(ctx context.Context, cfg Config, id string, rates, sizes
 	for i, system := range sh.Systems {
 		st := sh.SwitchTrace[i]
 		base := RunSpec{System: system, SwitchTrace: st, Policy: sh.Policies[i]}
-		grid, err := SweepSpec(ctx, cfg, base, sh.RatesMHz, sh.SizesBytes)
+		scfg := cfg
+		if outer := cfg.CellResult; outer != nil {
+			// Re-base each sweep's rate-major cell indices onto the
+			// document's canonical CellSpecs order (systems outermost).
+			offset := i * len(sh.RatesMHz) * len(sh.SizesBytes)
+			scfg.CellResult = func(k int, rep ReportJSON) { outer(offset+k, rep) }
+		}
+		grid, err := SweepSpec(ctx, scfg, base, sh.RatesMHz, sh.SizesBytes)
 		if err != nil {
 			return ExperimentDoc{}, err
 		}

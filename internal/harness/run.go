@@ -442,6 +442,7 @@ func SweepSpec(ctx context.Context, cfg Config, base RunSpec, rates, sizes []uin
 		ctx = context.Background()
 	}
 	cellDone := cfg.CellDone
+	cellResult := cfg.CellResult
 	cfg.Observer = nil // collectors are not safe across parallel cells
 	out := make([][]*stats.Report, len(rates))
 	for i := range rates {
@@ -519,6 +520,9 @@ func SweepSpec(ctx context.Context, cfg Config, base RunSpec, rates, sizes []uin
 					continue
 				}
 				out[c.i][c.j] = rep
+				if cellResult != nil {
+					cellResult(c.i*len(sizes)+c.j, NewReportJSON(rep))
+				}
 				if cellDone != nil {
 					cellDone()
 				}

@@ -231,9 +231,9 @@ func TestManagerDiskIntegration(t *testing.T) {
 	req := Request{
 		Key:   "cell-1",
 		Cells: 1,
-		Do: func(ctx context.Context, progress func()) ([]byte, error) {
+		Do: func(ctx context.Context, progress func(cell []byte)) ([]byte, error) {
 			runs++
-			progress()
+			progress(nil)
 			return []byte("result-bytes"), nil
 		},
 	}

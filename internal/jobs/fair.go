@@ -1,0 +1,225 @@
+package jobs
+
+import (
+	"fmt"
+	"sync"
+	"time"
+)
+
+// RateLimitError rejects a submission whose tenant token bucket is
+// empty. RetryAfter is the time until the bucket refills enough for
+// one job; the HTTP layer rounds it up into a Retry-After header.
+type RateLimitError struct {
+	Tenant     string
+	RetryAfter time.Duration
+}
+
+func (e *RateLimitError) Error() string {
+	return fmt.Sprintf("jobs: tenant %q rate limited (retry in %s)", e.Tenant, e.RetryAfter)
+}
+
+// tenantFIFO is one tenant's queued jobs plus its round-robin state.
+type tenantFIFO struct {
+	name   string
+	jobs   []*Job
+	served int // dequeues consumed in the current ring visit
+}
+
+// fairQueue is a bounded multi-tenant job queue with weighted
+// round-robin dequeue. Each tenant gets its own FIFO; pop visits
+// tenants in ring order, letting a tenant dequeue up to its weight
+// before the cursor advances, so a tenant that floods the queue can
+// never starve another — the light tenant's next job is at the head of
+// its own FIFO and at most one ring rotation away. The total capacity
+// bound is shared (a full queue rejects regardless of tenant); the
+// fairness property is about ordering, the per-tenant token buckets
+// about admission.
+type fairQueue struct {
+	mu       sync.Mutex
+	cond     *sync.Cond
+	capacity int
+	size     int
+	closed   bool
+	byName   map[string]*tenantFIFO
+	ring     []*tenantFIFO // tenants with queued jobs, visit order
+	cursor   int
+	weight   func(tenant string) int // nil or <1 results mean weight 1
+}
+
+func newFairQueue(capacity int, weight func(string) int) *fairQueue {
+	q := &fairQueue{
+		capacity: capacity,
+		byName:   make(map[string]*tenantFIFO),
+		weight:   weight,
+	}
+	q.cond = sync.NewCond(&q.mu)
+	return q
+}
+
+// push enqueues a job under its tenant. It reports false when the
+// queue is at capacity or closed.
+func (q *fairQueue) push(j *Job) bool {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	if q.closed || q.size >= q.capacity {
+		return false
+	}
+	t := q.byName[j.Tenant]
+	if t == nil {
+		t = &tenantFIFO{name: j.Tenant}
+		q.byName[j.Tenant] = t
+	}
+	if len(t.jobs) == 0 {
+		t.served = 0
+		q.ring = append(q.ring, t)
+	}
+	t.jobs = append(t.jobs, j)
+	q.size++
+	q.cond.Signal()
+	return true
+}
+
+// pop blocks until a job is available or the queue is closed and
+// empty. After close it keeps returning queued jobs until the queue
+// drains — the manager's Drain relies on that.
+func (q *fairQueue) pop() (*Job, bool) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	for q.size == 0 {
+		if q.closed {
+			return nil, false
+		}
+		q.cond.Wait()
+	}
+	if q.cursor >= len(q.ring) {
+		q.cursor = 0
+	}
+	t := q.ring[q.cursor]
+	j := t.jobs[0]
+	t.jobs[0] = nil // release the reference for GC
+	t.jobs = t.jobs[1:]
+	t.served++
+	q.size--
+	w := 1
+	if q.weight != nil {
+		if v := q.weight(t.name); v > 0 {
+			w = v
+		}
+	}
+	if len(t.jobs) == 0 {
+		q.ring = append(q.ring[:q.cursor], q.ring[q.cursor+1:]...)
+		delete(q.byName, t.name)
+		// The cursor now indexes the tenant that followed t.
+	} else if t.served >= w {
+		t.served = 0
+		q.cursor++
+	}
+	if q.cursor >= len(q.ring) {
+		q.cursor = 0
+	}
+	return j, true
+}
+
+// close stops admissions and wakes blocked poppers; queued jobs remain
+// poppable until drained.
+func (q *fairQueue) close() {
+	q.mu.Lock()
+	q.closed = true
+	q.cond.Broadcast()
+	q.mu.Unlock()
+}
+
+// len returns the number of queued jobs.
+func (q *fairQueue) len() int {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	return q.size
+}
+
+// tokenBucket is one tenant's admission budget.
+type tokenBucket struct {
+	tokens float64
+	last   time.Time
+}
+
+// rateLimiter applies a classic token bucket per tenant: rate tokens
+// per second accrue up to burst, one token per admitted job. The map
+// is bounded the same way TenantStats is — a client inventing fresh
+// tenant names per request shares the overflow bucket rather than
+// growing the map and dodging the limit.
+type rateLimiter struct {
+	mu      sync.Mutex
+	rate    float64 // tokens per second
+	burst   float64
+	buckets map[string]*tokenBucket
+	now     func() time.Time // test hook; time.Now when nil
+}
+
+const maxTrackedBuckets = 256
+
+func newRateLimiter(rate float64, burst int) *rateLimiter {
+	if rate <= 0 {
+		return nil
+	}
+	b := float64(burst)
+	if b < 1 {
+		b = 1
+	}
+	return &rateLimiter{rate: rate, burst: b, buckets: make(map[string]*tokenBucket)}
+}
+
+func (l *rateLimiter) clock() time.Time {
+	if l.now != nil {
+		return l.now()
+	}
+	return time.Now()
+}
+
+// take spends one token from the tenant's bucket. On an empty bucket
+// it reports false with the refill time for one token.
+func (l *rateLimiter) take(tenant string) (time.Duration, bool) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	now := l.clock()
+	b := l.buckets[tenant]
+	if b == nil {
+		if len(l.buckets) >= maxTrackedBuckets {
+			tenant = overflowBucket
+			b = l.buckets[tenant]
+		}
+		if b == nil {
+			b = &tokenBucket{tokens: l.burst, last: now}
+			l.buckets[tenant] = b
+		}
+	}
+	b.tokens += now.Sub(b.last).Seconds() * l.rate
+	if b.tokens > l.burst {
+		b.tokens = l.burst
+	}
+	b.last = now
+	if b.tokens < 1 {
+		wait := time.Duration((1 - b.tokens) / l.rate * float64(time.Second))
+		return wait, false
+	}
+	b.tokens--
+	return 0, true
+}
+
+// refund returns one token — used when a charged submission then fails
+// admission for a reason the tenant should not pay for (queue full).
+func (l *rateLimiter) refund(tenant string) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	b := l.buckets[tenant]
+	if b == nil {
+		b = l.buckets[overflowBucket] // where take folded the charge
+	}
+	if b != nil {
+		b.tokens++
+		if b.tokens > l.burst {
+			b.tokens = l.burst
+		}
+	}
+}
+
+const overflowBucket = "other"

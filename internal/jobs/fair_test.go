@@ -1,0 +1,397 @@
+package jobs
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"rampage/internal/metrics"
+)
+
+// queuedJob builds a bare job for fairQueue unit tests.
+func queuedJob(tenant, id string) *Job {
+	return &Job{ID: id, Tenant: tenant}
+}
+
+// waitForQueueLen polls until the manager's queue settles at n jobs.
+func waitForQueueLen(t *testing.T, m *Manager, n int) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		if length, _ := m.QueueDepth(); length == n {
+			return
+		}
+		if time.Now().After(deadline) {
+			length, _ := m.QueueDepth()
+			t.Fatalf("queue never settled at depth %d (now %d)", n, length)
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+// TestFairQueueInterleavesTenants pins the starvation-freedom property
+// at the queue level: a tenant that floods the queue first cannot push
+// another tenant's lone job to the back. With equal weights the light
+// tenant's job is the second dequeue no matter how deep the flood.
+func TestFairQueueInterleavesTenants(t *testing.T) {
+	q := newFairQueue(64, nil)
+	for i := 0; i < 10; i++ {
+		if !q.push(queuedJob("heavy", fmt.Sprintf("h%d", i))) {
+			t.Fatal("push failed")
+		}
+	}
+	if !q.push(queuedJob("light", "l0")) {
+		t.Fatal("push failed")
+	}
+	var order []string
+	for q.len() > 0 {
+		j, ok := q.pop()
+		if !ok {
+			t.Fatal("pop failed with jobs queued")
+		}
+		order = append(order, j.ID)
+	}
+	if order[0] != "h0" || order[1] != "l0" {
+		t.Fatalf("dequeue order %v, want the light job second", order)
+	}
+	// After the light tenant drains, the heavy tenant gets the rest in
+	// FIFO order.
+	for i, id := range order[2:] {
+		if want := fmt.Sprintf("h%d", i+1); id != want {
+			t.Fatalf("order[%d] = %s, want %s", i+2, id, want)
+		}
+	}
+}
+
+// TestFairQueueWeights checks a weighted tenant dequeues up to its
+// weight per ring visit before the cursor moves on.
+func TestFairQueueWeights(t *testing.T) {
+	q := newFairQueue(64, func(tenant string) int {
+		if tenant == "heavy" {
+			return 2
+		}
+		return 1
+	})
+	for i := 0; i < 4; i++ {
+		q.push(queuedJob("heavy", fmt.Sprintf("h%d", i)))
+	}
+	q.push(queuedJob("light", "l0"))
+	var order []string
+	for q.len() > 0 {
+		j, _ := q.pop()
+		order = append(order, j.ID)
+	}
+	want := []string{"h0", "h1", "l0", "h2", "h3"}
+	for i := range want {
+		if order[i] != want[i] {
+			t.Fatalf("dequeue order %v, want %v", order, want)
+		}
+	}
+}
+
+// TestFairQueueCapacityAndClose checks the shared capacity bound and
+// that close keeps queued jobs poppable (Drain relies on it).
+func TestFairQueueCapacityAndClose(t *testing.T) {
+	q := newFairQueue(2, nil)
+	if !q.push(queuedJob("a", "1")) || !q.push(queuedJob("b", "2")) {
+		t.Fatal("pushes under capacity failed")
+	}
+	if q.push(queuedJob("c", "3")) {
+		t.Fatal("push beyond capacity succeeded")
+	}
+	q.close()
+	if q.push(queuedJob("a", "4")) {
+		t.Fatal("push after close succeeded")
+	}
+	for i := 0; i < 2; i++ {
+		if _, ok := q.pop(); !ok {
+			t.Fatalf("pop %d after close failed with jobs queued", i)
+		}
+	}
+	if _, ok := q.pop(); ok {
+		t.Fatal("pop on a closed empty queue returned a job")
+	}
+}
+
+// TestLightTenantLatencyUnderFlood is the end-to-end fairness bound:
+// with one worker, a heavy tenant floods the queue and a light tenant
+// submits one job. Solo, the light job would wait for the single
+// in-flight job to finish (one completion ahead of it); under the
+// flood, fair queueing guarantees at most two heavy completions ahead
+// of it — within 2x its solo latency, counted in completions rather
+// than wall-clock so the assertion is deterministic under -race.
+func TestLightTenantLatencyUnderFlood(t *testing.T) {
+	m := NewManager(Config{Workers: 1, QueueDepth: 32})
+	defer m.Drain(waitCtx(t))
+
+	var mu sync.Mutex
+	var completions []string
+	release := make(chan struct{})
+	mkReq := func(tenant, key string) Request {
+		return Request{
+			Key:    key,
+			Tenant: tenant,
+			Cells:  1,
+			Do: func(ctx context.Context, progress func(cell []byte)) ([]byte, error) {
+				select {
+				case <-release:
+				case <-ctx.Done():
+					return nil, ctx.Err()
+				}
+				mu.Lock()
+				completions = append(completions, key)
+				mu.Unlock()
+				progress(nil)
+				return []byte(key), nil
+			},
+		}
+	}
+
+	// The blocker occupies the worker so every later submission queues
+	// behind it deterministically.
+	blocker, err := m.Submit(mkReq("heavy", "heavy-0"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var flood []*Job
+	for i := 1; i <= 8; i++ {
+		j, err := m.Submit(mkReq("heavy", fmt.Sprintf("heavy-%d", i)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		flood = append(flood, j)
+	}
+	light, err := m.Submit(mkReq("light", "light-0"))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	close(release)
+	if _, err := m.Wait(waitCtx(t), light); err != nil {
+		t.Fatal(err)
+	}
+	for _, j := range append(flood, blocker) {
+		if _, err := m.Wait(waitCtx(t), j); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	mu.Lock()
+	defer mu.Unlock()
+	heavyAhead := 0
+	for _, key := range completions {
+		if key == "light-0" {
+			break
+		}
+		heavyAhead++
+	}
+	// Solo the light job has one completion ahead of it (the in-flight
+	// blocker); the fairness bound allows at most twice that.
+	if heavyAhead > 2 {
+		t.Fatalf("light job finished after %d heavy jobs (completions %v), want <= 2", heavyAhead, completions)
+	}
+}
+
+// TestTenantRateLimit checks the token bucket: burst admissions pass,
+// the next submission fails with a RateLimitError carrying a positive
+// retry hint, and another tenant's bucket is unaffected.
+func TestTenantRateLimit(t *testing.T) {
+	var stats metrics.ServiceStats
+	var tenants metrics.TenantStats
+	// Refill is effectively frozen at this rate, so the test is not
+	// racing the clock.
+	m := NewManager(Config{
+		Workers: 2, QueueDepth: 32,
+		TenantRate: 1e-9, TenantBurst: 2,
+		Stats: &stats, Tenants: &tenants,
+	})
+	defer m.Drain(waitCtx(t))
+
+	quick := func(tenant, key string) Request {
+		return Request{Key: key, Tenant: tenant, Cells: 1,
+			Do: func(ctx context.Context, progress func(cell []byte)) ([]byte, error) {
+				progress(nil)
+				return []byte(key), nil
+			}}
+	}
+	for i := 0; i < 2; i++ {
+		if _, err := m.Submit(quick("t", fmt.Sprintf("rl-%d", i))); err != nil {
+			t.Fatalf("submission %d within burst: %v", i, err)
+		}
+	}
+	_, err := m.Submit(quick("t", "rl-2"))
+	var rl *RateLimitError
+	if !errors.As(err, &rl) {
+		t.Fatalf("submission beyond burst = %v, want RateLimitError", err)
+	}
+	if rl.Tenant != "t" || rl.RetryAfter <= 0 {
+		t.Fatalf("RateLimitError = %+v, want tenant t and a positive retry hint", rl)
+	}
+	if _, err := m.Submit(quick("u", "rl-3")); err != nil {
+		t.Fatalf("other tenant's submission: %v", err)
+	}
+	if got := stats.Get(metrics.SvcRateLimited); got != 1 {
+		t.Errorf("SvcRateLimited = %d, want 1", got)
+	}
+	if got := tenants.Get("t", metrics.TenantRateLimited); got != 1 {
+		t.Errorf("tenant t rate-limited counter = %d, want 1", got)
+	}
+	if got := tenants.Get("t", metrics.TenantAccepted); got != 2 {
+		t.Errorf("tenant t accepted counter = %d, want 2", got)
+	}
+}
+
+// TestRateLimiterRefill drives the bucket with a fake clock: an empty
+// bucket refills at the configured rate and the reported wait matches
+// the deficit.
+func TestRateLimiterRefill(t *testing.T) {
+	base := time.Unix(1000, 0)
+	now := base
+	l := newRateLimiter(2, 1) // 2 tokens/sec, burst 1
+	l.now = func() time.Time { return now }
+
+	if _, ok := l.take("t"); !ok {
+		t.Fatal("first take from a full bucket failed")
+	}
+	wait, ok := l.take("t")
+	if ok {
+		t.Fatal("take from an empty bucket succeeded")
+	}
+	if want := 500 * time.Millisecond; wait != want {
+		t.Fatalf("refill wait = %v, want %v", wait, want)
+	}
+	now = now.Add(600 * time.Millisecond)
+	if _, ok := l.take("t"); !ok {
+		t.Fatal("take after refill failed")
+	}
+	// Refill caps at burst: a long idle stretch doesn't bank tokens.
+	now = now.Add(time.Hour)
+	if _, ok := l.take("t"); !ok {
+		t.Fatal("take after long idle failed")
+	}
+	if _, ok := l.take("t"); ok {
+		t.Fatal("second take succeeded — refill exceeded burst")
+	}
+}
+
+// TestQueueFullRefundsToken checks a submission rejected for a full
+// queue does not also cost the tenant a token: the retry hits
+// ErrQueueFull again instead of degrading into a rate-limit rejection.
+func TestQueueFullRefundsToken(t *testing.T) {
+	m := NewManager(Config{
+		Workers: 1, QueueDepth: 1,
+		TenantRate: 1e-9, TenantBurst: 3,
+	})
+	defer m.Drain(waitCtx(t))
+
+	release := make(chan struct{})
+	blocking := func(key string) Request {
+		return Request{Key: key, Tenant: "t", Cells: 1,
+			Do: func(ctx context.Context, progress func(cell []byte)) ([]byte, error) {
+				select {
+				case <-release:
+				case <-ctx.Done():
+					return nil, ctx.Err()
+				}
+				progress(nil)
+				return []byte(key), nil
+			}}
+	}
+	// First job occupies the worker. Wait for the queue to empty before
+	// the second submission: with capacity 1 it needs the slot.
+	running, err := m.Submit(blocking("qf-0"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitForQueueLen(t, m, 0)
+	queued, err := m.Submit(blocking("qf-1"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Worker busy + queue full, two of the three burst tokens spent.
+	waitForQueueLen(t, m, 1)
+	for i := 0; i < 2; i++ {
+		_, err = m.Submit(blocking(fmt.Sprintf("qf-overflow-%d", i)))
+		if !errors.Is(err, ErrQueueFull) {
+			t.Fatalf("overflow submission %d = %v, want ErrQueueFull (token not refunded?)", i, err)
+		}
+	}
+	close(release)
+	if _, err := m.Wait(waitCtx(t), running); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.Wait(waitCtx(t), queued); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestCancelQueuedJobNeverRuns cancels a job that is still queued
+// behind a busy worker: its Do must never run, it reaches
+// StateCanceled, and its event stream ends with a canceled terminal
+// event.
+func TestCancelQueuedJobNeverRuns(t *testing.T) {
+	var stats metrics.ServiceStats
+	m := NewManager(Config{Workers: 1, QueueDepth: 8, Stats: &stats})
+	defer m.Drain(waitCtx(t))
+
+	release := make(chan struct{})
+	blocker, err := m.Submit(Request{Key: "cq-blocker", Cells: 1,
+		Do: func(ctx context.Context, progress func(cell []byte)) ([]byte, error) {
+			select {
+			case <-release:
+			case <-ctx.Done():
+				return nil, ctx.Err()
+			}
+			progress(nil)
+			return []byte("done"), nil
+		}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var mu sync.Mutex
+	ran := false
+	victim, err := m.Submit(Request{Key: "cq-victim", Cells: 1,
+		Do: func(ctx context.Context, progress func(cell []byte)) ([]byte, error) {
+			mu.Lock()
+			ran = true
+			mu.Unlock()
+			return []byte("never"), nil
+		}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !m.Cancel(victim.ID) {
+		t.Fatal("Cancel returned false for a queued job")
+	}
+	close(release)
+	if _, err := m.Wait(waitCtx(t), blocker); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case <-victim.Done():
+	case <-waitCtx(t).Done():
+		t.Fatal("canceled queued job never reached a terminal state")
+	}
+	if st := victim.Status(); st.State != StateCanceled {
+		t.Fatalf("victim state = %s, want canceled", st.State)
+	}
+	mu.Lock()
+	if ran {
+		t.Error("canceled queued job's Do ran")
+	}
+	mu.Unlock()
+	replay, tail, cancel := victim.Events().Subscribe(0, 4)
+	defer cancel()
+	if tail != nil {
+		t.Error("terminal job's stream still has a live tail")
+	}
+	if len(replay) != 1 || replay[0].Type != string(StateCanceled) {
+		t.Fatalf("victim events = %+v, want a single canceled terminal event", replay)
+	}
+	if got := stats.Get(metrics.SvcSimRuns); got != 1 {
+		t.Errorf("sim runs = %d, want 1 (victim must not have run)", got)
+	}
+}

@@ -8,7 +8,12 @@
 // computation (singleflight), finished results are served from the
 // cache without re-simulating, a full queue rejects instead of
 // blocking (backpressure), and a drain lets in-flight work finish
-// while refusing new work.
+// while refusing new work. Multi-tenant serving adds two more: a
+// weighted round-robin queue that keeps one tenant's flood from
+// starving another, and per-tenant token buckets that bound each
+// tenant's admission rate. Every job also carries an EventStream of
+// its completed cells so the HTTP layer can stream partial results
+// live, with resume-from-sequence.
 package jobs
 
 import (
@@ -41,10 +46,17 @@ type Request struct {
 	// Cells is the total progress denominator (grid cells for a sweep,
 	// 1 for a single run).
 	Cells int
+	// Tenant attributes the request to a client for fair queueing, rate
+	// limiting and per-tenant counters ("" is the shared anonymous
+	// tenant). Cache hits and singleflight joins are free — only
+	// submissions that would enqueue real work spend a token.
+	Tenant string
 	// Do computes the serialized result document. It must honour ctx
 	// and call progress after each completed cell (progress is safe for
-	// concurrent use and may be called from worker goroutines).
-	Do func(ctx context.Context, progress func()) ([]byte, error)
+	// concurrent use and may be called from worker goroutines). A
+	// non-nil cell payload is published to the job's event stream for
+	// live subscribers; nil records count-only progress.
+	Do func(ctx context.Context, progress func(cell []byte)) ([]byte, error)
 }
 
 // State is a job's lifecycle position.
@@ -66,14 +78,16 @@ func (s State) Terminal() bool {
 // Job is one tracked computation. Identical concurrent submissions
 // share a single Job.
 type Job struct {
-	ID    string
-	Key   string
-	Label string
-	Cells int
+	ID     string
+	Key    string
+	Label  string
+	Cells  int
+	Tenant string
 
 	cellsDone atomic.Uint64
+	events    *EventStream
 
-	run    func(ctx context.Context, progress func()) ([]byte, error)
+	run    func(ctx context.Context, progress func(cell []byte)) ([]byte, error)
 	jobCtx context.Context    // canceled by Cancel or manager shutdown
 	cancel context.CancelFunc // cancels jobCtx
 
@@ -140,6 +154,11 @@ func (j *Job) finish(state State, data []byte, err error) {
 	j.err = err
 	j.mu.Unlock()
 	close(j.done)
+	var errText string
+	if err != nil {
+		errText = err.Error()
+	}
+	j.events.publish(string(state), nil, errText)
 }
 
 // Config sizes a Manager.
@@ -163,24 +182,38 @@ type Config struct {
 	// KeepFinished bounds how many terminal jobs stay pollable (min 1;
 	// default 512). Older finished jobs are forgotten FIFO.
 	KeepFinished int
+	// TenantRate, when positive, applies a per-tenant token bucket to
+	// submissions that would enqueue real work: TenantRate jobs per
+	// second accrue up to TenantBurst tokens (min 1). An empty bucket
+	// rejects with a *RateLimitError carrying the refill time.
+	TenantRate  float64
+	TenantBurst int
+	// TenantWeights sets per-tenant fair-queue weights (entries absent
+	// or < 1 mean 1): a tenant with weight w may dequeue up to w jobs
+	// per round-robin visit. Dequeue is starvation-free regardless.
+	TenantWeights map[string]int
 	// Stats receives service counters; may be nil.
 	Stats *metrics.ServiceStats
+	// Tenants receives per-tenant counters; may be nil.
+	Tenants *metrics.TenantStats
 }
 
 // Manager owns the queue, the worker pool, the singleflight index and
 // the result cache.
 type Manager struct {
-	cfg   Config
-	cache *Cache
-	disk  *DiskStore // nil when no persistent store is attached
-	stats *metrics.ServiceStats
+	cfg     Config
+	cache   *Cache
+	disk    *DiskStore // nil when no persistent store is attached
+	stats   *metrics.ServiceStats
+	tenants *metrics.TenantStats
+	limiter *rateLimiter // nil when no tenant rate is configured
 
 	baseCtx    context.Context
 	baseCancel context.CancelFunc
 
 	mu       sync.Mutex
 	draining bool
-	queue    chan *Job
+	queue    *fairQueue
 	inflight map[string]*Job // cache key -> non-terminal job
 	jobs     map[string]*Job // job ID -> job (bounded by KeepFinished)
 	finished []string        // terminal job IDs, oldest first
@@ -201,14 +234,21 @@ func NewManager(cfg Config) *Manager {
 		cfg.KeepFinished = 512
 	}
 	ctx, cancel := context.WithCancel(context.Background())
+	var weight func(string) int
+	if len(cfg.TenantWeights) > 0 {
+		weights := cfg.TenantWeights
+		weight = func(tenant string) int { return weights[tenant] }
+	}
 	m := &Manager{
 		cfg:        cfg,
 		cache:      NewCache(cfg.CacheBytes, cfg.Stats),
 		disk:       cfg.Disk,
 		stats:      cfg.Stats,
+		tenants:    cfg.Tenants,
+		limiter:    newRateLimiter(cfg.TenantRate, cfg.TenantBurst),
 		baseCtx:    ctx,
 		baseCancel: cancel,
-		queue:      make(chan *Job, cfg.QueueDepth),
+		queue:      newFairQueue(cfg.QueueDepth, weight),
 		inflight:   make(map[string]*Job),
 		jobs:       make(map[string]*Job),
 	}
@@ -276,24 +316,37 @@ func (m *Manager) Submit(req Request) (*Job, error) {
 		close(j.done)
 		j.cancel() // release the context before the job is ever run
 		m.rememberFinishedLocked(j)
+		m.tenants.Add(req.Tenant, metrics.TenantDone, 1)
 		return j, nil
 	}
 	if j, ok := m.inflight[req.Key]; ok {
 		m.stats.Add(metrics.SvcCacheDedup, 1)
 		return j, nil
 	}
+	// Real work from here on: charge the tenant's token bucket before
+	// allocating anything.
+	if m.limiter != nil {
+		if wait, ok := m.limiter.take(req.Tenant); !ok {
+			m.stats.Add(metrics.SvcRateLimited, 1)
+			m.tenants.Add(req.Tenant, metrics.TenantRateLimited, 1)
+			return nil, &RateLimitError{Tenant: req.Tenant, RetryAfter: wait}
+		}
+	}
 	j := m.newJobLocked(req)
-	select {
-	case m.queue <- j:
-	default:
+	if !m.queue.push(j) {
 		delete(m.jobs, j.ID)
 		j.cancel()
+		if m.limiter != nil {
+			m.limiter.refund(req.Tenant) // the tenant shouldn't pay for our full queue
+		}
 		m.stats.Add(metrics.SvcJobsRejected, 1)
+		m.tenants.Add(req.Tenant, metrics.TenantRejected, 1)
 		return nil, ErrQueueFull
 	}
 	m.inflight[req.Key] = j
 	m.stats.Add(metrics.SvcCacheMiss, 1)
 	m.stats.Add(metrics.SvcJobsAccepted, 1)
+	m.tenants.Add(req.Tenant, metrics.TenantAccepted, 1)
 	return j, nil
 }
 
@@ -306,6 +359,8 @@ func (m *Manager) newJobLocked(req Request) *Job {
 		Key:    req.Key,
 		Label:  req.Label,
 		Cells:  req.Cells,
+		Tenant: req.Tenant,
+		events: newEventStream(),
 		cancel: cancel,
 		state:  StateQueued,
 		done:   make(chan struct{}),
@@ -369,7 +424,7 @@ func (m *Manager) Wait(ctx context.Context, j *Job) ([]byte, error) {
 // QueueDepth reports capacity and current length, for Retry-After
 // estimates and /healthz documents.
 func (m *Manager) QueueDepth() (length, capacity int) {
-	return len(m.queue), m.cfg.QueueDepth
+	return m.queue.len(), m.cfg.QueueDepth
 }
 
 // Drain stops admissions, lets queued and running jobs finish, and
@@ -382,7 +437,7 @@ func (m *Manager) Drain(ctx context.Context) error {
 		return nil
 	}
 	m.draining = true
-	close(m.queue) // safe: Submit sends only under m.mu with draining false
+	m.queue.close() // queued jobs stay poppable; workers drain them
 	m.mu.Unlock()
 
 	idle := make(chan struct{})
@@ -402,7 +457,11 @@ func (m *Manager) Drain(ctx context.Context) error {
 
 func (m *Manager) worker() {
 	defer m.wg.Done()
-	for j := range m.queue {
+	for {
+		j, ok := m.queue.pop()
+		if !ok {
+			return
+		}
 		m.runJob(j)
 	}
 }
@@ -432,7 +491,12 @@ func (m *Manager) runJob(j *Job) {
 	j.state = StateRunning
 	j.mu.Unlock()
 	m.stats.Add(metrics.SvcSimRuns, 1)
-	data, err := j.run(ctx, func() { j.cellsDone.Add(1) })
+	data, err := j.run(ctx, func(cell []byte) {
+		j.cellsDone.Add(1)
+		if cell != nil {
+			j.events.publish("cell", cell, "")
+		}
+	})
 	switch {
 	case err == nil:
 		m.cache.Put(j.Key, data)
@@ -440,6 +504,7 @@ func (m *Manager) runJob(j *Job) {
 			m.disk.Put(j.Key, data)
 		}
 		m.stats.Add(metrics.SvcJobsDone, 1)
+		m.tenants.Add(j.Tenant, metrics.TenantDone, 1)
 		finish(StateDone, data, nil)
 	case errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded):
 		m.stats.Add(metrics.SvcJobsCanceled, 1)

@@ -25,11 +25,11 @@ func countedRequest(key string, calls *int, mu *sync.Mutex) Request {
 		Key:   key,
 		Label: "test:" + key,
 		Cells: 1,
-		Do: func(ctx context.Context, progress func()) ([]byte, error) {
+		Do: func(ctx context.Context, progress func(cell []byte)) ([]byte, error) {
 			mu.Lock()
 			*calls++
 			mu.Unlock()
-			progress()
+			progress(nil)
 			return []byte("result-" + key), nil
 		},
 	}
@@ -91,12 +91,12 @@ func TestSingleflight(t *testing.T) {
 	req := Request{
 		Key:   "shared",
 		Cells: 1,
-		Do: func(ctx context.Context, progress func()) ([]byte, error) {
+		Do: func(ctx context.Context, progress func(cell []byte)) ([]byte, error) {
 			mu.Lock()
 			calls++
 			mu.Unlock()
 			<-release // hold the job in-flight until all submissions land
-			progress()
+			progress(nil)
 			return []byte("shared-result"), nil
 		},
 	}
@@ -152,7 +152,7 @@ func TestQueueFullRejects(t *testing.T) {
 	}()
 
 	blocking := func(key string) Request {
-		return Request{Key: key, Cells: 1, Do: func(ctx context.Context, progress func()) ([]byte, error) {
+		return Request{Key: key, Cells: 1, Do: func(ctx context.Context, progress func(cell []byte)) ([]byte, error) {
 			select {
 			case <-block:
 			case <-ctx.Done():
@@ -192,7 +192,7 @@ func TestCancelRunningJob(t *testing.T) {
 	m := NewManager(Config{Workers: 1, QueueDepth: 4, Stats: &stats})
 	defer m.Drain(waitCtx(t))
 
-	j, err := m.Submit(Request{Key: "slow", Cells: 1, Do: func(ctx context.Context, progress func()) ([]byte, error) {
+	j, err := m.Submit(Request{Key: "slow", Cells: 1, Do: func(ctx context.Context, progress func(cell []byte)) ([]byte, error) {
 		close(started)
 		<-ctx.Done()
 		return nil, ctx.Err()
@@ -221,7 +221,7 @@ func TestCancelRunningJob(t *testing.T) {
 func TestJobTimeout(t *testing.T) {
 	m := NewManager(Config{Workers: 1, QueueDepth: 2, JobTimeout: 20 * time.Millisecond})
 	defer m.Drain(waitCtx(t))
-	j, err := m.Submit(Request{Key: "stuck", Cells: 1, Do: func(ctx context.Context, progress func()) ([]byte, error) {
+	j, err := m.Submit(Request{Key: "stuck", Cells: 1, Do: func(ctx context.Context, progress func(cell []byte)) ([]byte, error) {
 		<-ctx.Done()
 		return nil, ctx.Err()
 	}})
@@ -243,7 +243,7 @@ func TestFailedJobNotCached(t *testing.T) {
 	m := NewManager(Config{Workers: 1, QueueDepth: 4, Stats: &stats})
 	defer m.Drain(waitCtx(t))
 
-	failing := Request{Key: "flaky", Cells: 1, Do: func(ctx context.Context, progress func()) ([]byte, error) {
+	failing := Request{Key: "flaky", Cells: 1, Do: func(ctx context.Context, progress func(cell []byte)) ([]byte, error) {
 		mu.Lock()
 		calls++
 		n := calls
@@ -303,7 +303,7 @@ func TestDrainRefusesNewWorkAndFinishesOld(t *testing.T) {
 func TestDrainDeadlineCancelsStuckJobs(t *testing.T) {
 	started := make(chan struct{})
 	m := NewManager(Config{Workers: 1, QueueDepth: 2})
-	j, err := m.Submit(Request{Key: "stuck", Cells: 1, Do: func(ctx context.Context, progress func()) ([]byte, error) {
+	j, err := m.Submit(Request{Key: "stuck", Cells: 1, Do: func(ctx context.Context, progress func(cell []byte)) ([]byte, error) {
 		close(started)
 		<-ctx.Done() // only cancellation releases this job
 		return nil, ctx.Err()
@@ -364,11 +364,11 @@ func TestCancelQueuedJobDuringDrain(t *testing.T) {
 	started := make(chan struct{})
 	m := NewManager(Config{Workers: 1, QueueDepth: 4})
 	a, err := m.Submit(Request{Key: "a", Label: "test:a", Cells: 1,
-		Do: func(ctx context.Context, progress func()) ([]byte, error) {
+		Do: func(ctx context.Context, progress func(cell []byte)) ([]byte, error) {
 			close(started)
 			select {
 			case <-release:
-				progress()
+				progress(nil)
 				return []byte("result-a"), nil
 			case <-ctx.Done():
 				return nil, ctx.Err()
@@ -380,7 +380,7 @@ func TestCancelQueuedJobDuringDrain(t *testing.T) {
 	<-started // a occupies the sole worker
 	ranB := false
 	b, err := m.Submit(Request{Key: "b", Label: "test:b", Cells: 1,
-		Do: func(ctx context.Context, progress func()) ([]byte, error) {
+		Do: func(ctx context.Context, progress func(cell []byte)) ([]byte, error) {
 			ranB = true
 			return []byte("result-b"), nil
 		}})

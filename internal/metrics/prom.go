@@ -1,0 +1,107 @@
+package metrics
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+)
+
+// PromWriter renders metrics in the Prometheus text exposition format
+// (version 0.0.4): a # HELP and # TYPE header per family followed by
+// its samples, one per line, with optional labels. The server's
+// /metricsz handler uses it so standard scrapers can consume the
+// service counters without a sidecar exporter.
+//
+// Errors from the underlying writer are sticky: the first one is
+// retained, later calls become no-ops, and Err returns it.
+type PromWriter struct {
+	w   io.Writer
+	err error
+}
+
+// NewPromWriter wraps an io.Writer.
+func NewPromWriter(w io.Writer) *PromWriter { return &PromWriter{w: w} }
+
+// PromContentType is the Content-Type header value for the text
+// exposition format.
+const PromContentType = "text/plain; version=0.0.4; charset=utf-8"
+
+// Counter opens a counter family: HELP and TYPE headers. Samples
+// follow via Sample/SampleUint.
+func (p *PromWriter) Counter(name, help string) { p.family(name, help, "counter") }
+
+// Gauge opens a gauge family.
+func (p *PromWriter) Gauge(name, help string) { p.family(name, help, "gauge") }
+
+func (p *PromWriter) family(name, help, kind string) {
+	if p.err != nil {
+		return
+	}
+	_, p.err = fmt.Fprintf(p.w, "# HELP %s %s\n# TYPE %s %s\n", name, escapeHelp(help), name, kind)
+}
+
+// Sample writes one sample line. Labels are emitted in the order
+// given; pass nil for an unlabeled sample.
+func (p *PromWriter) Sample(name string, labels [][2]string, value float64) {
+	if p.err != nil {
+		return
+	}
+	_, p.err = fmt.Fprintf(p.w, "%s%s %g\n", name, renderLabels(labels), value)
+}
+
+// SampleUint writes one sample line with an integer value, avoiding
+// the float64 precision loss %g would introduce past 2^53.
+func (p *PromWriter) SampleUint(name string, labels [][2]string, value uint64) {
+	if p.err != nil {
+		return
+	}
+	_, p.err = fmt.Fprintf(p.w, "%s%s %d\n", name, renderLabels(labels), value)
+}
+
+// Err returns the first underlying write error, if any.
+func (p *PromWriter) Err() error { return p.err }
+
+func renderLabels(labels [][2]string) string {
+	if len(labels) == 0 {
+		return ""
+	}
+	var b strings.Builder
+	b.WriteByte('{')
+	for i, kv := range labels {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(kv[0])
+		b.WriteString(`="`)
+		b.WriteString(escapeLabelValue(kv[1]))
+		b.WriteByte('"')
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+// escapeLabelValue applies the format's label-value escaping:
+// backslash, double quote and newline.
+func escapeLabelValue(v string) string {
+	r := strings.NewReplacer(`\`, `\\`, `"`, `\"`, "\n", `\n`)
+	return r.Replace(v)
+}
+
+// escapeHelp applies the format's HELP text escaping: backslash and
+// newline (quotes are legal in help text).
+func escapeHelp(v string) string {
+	r := strings.NewReplacer(`\`, `\\`, "\n", `\n`)
+	return r.Replace(v)
+}
+
+// SortedKeys returns a map's keys in sorted order — Prometheus output
+// must be deterministic for the conformance test and for scrape diffs.
+func SortedKeys[V any](m map[string]V) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}

@@ -1,0 +1,150 @@
+package metrics
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+)
+
+// TestPromWriterFormat pins the text exposition output: HELP/TYPE
+// headers per family, label rendering, and integer samples.
+func TestPromWriterFormat(t *testing.T) {
+	var b strings.Builder
+	p := NewPromWriter(&b)
+	p.Counter("rampage_requests_total", "Requests served.")
+	p.SampleUint("rampage_requests_total", nil, 42)
+	p.Counter("rampage_policy_evictions_total", "Evictions by policy.")
+	p.SampleUint("rampage_policy_evictions_total", [][2]string{{"policy", "awrp"}}, 7)
+	p.SampleUint("rampage_policy_evictions_total", [][2]string{{"policy", "clock"}}, 9)
+	p.Gauge("rampage_queue_length", "Queued jobs.")
+	p.Sample("rampage_queue_length", nil, 3)
+	if err := p.Err(); err != nil {
+		t.Fatal(err)
+	}
+	want := `# HELP rampage_requests_total Requests served.
+# TYPE rampage_requests_total counter
+rampage_requests_total 42
+# HELP rampage_policy_evictions_total Evictions by policy.
+# TYPE rampage_policy_evictions_total counter
+rampage_policy_evictions_total{policy="awrp"} 7
+rampage_policy_evictions_total{policy="clock"} 9
+# HELP rampage_queue_length Queued jobs.
+# TYPE rampage_queue_length gauge
+rampage_queue_length 3
+`
+	if b.String() != want {
+		t.Fatalf("output:\n%s\nwant:\n%s", b.String(), want)
+	}
+}
+
+// TestPromWriterEscaping checks label values and help text use the
+// format's escape rules.
+func TestPromWriterEscaping(t *testing.T) {
+	var b strings.Builder
+	p := NewPromWriter(&b)
+	p.Counter("m", "line one\nline \\ two")
+	p.SampleUint("m", [][2]string{{"tenant", "a\"b\\c\nd"}}, 1)
+	if err := p.Err(); err != nil {
+		t.Fatal(err)
+	}
+	want := "# HELP m line one\\nline \\\\ two\n# TYPE m counter\n" +
+		"m{tenant=\"a\\\"b\\\\c\\nd\"} 1\n"
+	if b.String() != want {
+		t.Fatalf("output %q, want %q", b.String(), want)
+	}
+}
+
+// errWriter fails after n bytes.
+type errWriter struct{ n int }
+
+func (w *errWriter) Write(p []byte) (int, error) {
+	if w.n <= 0 {
+		return 0, fmt.Errorf("sink full")
+	}
+	w.n -= len(p)
+	return len(p), nil
+}
+
+// TestPromWriterStickyError checks the first write error is retained
+// and later calls are no-ops.
+func TestPromWriterStickyError(t *testing.T) {
+	p := NewPromWriter(&errWriter{n: 0})
+	p.Counter("rampage_long_family_name_total", "Long.")
+	first := p.Err()
+	if first == nil {
+		t.Fatal("no error after overflowing the sink")
+	}
+	p.SampleUint("rampage_long_family_name_total", nil, 1)
+	if p.Err() != first {
+		t.Fatal("sticky error was replaced")
+	}
+}
+
+func TestSortedKeys(t *testing.T) {
+	got := SortedKeys(map[string]int{"b": 1, "a": 2, "c": 3})
+	if len(got) != 3 || got[0] != "a" || got[1] != "b" || got[2] != "c" {
+		t.Fatalf("SortedKeys = %v", got)
+	}
+}
+
+// TestTenantStats covers the per-tenant collector: nil-safety, counter
+// accumulation, snapshot shape and the cardinality bound folding new
+// tenants into "other".
+func TestTenantStats(t *testing.T) {
+	var nilStats *TenantStats
+	nilStats.Add("t", TenantAccepted, 1) // must not panic
+	if nilStats.Get("t", TenantAccepted) != 0 {
+		t.Fatal("nil stats returned a count")
+	}
+	if snap := nilStats.Snapshot(); len(snap) != 0 {
+		t.Fatalf("nil snapshot = %v", snap)
+	}
+
+	var s TenantStats
+	s.Add("alice", TenantAccepted, 2)
+	s.Add("alice", TenantDone, 1)
+	s.Add("bob", TenantRateLimited, 3)
+	if got := s.Get("alice", TenantAccepted); got != 2 {
+		t.Errorf("alice accepted = %d", got)
+	}
+	snap := s.Snapshot()
+	if snap["alice"]["tenant_jobs_accepted"] != 2 || snap["alice"]["tenant_jobs_done"] != 1 {
+		t.Errorf("alice snapshot = %v", snap["alice"])
+	}
+	if snap["bob"]["tenant_jobs_rate_limited"] != 3 {
+		t.Errorf("bob snapshot = %v", snap["bob"])
+	}
+
+	// Cardinality bound: tenants beyond the cap share "other".
+	var bounded TenantStats
+	for i := 0; i < maxTrackedTenants; i++ {
+		bounded.Add(fmt.Sprintf("tenant-%d", i), TenantAccepted, 1)
+	}
+	bounded.Add("one-too-many", TenantAccepted, 1)
+	bounded.Add("and-another", TenantAccepted, 1)
+	if got := bounded.Get(overflowTenant, TenantAccepted); got != 2 {
+		t.Errorf("overflow tenant count = %d, want 2", got)
+	}
+	if got := bounded.Get("one-too-many", TenantAccepted); got != 0 {
+		t.Errorf("unbounded tenant tracked past the cap: %d", got)
+	}
+}
+
+// TestTenantCounterNames pins the counter vocabulary used in /metricsz
+// documents.
+func TestTenantCounterNames(t *testing.T) {
+	want := map[TenantCounter]string{
+		TenantAccepted:    "tenant_jobs_accepted",
+		TenantRejected:    "tenant_jobs_rejected",
+		TenantRateLimited: "tenant_jobs_rate_limited",
+		TenantDone:        "tenant_jobs_done",
+	}
+	for c, name := range want {
+		if c.String() != name {
+			t.Errorf("%d.String() = %q, want %q", c, c.String(), name)
+		}
+	}
+	if NumTenantCounters != 4 {
+		t.Errorf("NumTenantCounters = %d (update this test and the name map)", NumTenantCounters)
+	}
+}

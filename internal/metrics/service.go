@@ -23,10 +23,13 @@ const (
 	// denominator the cache counters save against.
 	SvcSimRuns
 	// SvcJobsAccepted / SvcJobsRejected count queue admissions and
-	// backpressure rejections (HTTP 429); the remaining counters are
-	// job outcomes.
+	// backpressure rejections (HTTP 429); SvcRateLimited counts
+	// submissions refused by a tenant's token bucket (also 429, with a
+	// bucket-derived Retry-After); the remaining counters are job
+	// outcomes.
 	SvcJobsAccepted
 	SvcJobsRejected
+	SvcRateLimited
 	SvcJobsDone
 	SvcJobsFailed
 	SvcJobsCanceled
@@ -76,6 +79,8 @@ func (c ServiceCounter) String() string {
 		return "jobs_accepted"
 	case SvcJobsRejected:
 		return "jobs_rejected"
+	case SvcRateLimited:
+		return "jobs_rate_limited"
 	case SvcJobsDone:
 		return "jobs_done"
 	case SvcJobsFailed:

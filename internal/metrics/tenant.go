@@ -1,0 +1,112 @@
+package metrics
+
+import "sync"
+
+// TenantCounter identifies one per-tenant serving counter. The tenant
+// dimension is open-ended (tenants are client-chosen names), so unlike
+// ServiceStats the collector is a mutex-guarded map rather than a fixed
+// atomic array.
+type TenantCounter uint8
+
+const (
+	// TenantAccepted counts jobs admitted to the queue for the tenant;
+	// TenantRejected queue-full rejections; TenantRateLimited token-
+	// bucket refusals; TenantDone jobs finished successfully (including
+	// cache hits, which cost the tenant nothing but answer its request).
+	TenantAccepted TenantCounter = iota
+	TenantRejected
+	TenantRateLimited
+	TenantDone
+	// NumTenantCounters is the vocabulary size.
+	NumTenantCounters
+)
+
+// String names the counter for /metricsz documents.
+func (c TenantCounter) String() string {
+	switch c {
+	case TenantAccepted:
+		return "tenant_jobs_accepted"
+	case TenantRejected:
+		return "tenant_jobs_rejected"
+	case TenantRateLimited:
+		return "tenant_jobs_rate_limited"
+	case TenantDone:
+		return "tenant_jobs_done"
+	default:
+		return "unknown"
+	}
+}
+
+// TenantStats collects per-tenant serving counters. All methods are
+// safe for concurrent use and safe on a nil receiver (counts are
+// silently discarded), matching ServiceStats so the jobs layer can run
+// with metrics detached. The tenant cardinality is bounded to keep a
+// client that invents a fresh tenant name per request from growing the
+// map without bound; overflow tenants are folded into "other".
+type TenantStats struct {
+	mu     sync.Mutex
+	counts map[string]*[NumTenantCounters]uint64
+}
+
+// maxTrackedTenants bounds the tenant label cardinality.
+const maxTrackedTenants = 256
+
+// overflowTenant absorbs counts once the cardinality bound is hit.
+const overflowTenant = "other"
+
+// Add increments one tenant's counter by n.
+func (s *TenantStats) Add(tenant string, c TenantCounter, n uint64) {
+	if s == nil {
+		return
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.counts == nil {
+		s.counts = make(map[string]*[NumTenantCounters]uint64)
+	}
+	row, ok := s.counts[tenant]
+	if !ok {
+		if len(s.counts) >= maxTrackedTenants {
+			tenant = overflowTenant
+			row = s.counts[tenant]
+		}
+		if row == nil {
+			row = new([NumTenantCounters]uint64)
+			s.counts[tenant] = row
+		}
+	}
+	row[c] += n
+}
+
+// Get returns one tenant's counter value.
+func (s *TenantStats) Get(tenant string, c TenantCounter) uint64 {
+	if s == nil {
+		return 0
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if row, ok := s.counts[tenant]; ok {
+		return row[c]
+	}
+	return 0
+}
+
+// Snapshot returns every tenant's counters keyed by tenant then by
+// counter name. Tenants appear only once they have recorded a count,
+// so the map is empty on an idle service.
+func (s *TenantStats) Snapshot() map[string]map[string]uint64 {
+	if s == nil {
+		return map[string]map[string]uint64{}
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make(map[string]map[string]uint64, len(s.counts))
+	for tenant, row := range s.counts {
+		m := make(map[string]uint64, NumTenantCounters)
+		for c := TenantCounter(0); c < NumTenantCounters; c++ {
+			m[c.String()] = row[c]
+		}
+		out[tenant] = m
+	}
+	return out
+}

@@ -21,6 +21,7 @@ import (
 	"fmt"
 	"net/http"
 	"strconv"
+	"strings"
 	"time"
 
 	"rampage/internal/checkpoint"
@@ -53,8 +54,20 @@ type Config struct {
 	SweepParallel int
 	// RetryAfter is the hint returned with 429 responses (default 5s).
 	RetryAfter time.Duration
+	// TenantRate, when positive, rate-limits each tenant's submissions
+	// of real work (jobs per second, accruing up to TenantBurst tokens;
+	// see jobs.Config). Exhausted buckets get 429 with a bucket-derived
+	// Retry-After. Tenants are named by the X-Tenant header or ?tenant=
+	// query parameter; the empty name is the shared anonymous tenant.
+	TenantRate  float64
+	TenantBurst int
+	// TenantWeights sets per-tenant fair-queue weights (absent = 1).
+	TenantWeights map[string]int
 	// Stats receives the service counters; nil allocates a private set.
 	Stats *metrics.ServiceStats
+	// TenantStats receives per-tenant counters; nil allocates a private
+	// set.
+	TenantStats *metrics.TenantStats
 	// CheckpointBytes budgets the warm-state checkpoint store's
 	// resident bytes (<= 0 = unlimited); CheckpointDir is its disk
 	// spill directory ("" = evictions are dropped). Every job's runs
@@ -76,13 +89,14 @@ type Config struct {
 
 // Server is the HTTP experiment service.
 type Server struct {
-	cfg   Config
-	mgr   *jobs.Manager
-	stats *metrics.ServiceStats
-	ckpts *checkpoint.Store
-	disk  *jobs.DiskStore
-	fleet *fleet.Coordinator
-	mux   *http.ServeMux
+	cfg     Config
+	mgr     *jobs.Manager
+	stats   *metrics.ServiceStats
+	tenants *metrics.TenantStats
+	ckpts   *checkpoint.Store
+	disk    *jobs.DiskStore
+	fleet   *fleet.Coordinator
+	mux     *http.ServeMux
 }
 
 // New builds the service and starts its worker pool. Callers must
@@ -91,6 +105,9 @@ type Server struct {
 func New(cfg Config) (*Server, error) {
 	if cfg.Stats == nil {
 		cfg.Stats = &metrics.ServiceStats{}
+	}
+	if cfg.TenantStats == nil {
+		cfg.TenantStats = &metrics.TenantStats{}
 	}
 	if cfg.RetryAfter <= 0 {
 		cfg.RetryAfter = 5 * time.Second
@@ -104,17 +121,22 @@ func New(cfg Config) (*Server, error) {
 		disk = d
 	}
 	s := &Server{
-		cfg:   cfg,
-		stats: cfg.Stats,
-		ckpts: checkpoint.NewStore(cfg.CheckpointBytes, cfg.CheckpointDir, cfg.Stats),
-		disk:  disk,
+		cfg:     cfg,
+		stats:   cfg.Stats,
+		tenants: cfg.TenantStats,
+		ckpts:   checkpoint.NewStore(cfg.CheckpointBytes, cfg.CheckpointDir, cfg.Stats),
+		disk:    disk,
 		mgr: jobs.NewManager(jobs.Config{
-			Workers:    cfg.Workers,
-			QueueDepth: cfg.QueueDepth,
-			JobTimeout: cfg.JobTimeout,
-			CacheBytes: cfg.CacheBytes,
-			Stats:      cfg.Stats,
-			Disk:       disk,
+			Workers:       cfg.Workers,
+			QueueDepth:    cfg.QueueDepth,
+			JobTimeout:    cfg.JobTimeout,
+			CacheBytes:    cfg.CacheBytes,
+			TenantRate:    cfg.TenantRate,
+			TenantBurst:   cfg.TenantBurst,
+			TenantWeights: cfg.TenantWeights,
+			Stats:         cfg.Stats,
+			Tenants:       cfg.TenantStats,
+			Disk:          disk,
 		}),
 		mux: http.NewServeMux(),
 	}
@@ -137,7 +159,9 @@ func (s *Server) routes() {
 	s.mux.HandleFunc("POST /v1/jobs", s.handleSubmitJob)
 	s.mux.HandleFunc("GET /v1/jobs/{id}", s.handleJobStatus)
 	s.mux.HandleFunc("GET /v1/jobs/{id}/result", s.handleJobResult)
+	s.mux.HandleFunc("GET /v1/jobs/{id}/events", s.handleJobEvents)
 	s.mux.HandleFunc("DELETE /v1/jobs/{id}", s.handleJobCancel)
+	s.mux.HandleFunc("POST /v1/compare", s.handleCompare)
 	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
 	s.mux.HandleFunc("GET /metricsz", s.handleMetricsz)
 	s.fleet.Routes(s.mux)
@@ -255,17 +279,28 @@ func (s *Server) experimentJob(req experimentRequest) (jobs.Request, error) {
 	cfg.Checkpoints = s.ckpts
 	cells, _ := harness.ExperimentCells(req.ID, req.RatesMHz, req.SizesBytes)
 	id, rates, sizes := req.ID, req.RatesMHz, req.SizesBytes
+	sh, err := harness.ShapeOf(id, rates, sizes)
+	if err != nil {
+		return jobs.Request{}, errorf(http.StatusBadRequest, "%v", err)
+	}
+	specs := sh.CellSpecs()
 	return jobs.Request{
 		Key:   harness.ExperimentKey(cfg, id, rates, sizes),
 		Label: "experiment:" + id,
 		Cells: cells,
-		Do: func(ctx context.Context, progress func()) ([]byte, error) {
+		Do: func(ctx context.Context, progress func(cell []byte)) ([]byte, error) {
+			// Each completed cell is published to the job's event stream
+			// as a cell payload: its canonical index (CellSpecs order),
+			// grid coordinates and compact ReportJSON.
+			emit := func(k int, report json.RawMessage) {
+				progress(cellEvent(k, specs[k], report))
+			}
 			// With live workers, shard the grid across the fleet; the
 			// assembled document is byte-identical to the local path.
 			// ErrNotWireable (custom profile sets) falls back to local
 			// execution; any other fleet error is real.
 			if s.fleet.LiveWorkers() > 0 {
-				data, err := s.fleet.BuildExperimentDoc(ctx, cfg, id, rates, sizes, progress)
+				data, err := s.fleet.BuildExperimentDoc(ctx, cfg, id, rates, sizes, emit)
 				if err == nil {
 					return data, nil
 				}
@@ -274,7 +309,14 @@ func (s *Server) experimentJob(req experimentRequest) (jobs.Request, error) {
 				}
 			}
 			c := cfg
-			c.CellDone = progress
+			c.CellResult = func(k int, rep harness.ReportJSON) {
+				rb, err := json.Marshal(rep)
+				if err != nil {
+					progress(nil) // count the cell even if the payload failed
+					return
+				}
+				emit(k, rb)
+			}
 			doc, err := harness.BuildExperimentDoc(ctx, c, id, rates, sizes)
 			if err != nil {
 				return nil, err
@@ -339,7 +381,7 @@ func (s *Server) runJob(req runRequest) (jobs.Request, error) {
 		Key:   key,
 		Label: label,
 		Cells: 1,
-		Do: func(ctx context.Context, progress func()) ([]byte, error) {
+		Do: func(ctx context.Context, progress func(cell []byte)) ([]byte, error) {
 			c := cfg
 			var col *metrics.Collector
 			if withMetrics {
@@ -350,7 +392,11 @@ func (s *Server) runJob(req runRequest) (jobs.Request, error) {
 			if err != nil {
 				return nil, err
 			}
-			progress()
+			if rb, merr := json.Marshal(harness.NewReportJSON(rep)); merr == nil {
+				progress(cellEvent(0, spec, rb))
+			} else {
+				progress(nil)
+			}
 			var buf bytes.Buffer
 			if err := harness.WriteJSON(&buf, harness.NewRunDoc(rep, col)); err != nil {
 				return nil, err
@@ -430,10 +476,21 @@ func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
 	s.serveSync(w, r, jreq)
 }
 
+// tenantOf names the requesting tenant: the X-Tenant header wins,
+// then the ?tenant= query parameter; absent both, the shared
+// anonymous tenant "".
+func tenantOf(r *http.Request) string {
+	if t := r.Header.Get("X-Tenant"); t != "" {
+		return t
+	}
+	return r.URL.Query().Get("tenant")
+}
+
 // serveSync answers a request from the cache when possible, otherwise
 // submits it and blocks until the shared job finishes. Backpressure
 // surfaces as 429 with a Retry-After hint; a draining service as 503.
 func (s *Server) serveSync(w http.ResponseWriter, r *http.Request, req jobs.Request) {
+	req.Tenant = tenantOf(r)
 	if data, ok := s.mgr.Lookup(req.Key); ok {
 		writeDocument(w, data)
 		return
@@ -524,6 +581,7 @@ func (s *Server) handleSubmitJob(w http.ResponseWriter, r *http.Request) {
 		writeRequestError(w, err)
 		return
 	}
+	jreq.Tenant = tenantOf(r)
 	j, err := s.mgr.Submit(jreq)
 	if err != nil {
 		writeSubmitError(w, err, s.cfg.RetryAfter)
@@ -589,10 +647,30 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	})
 }
 
+// handleMetricsz serves the service counters. The default rendering
+// is the Prometheus text exposition format (0.0.4) so standard
+// scrapers work out of the box; ?format=json or an Accept header
+// preferring application/json keeps the legacy structured document.
 func (s *Server) handleMetricsz(w http.ResponseWriter, r *http.Request) {
+	if wantsJSONMetrics(r) {
+		s.writeMetricsJSON(w)
+		return
+	}
+	s.writeMetricsProm(w)
+}
+
+func wantsJSONMetrics(r *http.Request) bool {
+	if r.URL.Query().Get("format") == "json" {
+		return true
+	}
+	return strings.Contains(r.Header.Get("Accept"), "application/json")
+}
+
+func (s *Server) writeMetricsJSON(w http.ResponseWriter) {
 	length, capacity := s.mgr.QueueDepth()
 	doc := map[string]any{
 		"counters": s.stats.Snapshot(),
+		"tenants":  s.tenants.Snapshot(),
 		"cache": map[string]any{
 			"entries": s.mgr.Cache().Len(),
 			"bytes":   s.mgr.Cache().Bytes(),
@@ -615,6 +693,66 @@ func (s *Server) handleMetricsz(w http.ResponseWriter, r *http.Request) {
 		}
 	}
 	writeJSON(w, http.StatusOK, doc)
+}
+
+// writeMetricsProm renders every counter and gauge in the Prometheus
+// text format, deterministically ordered: service counters first, then
+// the labeled per-policy and per-tenant families, then the gauges.
+func (s *Server) writeMetricsProm(w http.ResponseWriter) {
+	w.Header().Set("Content-Type", metrics.PromContentType)
+	p := metrics.NewPromWriter(w)
+
+	for c := metrics.ServiceCounter(0); c < metrics.NumServiceCounters; c++ {
+		name := "rampage_" + c.String() + "_total"
+		p.Counter(name, "Service counter "+c.String()+".")
+		p.SampleUint(name, nil, s.stats.Get(c))
+	}
+
+	evictions := policy.EvictionsSnapshot()
+	p.Counter("rampage_policy_evictions_total", "SRAM page evictions by replacement policy.")
+	for _, pol := range metrics.SortedKeys(evictions) {
+		p.SampleUint("rampage_policy_evictions_total", [][2]string{{"policy", pol}}, evictions[pol])
+	}
+
+	tenants := s.tenants.Snapshot()
+	tenantNames := metrics.SortedKeys(tenants)
+	for c := metrics.TenantCounter(0); c < metrics.NumTenantCounters; c++ {
+		name := "rampage_" + c.String() + "_total"
+		p.Counter(name, "Per-tenant counter "+c.String()+".")
+		for _, tenant := range tenantNames {
+			p.SampleUint(name, [][2]string{{"tenant", tenant}}, tenants[tenant][c.String()])
+		}
+	}
+
+	type gauge struct {
+		name, help string
+		value      uint64
+	}
+	length, capacity := s.mgr.QueueDepth()
+	gauges := []gauge{
+		{"rampage_queue_length", "Jobs accepted but not yet running.", uint64(length)},
+		{"rampage_queue_capacity", "Queue admission bound.", uint64(capacity)},
+		{"rampage_cache_entries", "Result cache entries resident in memory.", uint64(s.mgr.Cache().Len())},
+		{"rampage_cache_bytes", "Result cache resident bytes.", uint64(s.mgr.Cache().Bytes())},
+		{"rampage_checkpoint_entries", "Warm-state checkpoints resident in memory.", uint64(s.ckpts.Len())},
+		{"rampage_checkpoint_bytes", "Warm-state checkpoint resident bytes.", uint64(s.ckpts.Bytes())},
+	}
+	if s.disk != nil {
+		gauges = append(gauges,
+			gauge{"rampage_disk_entries", "Persistent result-store entries.", uint64(s.disk.Len())},
+			gauge{"rampage_disk_bytes", "Persistent result-store bytes.", uint64(s.disk.Bytes())},
+		)
+	}
+	fs := s.fleet.Status()
+	gauges = append(gauges,
+		gauge{"rampage_fleet_pending", "Fleet cells awaiting a lease.", uint64(fs.Pending)},
+		gauge{"rampage_fleet_leased", "Fleet cells currently leased.", uint64(fs.Leased)},
+		gauge{"rampage_fleet_workers", "Registered fleet workers.", uint64(len(fs.Workers))},
+	)
+	for _, g := range gauges {
+		p.Gauge(g.name, g.help)
+		p.SampleUint(g.name, nil, g.value)
+	}
 }
 
 func decodeBody(r *http.Request, dst any) error {
@@ -658,16 +796,31 @@ func writeRequestError(w http.ResponseWriter, err error) {
 	writeError(w, http.StatusBadRequest, err.Error())
 }
 
-// writeSubmitError maps manager admission errors: a full queue is 429
-// with a Retry-After hint, a draining service 503.
+// writeSubmitError maps manager admission errors: a full queue or an
+// exhausted tenant token bucket is 429 with a Retry-After hint (the
+// bucket's refill time when rate limited), a draining service 503.
 func writeSubmitError(w http.ResponseWriter, err error, retryAfter time.Duration) {
+	var rl *jobs.RateLimitError
 	switch {
+	case errors.As(err, &rl):
+		w.Header().Set("Retry-After", strconv.Itoa(retryAfterSeconds(rl.RetryAfter)))
+		writeError(w, http.StatusTooManyRequests, "tenant rate limited; retry later")
 	case errors.Is(err, jobs.ErrQueueFull):
-		w.Header().Set("Retry-After", strconv.Itoa(int(retryAfter.Seconds())))
+		w.Header().Set("Retry-After", strconv.Itoa(retryAfterSeconds(retryAfter)))
 		writeError(w, http.StatusTooManyRequests, "queue full; retry later")
 	case errors.Is(err, jobs.ErrDraining):
 		writeError(w, http.StatusServiceUnavailable, "server is draining")
 	default:
 		writeError(w, http.StatusInternalServerError, err.Error())
 	}
+}
+
+// retryAfterSeconds rounds a wait up to whole seconds (min 1 — a
+// Retry-After of 0 would invite an immediate, pointless retry).
+func retryAfterSeconds(d time.Duration) int {
+	secs := int((d + time.Second - 1) / time.Second)
+	if secs < 1 {
+		secs = 1
+	}
+	return secs
 }

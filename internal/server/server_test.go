@@ -455,7 +455,7 @@ func TestSubmitJobErrors(t *testing.T) {
 func TestMetricszShape(t *testing.T) {
 	var stats metrics.ServiceStats
 	ts, _ := newTestServer(t, server.Config{Workers: 1, QueueDepth: 4, Stats: &stats})
-	code, body, _ := get(t, ts.URL+"/metricsz")
+	code, body, _ := get(t, ts.URL+"/metricsz?format=json")
 	if code != http.StatusOK {
 		t.Fatalf("metricsz: %d", code)
 	}
@@ -557,7 +557,7 @@ func TestExtendJobWarmStart(t *testing.T) {
 	}
 
 	// /metricsz reports the store.
-	code, mz, _ := get(t, ts.URL+"/metricsz")
+	code, mz, _ := get(t, ts.URL+"/metricsz?format=json")
 	if code != http.StatusOK {
 		t.Fatalf("metricsz: %d", code)
 	}
@@ -767,7 +767,7 @@ func TestRunWithPolicy(t *testing.T) {
 		t.Errorf("policy on baseline: status %d: %.200s", code, body)
 	}
 
-	code, body, _ = get(t, ts.URL+"/metricsz")
+	code, body, _ = get(t, ts.URL+"/metricsz?format=json")
 	if code != http.StatusOK {
 		t.Fatalf("/metricsz status %d", code)
 	}

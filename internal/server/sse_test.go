@@ -1,0 +1,239 @@
+package server
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+
+	"rampage/internal/harness"
+	"rampage/internal/jobs"
+)
+
+func sseEvents() []jobs.Event {
+	return []jobs.Event{
+		{Seq: 1, Type: "cell", Cell: json.RawMessage(`{"index":0,"system":"rampage","switch_trace":false,"rate_mhz":200,"size_bytes":4096,"report":{"name":"rampage"}}`)},
+		{Seq: 2, Type: "cell", Cell: json.RawMessage(`{"index":1}`)},
+		{Seq: 3, Type: "done"},
+		{Seq: 4, Type: "failed", Error: "boom: line\ttab"},
+		{Seq: 5, Type: "canceled"},
+	}
+}
+
+// compactJSON normalizes a raw message for comparison: json.Marshal
+// compacts embedded RawMessages, so round-tripped cells can differ
+// from the original only in insignificant whitespace.
+func compactJSON(t testing.TB, raw json.RawMessage) string {
+	t.Helper()
+	if len(raw) == 0 {
+		return ""
+	}
+	var b bytes.Buffer
+	if err := json.Compact(&b, raw); err != nil {
+		t.Fatalf("compact %s: %v", raw, err)
+	}
+	return b.String()
+}
+
+func eventsEqual(t testing.TB, a, b jobs.Event) bool {
+	t.Helper()
+	return a.Seq == b.Seq && a.Type == b.Type && a.Error == b.Error &&
+		compactJSON(t, a.Cell) == compactJSON(t, b.Cell)
+}
+
+// TestSSERoundTrip checks parseSSE inverts formatSSE for every event
+// shape the stream produces.
+func TestSSERoundTrip(t *testing.T) {
+	for _, e := range sseEvents() {
+		frame, err := formatSSE(e)
+		if err != nil {
+			t.Fatalf("format %+v: %v", e, err)
+		}
+		if !bytes.HasSuffix(frame, []byte("\n\n")) {
+			t.Fatalf("frame %q does not end with a blank line", frame)
+		}
+		got, err := parseSSE(frame)
+		if err != nil {
+			t.Fatalf("parse %q: %v", frame, err)
+		}
+		if !eventsEqual(t, got, e) {
+			t.Fatalf("round trip %+v -> %q -> %+v", e, frame, got)
+		}
+	}
+}
+
+// TestParseSSERejectsMalformed pins the codec's rejection paths: the
+// parser must never silently accept a frame whose envelope disagrees
+// with its payload.
+func TestParseSSERejectsMalformed(t *testing.T) {
+	cases := []struct {
+		name, frame, wantErr string
+	}{
+		{"empty", "", "no data line"},
+		{"no data", "id: 1\nevent: done\n\n", "no data line"},
+		{"bad id", "id: x\nevent: done\ndata: {\"seq\":1,\"type\":\"done\"}\n\n", "bad SSE id line"},
+		{"bad json", "id: 1\nevent: done\ndata: {nope\n\n", "bad SSE data line"},
+		{"id mismatch", "id: 2\nevent: done\ndata: {\"seq\":1,\"type\":\"done\"}\n\n", "disagrees with event seq"},
+		{"type mismatch", "id: 1\nevent: cell\ndata: {\"seq\":1,\"type\":\"done\"}\n\n", "disagrees with payload type"},
+		{"junk line", "id: 1\nevent: done\nretry: 5\ndata: {\"seq\":1,\"type\":\"done\"}\n\n", "unrecognized SSE line"},
+	}
+	for _, tc := range cases {
+		_, err := parseSSE([]byte(tc.frame))
+		if err == nil || !strings.Contains(err.Error(), tc.wantErr) {
+			t.Errorf("%s: parseSSE error = %v, want %q", tc.name, err, tc.wantErr)
+		}
+	}
+}
+
+// FuzzSSECodec feeds arbitrary bytes to the SSE parser: anything it
+// accepts must re-format and re-parse to the same event, and anything
+// else must be rejected with an error, never a panic or a mangled
+// event.
+func FuzzSSECodec(f *testing.F) {
+	for _, e := range sseEvents() {
+		frame, err := formatSSE(e)
+		if err != nil {
+			f.Fatal(err)
+		}
+		f.Add(frame)
+	}
+	f.Add([]byte("id: 1\nevent: done\nretry: 5\n\n"))
+	f.Add([]byte("data: {\"seq\":0,\"type\":\"\"}\n\n"))
+	f.Add([]byte("id: 99999999999999999999\nevent: x\ndata: {}\n\n"))
+	f.Fuzz(func(t *testing.T, frame []byte) {
+		e, err := parseSSE(frame)
+		if err != nil {
+			return // rejected input: fine, as long as it didn't panic
+		}
+		reframed, err := formatSSE(e)
+		if err != nil {
+			t.Fatalf("parsed event %+v does not re-format: %v", e, err)
+		}
+		got, err := parseSSE(reframed)
+		if err != nil {
+			t.Fatalf("re-formatted frame %q does not re-parse: %v", reframed, err)
+		}
+		if !eventsEqual(t, got, e) {
+			t.Fatalf("codec drift: %+v -> %q -> %+v", e, reframed, got)
+		}
+	})
+}
+
+// TestParseCursor pins resume-cursor parsing: empty means from the
+// start, decimal sequences pass through, everything else is rejected.
+func TestParseCursor(t *testing.T) {
+	if n, err := parseCursor(""); n != 0 || err != nil {
+		t.Errorf(`parseCursor("") = (%d, %v)`, n, err)
+	}
+	if n, err := parseCursor("42"); n != 42 || err != nil {
+		t.Errorf(`parseCursor("42") = (%d, %v)`, n, err)
+	}
+	for _, bad := range []string{"abc", "-1", "1.5", "0x10", " 7", "7 ", "+7"} {
+		if _, err := parseCursor(bad); err == nil {
+			t.Errorf("parseCursor(%q) accepted a malformed cursor", bad)
+		}
+	}
+}
+
+// TestSynthesizeEventsExperiment checks cache-hit synthesis walks the
+// document grid in canonical cell order and ends with a terminal done
+// event.
+func TestSynthesizeEventsExperiment(t *testing.T) {
+	mk := func(name string, clock, block uint64) harness.ReportJSON {
+		return harness.ReportJSON{Name: name, ClockMHz: clock, BlockBytes: block}
+	}
+	doc := harness.ExperimentDoc{
+		Version:    harness.ReportVersion,
+		Kind:       "experiment",
+		ID:         "t",
+		Title:      "test grid",
+		RatesMHz:   []uint64{100, 200},
+		SizesBytes: []uint64{10},
+		Systems: []harness.SystemGrid{
+			{System: "a", SwitchTrace: false, Rows: [][]harness.ReportJSON{{mk("a", 100, 10)}, {mk("a", 200, 10)}}},
+			{System: "b+awrp", SwitchTrace: true, Rows: [][]harness.ReportJSON{{mk("b", 100, 10)}, {mk("b", 200, 10)}}},
+		},
+	}
+	raw, err := json.Marshal(doc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	events, err := synthesizeEvents(raw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(events) != 5 {
+		t.Fatalf("got %d events, want 4 cells + done", len(events))
+	}
+	wantCells := []struct {
+		system string
+		sw     bool
+		rate   uint64
+	}{
+		{"a", false, 100}, {"a", false, 200},
+		{"b+awrp", true, 100}, {"b+awrp", true, 200},
+	}
+	for i, want := range wantCells {
+		e := events[i]
+		if e.Seq != uint64(i+1) || e.Type != "cell" {
+			t.Fatalf("event %d = %+v", i, e)
+		}
+		var cell cellPayload
+		if err := json.Unmarshal(e.Cell, &cell); err != nil {
+			t.Fatal(err)
+		}
+		if cell.Index != i || cell.System != want.system || cell.SwitchTrace != want.sw ||
+			cell.RateMHz != want.rate || cell.SizeBytes != 10 {
+			t.Fatalf("cell %d = %+v, want %+v", i, cell, want)
+		}
+	}
+	last := events[len(events)-1]
+	if last.Type != "done" || !last.Terminal() || last.Seq != 5 {
+		t.Fatalf("terminal event = %+v", last)
+	}
+}
+
+// TestSynthesizeEventsRun checks the single-cell run form.
+func TestSynthesizeEventsRun(t *testing.T) {
+	doc := harness.RunDoc{
+		Version: harness.ReportVersion,
+		Kind:    "run",
+		Report:  harness.ReportJSON{Name: "rampage", ClockMHz: 500, BlockBytes: 4096},
+	}
+	raw, err := json.Marshal(doc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	events, err := synthesizeEvents(raw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(events) != 2 || events[0].Type != "cell" || events[1].Type != "done" {
+		t.Fatalf("events = %+v", events)
+	}
+	var cell cellPayload
+	if err := json.Unmarshal(events[0].Cell, &cell); err != nil {
+		t.Fatal(err)
+	}
+	if cell.Index != 0 || cell.System != "rampage" || cell.RateMHz != 500 || cell.SizeBytes != 4096 {
+		t.Fatalf("cell = %+v", cell)
+	}
+}
+
+// TestSynthesizeEventsErrors pins the refusal paths: unknown document
+// kinds and ragged grids are errors, not truncated streams.
+func TestSynthesizeEventsErrors(t *testing.T) {
+	if _, err := synthesizeEvents([]byte(`{"kind":"prose"}`)); err == nil ||
+		!strings.Contains(err.Error(), "cannot synthesize") {
+		t.Errorf("unknown kind error = %v", err)
+	}
+	if _, err := synthesizeEvents([]byte(`not json`)); err == nil {
+		t.Error("non-JSON document accepted")
+	}
+	ragged := `{"kind":"experiment","rates_mhz":[100,200],"sizes_bytes":[10],` +
+		`"systems":[{"system":"a","rows":[[{"name":"a"}]]}]}`
+	if _, err := synthesizeEvents([]byte(ragged)); err == nil ||
+		!strings.Contains(err.Error(), "ragged") {
+		t.Errorf("ragged grid error = %v", err)
+	}
+}

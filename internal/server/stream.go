@@ -1,0 +1,338 @@
+package server
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"strconv"
+	"strings"
+
+	"rampage/internal/harness"
+	"rampage/internal/jobs"
+	"rampage/internal/policy"
+)
+
+// GET /v1/jobs/{id}/events streams a job's sweep cells as they
+// complete. With `Accept: text/event-stream` the response is
+// Server-Sent Events (one `id:`/`event:`/`data:` frame per event);
+// otherwise it is newline-delimited JSON, one jobs.Event per line.
+// Either way the stream replays history from the resume cursor
+// (?from=N or the Last-Event-ID header; 0 = everything), follows the
+// live tail, and ends after the terminal done/failed/canceled event.
+// A subscriber that falls more than eventBuffer events behind is
+// dropped mid-stream without a terminal event — it reconnects with
+// from set to the last sequence it saw and misses nothing. Jobs
+// answered straight from the result cache (including the disk store)
+// have no recorded events; the handler synthesizes the full burst from
+// the cached document so streaming clients are agnostic to cache hits.
+
+// cellPayload is the per-cell document inside a "cell" event: the
+// cell's canonical index (ExperimentShape.CellSpecs order — also
+// row-major position in the final document), its grid coordinates and
+// its compact ReportJSON.
+type cellPayload struct {
+	Index       int             `json:"index"`
+	System      string          `json:"system"`
+	SwitchTrace bool            `json:"switch_trace"`
+	RateMHz     uint64          `json:"rate_mhz"`
+	SizeBytes   uint64          `json:"size_bytes"`
+	Report      json.RawMessage `json:"report"`
+}
+
+// cellEvent serializes one cell payload for the job event stream; nil
+// on a marshal failure (the event is then recorded as count-only
+// progress).
+func cellEvent(k int, spec harness.RunSpec, report json.RawMessage) []byte {
+	label := spec.System.String()
+	if p := policy.Normalize(spec.Policy); p != "" {
+		label += "+" + p
+	}
+	b, err := json.Marshal(cellPayload{
+		Index:       k,
+		System:      label,
+		SwitchTrace: spec.SwitchTrace,
+		RateMHz:     spec.IssueMHz,
+		SizeBytes:   spec.SizeBytes,
+		Report:      report,
+	})
+	if err != nil {
+		return nil
+	}
+	return b
+}
+
+// eventBuffer is the per-subscriber channel depth: a subscriber that
+// falls this many events behind the publisher is dropped (it resumes
+// by sequence). Sized to hold the largest default experiment grid (2
+// systems x 6 rates x 6 sizes) plus the terminal event.
+const eventBuffer = 128
+
+// parseCursor parses a resume cursor (?from= or Last-Event-ID): the
+// sequence number of the last event the client saw. Malformed cursors
+// are rejected rather than silently replaying from zero, which would
+// duplicate everything the client already has.
+func parseCursor(v string) (uint64, error) {
+	if v == "" {
+		return 0, nil
+	}
+	n, err := strconv.ParseUint(v, 10, 64)
+	if err != nil {
+		return 0, fmt.Errorf("bad resume cursor %q: want a decimal event sequence", v)
+	}
+	return n, nil
+}
+
+// formatSSE renders one event as a Server-Sent Events frame:
+//
+//	id: <seq>
+//	event: <type>
+//	data: <compact JSON of the event>
+//
+// followed by a blank line. The data is the same jobs.Event JSON the
+// NDJSON fallback emits, so clients can share one decoder.
+func formatSSE(e jobs.Event) ([]byte, error) {
+	data, err := json.Marshal(e)
+	if err != nil {
+		return nil, err
+	}
+	var b bytes.Buffer
+	fmt.Fprintf(&b, "id: %d\nevent: %s\ndata: %s\n\n", e.Seq, e.Type, data)
+	return b.Bytes(), nil
+}
+
+// parseSSE decodes one formatSSE frame back into the event. It is the
+// codec's inverse — the round-trip is fuzzed — and doubles as the
+// reference client decoder the e2e tests use.
+func parseSSE(frame []byte) (jobs.Event, error) {
+	var (
+		e       jobs.Event
+		sawData bool
+		id      uint64
+		typ     string
+	)
+	sc := bufio.NewScanner(bytes.NewReader(frame))
+	sc.Buffer(make([]byte, 0, 64<<10), 1<<20)
+	for sc.Scan() {
+		line := sc.Text()
+		switch {
+		case line == "":
+			// Frame terminator (or trailing blank).
+		case strings.HasPrefix(line, "id: "):
+			n, err := strconv.ParseUint(line[len("id: "):], 10, 64)
+			if err != nil {
+				return jobs.Event{}, fmt.Errorf("bad SSE id line %q: %w", line, err)
+			}
+			id = n
+		case strings.HasPrefix(line, "event: "):
+			typ = line[len("event: "):]
+		case strings.HasPrefix(line, "data: "):
+			if err := json.Unmarshal([]byte(line[len("data: "):]), &e); err != nil {
+				return jobs.Event{}, fmt.Errorf("bad SSE data line: %w", err)
+			}
+			sawData = true
+		default:
+			return jobs.Event{}, fmt.Errorf("unrecognized SSE line %q", line)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return jobs.Event{}, err
+	}
+	if !sawData {
+		return jobs.Event{}, fmt.Errorf("SSE frame has no data line")
+	}
+	if e.Seq != id {
+		return jobs.Event{}, fmt.Errorf("SSE id %d disagrees with event seq %d", id, e.Seq)
+	}
+	if e.Type != typ {
+		return jobs.Event{}, fmt.Errorf("SSE event type %q disagrees with payload type %q", typ, e.Type)
+	}
+	return e, nil
+}
+
+// synthesizeEvents reconstructs the full event burst for a job that
+// was answered from the result cache and therefore never published
+// live events: every cell of the cached document in canonical order,
+// then the terminal event. Sequence numbers match what a live run
+// would have produced only in count, not arrival order — which is
+// fine, because a cached job has no live order to preserve.
+func synthesizeEvents(data []byte) ([]jobs.Event, error) {
+	var probe struct {
+		Kind string `json:"kind"`
+	}
+	if err := json.Unmarshal(data, &probe); err != nil {
+		return nil, err
+	}
+	var events []jobs.Event
+	emit := func(payload []byte) {
+		events = append(events, jobs.Event{
+			Seq:  uint64(len(events) + 1),
+			Type: "cell",
+			Cell: payload,
+		})
+	}
+	switch probe.Kind {
+	case "experiment":
+		var doc harness.ExperimentDoc
+		if err := json.Unmarshal(data, &doc); err != nil {
+			return nil, err
+		}
+		k := 0
+		for _, grid := range doc.Systems {
+			for r, rate := range doc.RatesMHz {
+				for c, size := range doc.SizesBytes {
+					if r >= len(grid.Rows) || c >= len(grid.Rows[r]) {
+						return nil, fmt.Errorf("document grid is ragged")
+					}
+					rb, err := json.Marshal(grid.Rows[r][c])
+					if err != nil {
+						return nil, err
+					}
+					pb, err := json.Marshal(cellPayload{
+						Index:       k,
+						System:      grid.System,
+						SwitchTrace: grid.SwitchTrace,
+						RateMHz:     rate,
+						SizeBytes:   size,
+						Report:      rb,
+					})
+					if err != nil {
+						return nil, err
+					}
+					emit(pb)
+					k++
+				}
+			}
+		}
+	case "run":
+		var doc harness.RunDoc
+		if err := json.Unmarshal(data, &doc); err != nil {
+			return nil, err
+		}
+		rb, err := json.Marshal(doc.Report)
+		if err != nil {
+			return nil, err
+		}
+		pb, err := json.Marshal(cellPayload{
+			Index:     0,
+			System:    doc.Report.Name,
+			RateMHz:   doc.Report.ClockMHz,
+			SizeBytes: doc.Report.BlockBytes,
+			Report:    rb,
+		})
+		if err != nil {
+			return nil, err
+		}
+		emit(pb)
+	default:
+		return nil, fmt.Errorf("cannot synthesize events for document kind %q", probe.Kind)
+	}
+	events = append(events, jobs.Event{Seq: uint64(len(events) + 1), Type: string(jobs.StateDone)})
+	return events, nil
+}
+
+// handleJobEvents serves GET /v1/jobs/{id}/events.
+func (s *Server) handleJobEvents(w http.ResponseWriter, r *http.Request) {
+	j, ok := s.mgr.Get(r.PathValue("id"))
+	if !ok {
+		writeError(w, http.StatusNotFound, "unknown job")
+		return
+	}
+	cursor := r.URL.Query().Get("from")
+	if cursor == "" {
+		cursor = r.Header.Get("Last-Event-ID")
+	}
+	from, err := parseCursor(cursor)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+
+	stream := j.Events()
+	var (
+		replay []jobs.Event
+		tail   <-chan jobs.Event
+		cancel func()
+	)
+	if stream.Len() == 0 && j.Status().State == jobs.StateDone {
+		// Cache-hit job: no recorded events. Replay the whole burst
+		// from the cached document instead.
+		data, rerr := j.Result()
+		if rerr != nil {
+			writeError(w, http.StatusInternalServerError, rerr.Error())
+			return
+		}
+		all, serr := synthesizeEvents(data)
+		if serr != nil {
+			writeError(w, http.StatusInternalServerError, serr.Error())
+			return
+		}
+		if from < uint64(len(all)) {
+			replay = all[from:]
+		}
+		cancel = func() {}
+	} else {
+		replay, tail, cancel = stream.Subscribe(from, eventBuffer)
+	}
+	defer cancel()
+
+	sse := strings.Contains(r.Header.Get("Accept"), "text/event-stream")
+	if sse {
+		w.Header().Set("Content-Type", "text/event-stream")
+		w.Header().Set("Cache-Control", "no-cache")
+	} else {
+		w.Header().Set("Content-Type", "application/x-ndjson")
+	}
+	w.WriteHeader(http.StatusOK)
+	flusher, _ := w.(http.Flusher)
+
+	writeEvent := func(e jobs.Event) bool {
+		var (
+			frame []byte
+			ferr  error
+		)
+		if sse {
+			frame, ferr = formatSSE(e)
+		} else {
+			frame, ferr = json.Marshal(e)
+			frame = append(frame, '\n')
+		}
+		if ferr != nil {
+			return false
+		}
+		if _, werr := w.Write(frame); werr != nil {
+			return false
+		}
+		if flusher != nil {
+			flusher.Flush()
+		}
+		return true
+	}
+
+	for _, e := range replay {
+		if !writeEvent(e) || e.Terminal() {
+			return
+		}
+	}
+	if tail == nil {
+		return
+	}
+	ctx := r.Context()
+	for {
+		select {
+		case <-ctx.Done():
+			return
+		case e, ok := <-tail:
+			if !ok {
+				// Dropped as a slow subscriber (no terminal event was
+				// delivered): end the stream; the client resumes with
+				// from = last seen sequence.
+				return
+			}
+			if !writeEvent(e) || e.Terminal() {
+				return
+			}
+		}
+	}
+}

@@ -20,18 +20,32 @@
 //	go run ./tools/regress -mode bench -tol 0.05 BENCH_batch.json /tmp/bench.json
 //
 // The first path is the golden (want), the second the candidate (got).
+//
+// The comparator itself lives in internal/regress (the server's
+// POST /v1/compare endpoint shares it); this command is a thin CLI
+// wrapper around it.
 package main
 
 import (
-	"encoding/json"
 	"flag"
 	"fmt"
-	"math"
 	"os"
-	"path/filepath"
-	"reflect"
-	"sort"
+
+	"rampage/internal/regress"
 )
+
+// Aliases into the shared comparator. Keeping the CLI's historical
+// names lets the existing output-pinning tests run unchanged against
+// the extracted package, proving the extraction changed nothing.
+var (
+	compareReportFiles = regress.CompareReportFiles
+	compareReportDirs  = regress.CompareReportDirs
+	compareBench       = regress.CompareBench
+	compareBenchFiles  = regress.CompareBenchFiles
+	isDir              = regress.IsDir
+)
+
+type benchResult = regress.BenchResult
 
 func main() {
 	mode := flag.String("mode", "report", "comparison mode: report (exact), bench (ns/op tolerance)")
@@ -71,246 +85,4 @@ func main() {
 		os.Exit(1)
 	}
 	fmt.Printf("regress: %s matches %s\n", gotPath, goldenPath)
-}
-
-func loadJSON(path string, v any) error {
-	raw, err := os.ReadFile(path)
-	if err != nil {
-		return err
-	}
-	if err := json.Unmarshal(raw, v); err != nil {
-		return fmt.Errorf("%s: %w", path, err)
-	}
-	return nil
-}
-
-func isDir(path string) bool {
-	info, err := os.Stat(path)
-	return err == nil && info.IsDir()
-}
-
-// compareReportDirs diffs every *.json under two directories. The file
-// sets must be identical: a document present on only one side is a
-// hard error, not a skip — a deleted golden or a missing candidate
-// must fail the gate, never silently shrink it.
-func compareReportDirs(goldenDir, gotDir string) ([]string, error) {
-	goldenFiles, err := jsonSet(goldenDir)
-	if err != nil {
-		return nil, err
-	}
-	gotFiles, err := jsonSet(gotDir)
-	if err != nil {
-		return nil, err
-	}
-	names := make(map[string]bool, len(goldenFiles))
-	for name := range goldenFiles {
-		names[name] = true
-	}
-	for name := range gotFiles {
-		names[name] = true
-	}
-	if len(names) == 0 {
-		return nil, fmt.Errorf("no *.json documents under %s or %s", goldenDir, gotDir)
-	}
-	ordered := make([]string, 0, len(names))
-	for name := range names {
-		ordered = append(ordered, name)
-	}
-	sort.Strings(ordered)
-	var diffs []string
-	for _, name := range ordered {
-		switch {
-		case !goldenFiles[name]:
-			return nil, fmt.Errorf("%s exists only in %s — no golden to compare against (stale or deleted golden?)", name, gotDir)
-		case !gotFiles[name]:
-			return nil, fmt.Errorf("%s exists only in %s — candidate never produced it", name, goldenDir)
-		}
-		fileDiffs, err := compareReportFiles(filepath.Join(goldenDir, name), filepath.Join(gotDir, name))
-		if err != nil {
-			return nil, err
-		}
-		for _, d := range fileDiffs {
-			diffs = append(diffs, name+": "+d)
-		}
-	}
-	return diffs, nil
-}
-
-// jsonSet lists the *.json file names directly under dir.
-func jsonSet(dir string) (map[string]bool, error) {
-	dirents, err := os.ReadDir(dir)
-	if err != nil {
-		return nil, err
-	}
-	set := make(map[string]bool)
-	for _, de := range dirents {
-		if !de.IsDir() && filepath.Ext(de.Name()) == ".json" {
-			set[de.Name()] = true
-		}
-	}
-	return set, nil
-}
-
-// compareReportFiles diffs two simulator JSON documents exactly.
-func compareReportFiles(goldenPath, gotPath string) ([]string, error) {
-	var golden, got any
-	if err := loadJSON(goldenPath, &golden); err != nil {
-		return nil, err
-	}
-	if err := loadJSON(gotPath, &got); err != nil {
-		return nil, err
-	}
-	if gv, ok := version(golden); ok {
-		if cv, ok := version(got); ok && gv != cv {
-			return nil, fmt.Errorf("schema version mismatch: golden v%d, got v%d — regenerate the golden", gv, cv)
-		}
-	}
-	return diffValues("$", golden, got, nil), nil
-}
-
-// version extracts a document's schema version when present.
-func version(doc any) (int, bool) {
-	m, ok := doc.(map[string]any)
-	if !ok {
-		return 0, false
-	}
-	v, ok := m["version"].(float64)
-	return int(v), ok
-}
-
-// maxDiffs bounds the report so a wholesale divergence stays readable.
-const maxDiffs = 50
-
-// diffValues recursively compares two decoded JSON values, appending
-// human-readable mismatches with their paths.
-func diffValues(path string, want, got any, diffs []string) []string {
-	if len(diffs) >= maxDiffs {
-		return diffs
-	}
-	switch w := want.(type) {
-	case map[string]any:
-		g, ok := got.(map[string]any)
-		if !ok {
-			return append(diffs, fmt.Sprintf("%s: golden is an object, got %T", path, got))
-		}
-		keys := make([]string, 0, len(w))
-		for k := range w {
-			keys = append(keys, k)
-		}
-		sort.Strings(keys)
-		for _, k := range keys {
-			gv, ok := g[k]
-			if !ok {
-				diffs = append(diffs, fmt.Sprintf("%s.%s: missing in candidate", path, k))
-				continue
-			}
-			diffs = diffValues(path+"."+k, w[k], gv, diffs)
-		}
-		for k := range g {
-			if _, ok := w[k]; !ok {
-				diffs = append(diffs, fmt.Sprintf("%s.%s: not in golden", path, k))
-			}
-		}
-		return diffs
-	case []any:
-		g, ok := got.([]any)
-		if !ok {
-			return append(diffs, fmt.Sprintf("%s: golden is an array, got %T", path, got))
-		}
-		if len(w) != len(g) {
-			return append(diffs, fmt.Sprintf("%s: length %d, got %d", path, len(w), len(g)))
-		}
-		for i := range w {
-			diffs = diffValues(fmt.Sprintf("%s[%d]", path, i), w[i], g[i], diffs)
-		}
-		return diffs
-	default:
-		if !reflect.DeepEqual(want, got) {
-			diffs = append(diffs, fmt.Sprintf("%s: golden %v, got %v", path, want, got))
-		}
-		return diffs
-	}
-}
-
-// benchResult is the subset of a tools/benchjson entry the bench mode
-// compares.
-type benchResult struct {
-	Name    string  `json:"name"`
-	NsPerOp float64 `json:"ns_per_op"`
-}
-
-// bestByName folds repeated -count samples to each benchmark's minimum
-// ns/op, preserving first-seen order.
-func bestByName(results []benchResult) ([]string, map[string]float64) {
-	best := make(map[string]float64)
-	var order []string
-	for _, r := range results {
-		if v, ok := best[r.Name]; !ok || r.NsPerOp < v {
-			if !ok {
-				order = append(order, r.Name)
-			}
-			best[r.Name] = r.NsPerOp
-		}
-	}
-	return order, best
-}
-
-// compareBench checks every golden benchmark exists in the candidate
-// and did not regress beyond tol (relative). New benchmarks in the
-// candidate are fine; improvements are fine. With subset, golden
-// benchmarks absent from the candidate are skipped (the candidate ran
-// a filtered -bench pattern) instead of failing.
-//
-// Snapshots with zero benchmark names in common are refused outright:
-// tolerance comparison of disjoint name sets either fails on every
-// golden entry (noise) or, under -subset, vacuously passes — both mean
-// the two files almost certainly came from different benchmark tags.
-func compareBench(golden, got []benchResult, tol float64, subset bool) ([]string, error) {
-	order, want := bestByName(golden)
-	_, have := bestByName(got)
-	overlap := 0
-	for _, name := range order {
-		if _, ok := have[name]; ok {
-			overlap++
-		}
-	}
-	if overlap == 0 {
-		return nil, fmt.Errorf("no benchmark names in common (golden has %d, candidate %d) — different tags? refusing a comparison that cannot detect regressions", len(want), len(have))
-	}
-	var diffs []string
-	for _, name := range order {
-		g, ok := have[name]
-		if !ok {
-			if !subset {
-				diffs = append(diffs, fmt.Sprintf("%s: missing from candidate", name))
-			}
-			continue
-		}
-		w := want[name]
-		if w <= 0 {
-			continue
-		}
-		if rel := g/w - 1; rel > tol {
-			diffs = append(diffs, fmt.Sprintf("%s: %.0f ns/op vs golden %.0f (%+.1f%% > %+.1f%% allowed)",
-				name, g, w, 100*rel, 100*tol))
-		}
-	}
-	return diffs, nil
-}
-
-func compareBenchFiles(goldenPath, gotPath string, tol float64, subset bool) ([]string, error) {
-	if tol < 0 || math.IsNaN(tol) {
-		return nil, fmt.Errorf("bad -tol %v", tol)
-	}
-	var golden, got []benchResult
-	if err := loadJSON(goldenPath, &golden); err != nil {
-		return nil, err
-	}
-	if err := loadJSON(gotPath, &got); err != nil {
-		return nil, err
-	}
-	if len(golden) == 0 {
-		return nil, fmt.Errorf("%s: no benchmark entries", goldenPath)
-	}
-	return compareBench(golden, got, tol, subset)
 }
